@@ -1,0 +1,160 @@
+// Benchmarks regenerating every table and figure of the evaluation
+// (DESIGN.md experiment index T1–T7, F1–F4) at quick scale, plus
+// micro-benchmarks for the synopsis hot paths. Run the full-scale tables
+// with `go run ./cmd/experiments -full`.
+package relest_test
+
+import (
+	"testing"
+
+	"relest"
+	"relest/internal/bench"
+	"relest/internal/sketch"
+)
+
+// experimentBench runs one experiment table per iteration.
+func experimentBench(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tab := e.Run(42, bench.Scale{Quick: true})
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// One benchmark per table/figure of the evaluation.
+
+func BenchmarkT1Selection(b *testing.B)   { experimentBench(b, "T1") }
+func BenchmarkT2Join(b *testing.B)        { experimentBench(b, "T2") }
+func BenchmarkT3SetOps(b *testing.B)      { experimentBench(b, "T3") }
+func BenchmarkT4Distinct(b *testing.B)    { experimentBench(b, "T4") }
+func BenchmarkT5Variance(b *testing.B)    { experimentBench(b, "T5") }
+func BenchmarkT6Baselines(b *testing.B)   { experimentBench(b, "T6") }
+func BenchmarkT7SelfJoin(b *testing.B)    { experimentBench(b, "T7") }
+func BenchmarkF1Composite(b *testing.B)   { experimentBench(b, "F1") }
+func BenchmarkF2Coverage(b *testing.B)    { experimentBench(b, "F2") }
+func BenchmarkF3Deadline(b *testing.B)    { experimentBench(b, "F3") }
+func BenchmarkF4Incremental(b *testing.B) { experimentBench(b, "F4") }
+
+// Micro-benchmarks: the synopsis hot paths behind the tables.
+
+// BenchmarkPointEstimateJoin measures one join COUNT estimate from fixed
+// samples (n=1000 per relation) — the per-query cost of the method.
+func BenchmarkPointEstimateJoin(b *testing.B) {
+	rng := relest.Seeded(1)
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 2_000, N1: 20_000, N2: 20_000,
+		Correlation: relest.Independent,
+	})
+	e := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+	syn := relest.NewSynopsis()
+	if err := syn.AddDrawn(r1, 1_000, rng); err != nil {
+		b.Fatal(err)
+	}
+	if err := syn.AddDrawn(r2, 1_000, rng); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relest.CountWithOptions(e, syn, relest.Options{Variance: relest.VarNone}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPointEstimateWithVariance includes the closed-form variance and
+// CI construction.
+func BenchmarkPointEstimateWithVariance(b *testing.B) {
+	rng := relest.Seeded(2)
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 2_000, N1: 20_000, N2: 20_000,
+		Correlation: relest.Independent,
+	})
+	e := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+	syn := relest.NewSynopsis()
+	if err := syn.AddDrawn(r1, 1_000, rng); err != nil {
+		b.Fatal(err)
+	}
+	if err := syn.AddDrawn(r2, 1_000, rng); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relest.Count(e, syn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalUpdate measures the per-tuple cost of maintaining
+// the incremental synopsis (reservoir + random pairing).
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	rng := relest.Seeded(3)
+	inc := relest.NewIncremental(1_000, rng)
+	if err := inc.Track("R", relest.JoinSchema()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := relest.Tuple{relest.Int(int64(i % 5_000)), relest.Int(int64(i))}
+		if err := inc.Insert("R", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchUpdate measures the per-tuple cost of the AMS baseline at
+// the default 100 atomic counters, for comparison with the sampling
+// synopsis updates.
+func BenchmarkSketchUpdate(b *testing.B) {
+	s := sketch.New(sketch.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i % 5_000))
+	}
+}
+
+// BenchmarkSynopsisDraw measures drawing a fresh 1% SRSWOR synopsis from a
+// 100k-row relation.
+func BenchmarkSynopsisDraw(b *testing.B) {
+	rng := relest.Seeded(4)
+	r := relest.ZipfRelation(rng, "R", 0.5, 10_000, 100_000, relest.MapRandom)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn := relest.NewSynopsis()
+		if err := syn.AddDrawn(r, 1_000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactCountJoin is the cost the estimators avoid: the exact
+// hash-join COUNT over the full relations.
+func BenchmarkExactCountJoin(b *testing.B) {
+	rng := relest.Seeded(5)
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 2_000, N1: 20_000, N2: 20_000,
+		Correlation: relest.Independent,
+	})
+	e := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+	cat := relest.MapCatalog{"R1": r1, "R2": r2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relest.ExactCount(e, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA1Stratified(b *testing.B)   { experimentBench(b, "A1") }
+func BenchmarkA2PageSampling(b *testing.B) { experimentBench(b, "A2") }
+
+func BenchmarkA3Planner(b *testing.B) { experimentBench(b, "A3") }

@@ -1,0 +1,62 @@
+// Command experiments regenerates the evaluation tables and figures
+// (DESIGN.md experiment index T1–T7, F1–F4). The full-scale run is what
+// EXPERIMENTS.md records; the quick scale is sized for smoke runs.
+//
+// Usage:
+//
+//	experiments                # run everything, quick scale, plain tables
+//	experiments -full          # full scale (minutes)
+//	experiments -exp T2,T6     # a subset
+//	experiments -markdown      # emit markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"relest/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (T1..T7, F1..F4) or 'all'")
+	full := flag.Bool("full", false, "full scale (EXPERIMENTS.md sizes; takes minutes)")
+	markdown := flag.Bool("markdown", false, "render markdown instead of plain tables")
+	seed := flag.Int64("seed", 42, "root random seed")
+	flag.Parse()
+
+	var ids []string
+	if *exp == "all" {
+		ids = bench.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	scale := bench.Scale{Quick: !*full}
+	for _, id := range ids {
+		e, err := bench.Lookup(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		tab := e.Run(*seed, scale)
+		elapsed := time.Since(start).Round(10 * time.Millisecond)
+		if *markdown {
+			fmt.Println(tab.Markdown())
+		} else {
+			fmt.Println(tab.Plain())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n\n", id, elapsed)
+	}
+	return nil
+}

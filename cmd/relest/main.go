@@ -1,0 +1,312 @@
+// Command relest estimates COUNT, SUM, AVG, GROUP BY and DISTINCT queries
+// over CSV relations from small random samples, the way the CASE-DB front
+// end would: load relations, parse a query, draw a synopsis, and report
+// the estimate with its confidence interval — optionally alongside the
+// exact answer for validation.
+//
+// Usage:
+//
+//	relest -rel orders=orders.csv -rel customers=customers.csv \
+//	       -fraction 0.05 \
+//	       -query "count(join(orders, customers, on cust_id = id))"
+//
+//	relest -rel emp=emp.csv -query "distinct(emp.dept)" -method jackknife
+//	relest -rel emp=emp.csv -query "avg(select(emp, age > 50), salary)"
+//	relest -rel emp=emp.csv -query "group(emp, dept)"
+//
+// Queries use the functional language documented in internal/query:
+// count/sum/avg/group(...) over
+// select/project/join/product/union/intersect/except, plus
+// distinct(R.col, ...). Pass -exact to also compute the true answer,
+// -target 0.05 for double sampling to a ±5% goal, or -deadline 50ms for a
+// time-budgeted answer. Sampling designs: -page-size 100 samples whole
+// pages (cluster sampling), -stratify rel=column draws a stratified sample
+// of that relation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"relest/internal/algebra"
+	"relest/internal/estimator"
+	"relest/internal/query"
+	"relest/internal/relation"
+	"relest/internal/sampling"
+)
+
+// relFlags accumulates repeated -rel name=path flags.
+type relFlags map[string]string
+
+func (r relFlags) String() string { return fmt.Sprint(map[string]string(r)) }
+
+func (r relFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	if _, dup := r[name]; dup {
+		return fmt.Errorf("relation %q given twice", name)
+	}
+	r[name] = path
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "relest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rels := relFlags{}
+	flag.Var(rels, "rel", "relation as name=path.csv (repeatable)")
+	queryText := flag.String("query", "", "query, e.g. count(join(R, S, on a = a))")
+	fraction := flag.Float64("fraction", 0.05, "sampling fraction per relation")
+	minSample := flag.Int("min-sample", 50, "minimum sample size per relation")
+	seed := flag.Int64("seed", 1, "random seed (estimates are reproducible per seed)")
+	confidence := flag.Float64("confidence", 0.95, "confidence level for the interval")
+	exact := flag.Bool("exact", false, "also compute the exact answer for comparison")
+	target := flag.Float64("target", 0, "double sampling: target relative error (e.g. 0.05); 0 disables")
+	deadline := flag.Duration("deadline", 0, "deadline mode: grow samples until this budget expires; 0 disables")
+	method := flag.String("method", "jackknife", "distinct estimator: goodman|scale-up|sample-d|jackknife|gee")
+	pageSize := flag.Int("page-size", 0, "page-level sampling: rows per page (0 = tuple-level SRSWOR)")
+	stratify := flag.String("stratify", "", "stratified sampling as rel=column (proportional allocation by column value)")
+	flag.Parse()
+
+	if len(rels) == 0 {
+		return fmt.Errorf("no relations; pass at least one -rel name=path.csv")
+	}
+	if *queryText == "" {
+		return fmt.Errorf("no query; pass -query")
+	}
+
+	cat := algebra.MapCatalog{}
+	for name, path := range rels {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := relation.ImportCSV(name, f, nil)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cat[name] = r
+		fmt.Printf("loaded %s: %d rows, schema %s\n", name, r.Len(), r.Schema())
+	}
+
+	st, err := query.Parse(*queryText, query.CatalogSchemas{Cat: cat})
+	if err != nil {
+		return err
+	}
+
+	stratRel, stratCol := "", ""
+	if *stratify != "" {
+		var ok bool
+		stratRel, stratCol, ok = strings.Cut(*stratify, "=")
+		if !ok {
+			return fmt.Errorf("-stratify wants rel=column, got %q", *stratify)
+		}
+		if _, known := cat[stratRel]; !known {
+			return fmt.Errorf("-stratify relation %q not loaded", stratRel)
+		}
+	}
+
+	rng := sampling.NewSource(*seed).Rand(0)
+	syn := estimator.NewSynopsis()
+	for _, r := range cat {
+		n := int(*fraction * float64(r.Len()))
+		if n < *minSample {
+			n = *minSample
+		}
+		if n > r.Len() {
+			n = r.Len()
+		}
+		switch {
+		case r.Name() == stratRel:
+			pos := r.Schema().ColumnIndex(stratCol)
+			if pos < 0 {
+				return fmt.Errorf("-stratify column %q not in relation %q", stratCol, stratRel)
+			}
+			if err := syn.AddDrawnStratified(r, func(t relation.Tuple) int {
+				return int(t[pos].Hash())
+			}, n, rng); err != nil {
+				return err
+			}
+			got, _ := syn.SampleSize(r.Name())
+			fmt.Printf("sampled %s: %d of %d rows (stratified by %s)\n", r.Name(), got, r.Len(), stratCol)
+		case *pageSize > 0:
+			pages := (n + *pageSize - 1) / *pageSize
+			maxPages := (r.Len() + *pageSize - 1) / *pageSize
+			if pages > maxPages {
+				pages = maxPages
+			}
+			if err := syn.AddDrawnPages(r, *pageSize, pages, rng); err != nil {
+				return err
+			}
+			got, _ := syn.SampleSize(r.Name())
+			fmt.Printf("sampled %s: %d rows in %d pages of %d\n", r.Name(), got, pages, *pageSize)
+		default:
+			if err := syn.AddDrawn(r, n, rng); err != nil {
+				return err
+			}
+			fmt.Printf("sampled %s: %d of %d rows\n", r.Name(), n, r.Len())
+		}
+	}
+
+	if st.IsDistinct() {
+		m, err := distinctMethod(*method)
+		if err != nil {
+			return err
+		}
+		got, err := estimator.Distinct(syn, st.DistinctRel, st.DistinctCols, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndistinct estimate (%s): %.1f\n", m, got)
+		if *exact {
+			e, err := algebra.Project(algebra.BaseOf(cat[st.DistinctRel]), st.DistinctCols...)
+			if err != nil {
+				return err
+			}
+			actual, err := algebra.Count(e, cat)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("exact distinct:          %d\n", actual)
+		}
+		return nil
+	}
+
+	opts := estimator.Options{Confidence: *confidence}
+	if st.Agg == "group" {
+		groups, err := estimator.GroupCount(st.Expr, st.AggCol, syn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntop groups by estimated COUNT(*) GROUP BY %s:\n", st.AggCol)
+		limit := 15
+		for i, g := range groups {
+			if i >= limit {
+				fmt.Printf("  ... and %d more groups\n", len(groups)-limit)
+				break
+			}
+			fmt.Printf("  %-12v %12.1f\n", g.Value, g.Count)
+		}
+		return nil
+	}
+	if st.Agg == "sum" || st.Agg == "avg" {
+		if *deadline > 0 || *target > 0 {
+			return fmt.Errorf("sum/avg queries support plain estimation only (no -deadline/-target)")
+		}
+		switch st.Agg {
+		case "sum":
+			est, err := estimator.SumWithOptions(st.Expr, st.AggCol, syn, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nSUM(%s) estimate: %.1f\n", st.AggCol, est.Value)
+			printCI(est)
+		case "avg":
+			res, err := estimator.Avg(st.Expr, st.AggCol, syn, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nAVG(%s) estimate: %.3f (SUM %.1f / COUNT %.1f)\n",
+				st.AggCol, res.Avg, res.Sum.Value, res.Count.Value)
+		}
+		if *exact {
+			res, err := algebra.Eval(st.Expr, cat)
+			if err != nil {
+				return err
+			}
+			pos := res.Schema().MustColumnIndex(st.AggCol)
+			sum, cnt := 0.0, 0
+			res.Each(func(i int, t relation.Tuple) bool {
+				if !t[pos].IsNull() {
+					sum += t[pos].Float64()
+					cnt++
+				}
+				return true
+			})
+			if st.Agg == "sum" {
+				fmt.Printf("exact SUM: %.1f\n", sum)
+			} else if cnt > 0 {
+				fmt.Printf("exact AVG: %.3f\n", sum/float64(res.Len()))
+			}
+		}
+		return nil
+	}
+	switch {
+	case *deadline > 0:
+		est, history, err := estimator.DeadlineCount(st.Expr, syn, rng, estimator.DeadlineOptions{
+			Budget:   *deadline,
+			Estimate: opts,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndeadline estimate after %d rounds: %.1f\n", len(history), est.Value)
+		printCI(est)
+	case *target > 0:
+		res, err := estimator.SequentialCount(st.Expr, syn, rng, estimator.SequentialOptions{
+			TargetRelErr: *target,
+			Confidence:   *confidence,
+			Estimate:     opts,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\npilot estimate:  %.1f (±%.1f)\n", res.Pilot.Value, res.Pilot.StdErr)
+		fmt.Printf("growth factor:   %.2f, final samples %v\n", res.GrowthFactor, res.SampleSizes)
+		fmt.Printf("final estimate:  %.1f\n", res.Final.Value)
+		printCI(res.Final)
+		fmt.Printf("target met:      %v\n", res.TargetMet)
+	default:
+		est, err := estimator.CountWithOptions(st.Expr, syn, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nestimate: %.1f\n", est.Value)
+		printCI(est)
+	}
+
+	if *exact {
+		start := time.Now()
+		actual, err := algebra.Count(st.Expr, cat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact:    %d (computed in %s)\n", actual, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func printCI(est estimator.Estimate) {
+	if est.StdErr > 0 {
+		fmt.Printf("stderr:   %.1f (variance via %s)\n", est.StdErr, est.VarianceMethod)
+		fmt.Printf("%.0f%% CI:   [%.1f, %.1f]\n", 100*est.Confidence, est.Lo, est.Hi)
+	}
+}
+
+func distinctMethod(name string) (estimator.DistinctMethod, error) {
+	switch strings.ToLower(name) {
+	case "goodman":
+		return estimator.DistinctGoodman, nil
+	case "scale-up", "scaleup":
+		return estimator.DistinctScaleUp, nil
+	case "sample-d", "sampled":
+		return estimator.DistinctSampleD, nil
+	case "jackknife":
+		return estimator.DistinctJackknife, nil
+	case "gee":
+		return estimator.DistinctGEE, nil
+	default:
+		return 0, fmt.Errorf("unknown distinct method %q", name)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: estimate the size of a selection and of a select-join query
+// over a generated employees/departments database from a 5% sample, and
+// compare with the exact answers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relest"
+)
+
+func main() {
+	rng := relest.Seeded(2024)
+
+	// A company with 200k employees in 40 departments.
+	employees, departments := relest.Company(rng, 200_000, 40)
+	cat := relest.MapCatalog{"employees": employees, "departments": departments}
+
+	// Q1: how many employees are older than 55?
+	q1 := relest.Must(relest.Select(relest.BaseOf(employees),
+		relest.Cmp{Col: "age", Op: relest.GT, Val: relest.Int(55)}))
+
+	// Q2: how many employees older than 50 are in departments with a
+	// budget above 600k?
+	q2 := relest.Must(relest.Join(
+		relest.Must(relest.Select(relest.BaseOf(employees),
+			relest.Cmp{Col: "age", Op: relest.GT, Val: relest.Int(50)})),
+		relest.Must(relest.Select(relest.BaseOf(departments),
+			relest.Cmp{Col: "budget", Op: relest.GT, Val: relest.Int(600_000)})),
+		[]relest.On{{Left: "dept_id", Right: "dept_id"}}, nil, "d"))
+
+	// One synopsis serves every query: a 5% sample of each relation
+	// (small relations like departments fall below the minimum sample
+	// size and are simply kept whole — a census has no sampling error).
+	syn, err := relest.Draw([]*relest.Relation{employees, departments}, 0.05, 1000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for name, q := range map[string]*relest.Expr{"Q1 (selection)": q1, "Q2 (select-join)": q2} {
+		est, err := relest.Count(q, syn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := relest.ExactCount(q, cat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  estimate: %10.0f   (stderr %.0f, variance via %s)\n",
+			est.Value, est.StdErr, est.VarianceMethod)
+		fmt.Printf("  95%% CI:   [%10.0f, %10.0f]\n", est.Lo, est.Hi)
+		fmt.Printf("  exact:    %10d   (inside CI: %v)\n\n",
+			exact, est.Lo <= float64(exact) && float64(exact) <= est.Hi)
+	}
+
+	// Distinct department count from the employees sample alone.
+	d, err := relest.Distinct(syn, "employees", []string{"dept_id"}, relest.DistinctJackknife)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct departments referenced by employees: estimated %.1f, actual 40\n", d)
+}

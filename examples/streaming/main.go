@@ -1,0 +1,103 @@
+// Streaming: continuous estimation over insert/delete streams with the
+// incrementally maintained synopsis. Two streams of events flow in (think
+// change-data-capture feeds of two tables); at checkpoints a snapshot of
+// the bounded samples answers a join-size query without touching the
+// stream history.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"relest"
+)
+
+func main() {
+	rng := relest.Seeded(99)
+	const ops = 200_000
+	const capacity = 2_000 // sampled tuples kept per relation
+
+	inc := relest.NewIncremental(capacity, rng)
+	for _, name := range []string{"R", "S"} {
+		if err := inc.Track(name, relest.JoinSchema()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	streamR := relest.Stream(rng, relest.StreamSpec{Rel: "R", Ops: ops, DeleteFrac: 0.15, Z: 0.8, Domain: 2_000})
+	streamS := relest.Stream(rng, relest.StreamSpec{Rel: "S", Ops: ops, DeleteFrac: 0.15, Z: 0.8, Domain: 2_000})
+
+	join := relest.Must(relest.Join(
+		relest.Base("R", relest.JoinSchema()),
+		relest.Base("S", relest.JoinSchema()),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "S"))
+
+	// Shadow frequency maps track the exact join size for validation (a
+	// real deployment would not have them — that is the point of the
+	// synopsis). joinSize = Σ_v freqR[v]·freqS[v], maintained per event.
+	freqR := map[int64]int64{}
+	freqS := map[int64]int64{}
+	var joinSize, popR int64
+
+	applyR := func(op relest.Op) {
+		v := op.Tuple[0].Int64()
+		var err error
+		if op.Delete {
+			err = inc.Delete(op.Rel, op.Tuple)
+			freqR[v]--
+			joinSize -= freqS[v]
+			popR--
+		} else {
+			err = inc.Insert(op.Rel, op.Tuple)
+			freqR[v]++
+			joinSize += freqS[v]
+			popR++
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	applyS := func(op relest.Op) {
+		v := op.Tuple[0].Int64()
+		var err error
+		if op.Delete {
+			err = inc.Delete(op.Rel, op.Tuple)
+			freqS[v]--
+			joinSize -= freqR[v]
+		} else {
+			err = inc.Insert(op.Rel, op.Tuple)
+			freqS[v]++
+			joinSize += freqR[v]
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%-12s %-12s %-14s %-14s %-10s\n", "events", "population", "estimate", "exact", "rel.err")
+	const checkpoints = 8
+	per := ops / checkpoints
+	for cp := 1; cp <= checkpoints; cp++ {
+		for i := (cp - 1) * per; i < cp*per; i++ {
+			applyR(streamR[i])
+			applyS(streamS[i])
+		}
+		syn, err := inc.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := relest.CountWithOptions(join, syn, relest.Options{Variance: relest.VarNone})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := math.NaN()
+		if joinSize > 0 {
+			rel = math.Abs(est.Value-float64(joinSize)) / float64(joinSize)
+		}
+		fmt.Printf("%-12d %-12d %-14.0f %-14d %-10.4f\n",
+			2*cp*per, popR, est.Value, joinSize, rel)
+	}
+	fmt.Printf("\nsynopsis held at most %d tuples per relation throughout.\n", capacity)
+}

@@ -1,0 +1,75 @@
+// Timebudget: the CASE-DB mode the estimators were built for — real-time
+// answers under hard time constraints. Shows (1) deadline-bounded
+// estimation, where the sample grows until the clock runs out and the CI
+// at the deadline is the answer; and (2) double sampling, where a pilot
+// sample sizes the final sample for a requested precision.
+//
+//	go run ./examples/timebudget
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"relest"
+)
+
+func main() {
+	rng := relest.Seeded(5)
+	const n = 500_000
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 20_000, N1: n, N2: n,
+		Correlation: relest.Independent,
+	})
+	e := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+
+	start := time.Now()
+	exact, err := relest.ExactCount(e, relest.MapCatalog{"R1": r1, "R2": r2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactDur := time.Since(start)
+	fmt.Printf("exact join size %d took %s\n\n", exact, exactDur.Round(time.Millisecond))
+
+	fmt.Println("deadline-bounded estimation:")
+	fmt.Printf("  %-10s %-12s %-10s %-14s\n", "budget", "estimate", "rel.err", "final sample/rel")
+	for _, budget := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		syn, err := relest.Draw([]*relest.Relation{r1, r2}, 0.0001, 20, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, history, err := relest.DeadlineCount(e, syn, rng, relest.DeadlineOptions{
+			Budget:      budget,
+			InitialSize: 200,
+			Estimate:    relest.Options{Variance: relest.VarNone},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := history[len(history)-1]
+		rel := math.Abs(est.Value-float64(exact)) / float64(exact)
+		fmt.Printf("  %-10s %-12.0f %-10.4f %-14d\n", budget, est.Value, rel, last.SampleSizes["R1"])
+	}
+
+	fmt.Println("\ndouble sampling to a precision target:")
+	fmt.Printf("  %-10s %-12s %-10s %-14s %-10s\n", "target", "estimate", "rel.err", "final sample/rel", "target met")
+	for _, target := range []float64{0.10, 0.05, 0.02} {
+		syn, err := relest.Draw([]*relest.Relation{r1, r2}, 0.0001, 50, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := relest.SequentialCount(e, syn, rng, relest.SequentialOptions{
+			TargetRelErr: target,
+			PilotSize:    500,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := math.Abs(res.Final.Value-float64(exact)) / float64(exact)
+		fmt.Printf("  %-10s %-12.0f %-10.4f %-14d %-10v\n",
+			fmt.Sprintf("±%.0f%%", 100*target), res.Final.Value, rel, res.SampleSizes["R1"], res.TargetMet)
+	}
+}

@@ -1,0 +1,3 @@
+module relest
+
+go 1.22

@@ -1,0 +1,200 @@
+package algebra
+
+import (
+	"fmt"
+
+	"relest/internal/relation"
+)
+
+// Eval evaluates the expression exactly against the catalog and returns the
+// result relation. It is the ground truth that every estimator in this
+// repository is measured against: hash joins for equi-joins, key-set
+// algorithms for the set operations, full duplicate elimination for π.
+func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
+	switch e.op {
+	case OpBase:
+		r, ok := cat.Relation(e.relName)
+		if !ok {
+			return nil, fmt.Errorf("algebra: no relation %q in catalog", e.relName)
+		}
+		if !r.Schema().EqualLayout(e.schema) {
+			return nil, fmt.Errorf("algebra: relation %q layout %s does not match expression schema %s",
+				e.relName, r.Schema(), e.schema)
+		}
+		return r, nil
+
+	case OpSelect:
+		child, err := Eval(e.left, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := relation.New("σ("+child.Name()+")", e.schema)
+		child.Each(func(i int, t relation.Tuple) bool {
+			if e.pred.eval(t) {
+				out.MustAppend(t)
+			}
+			return true
+		})
+		return out, nil
+
+	case OpProject:
+		child, err := Eval(e.left, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := relation.New("π("+child.Name()+")", e.schema)
+		seen := make(map[string]struct{}, child.Len())
+		child.Each(func(i int, t relation.Tuple) bool {
+			proj := make(relation.Tuple, len(e.projCols))
+			for j, c := range e.projCols {
+				proj[j] = t[c]
+			}
+			k := proj.Key(nil)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out.MustAppend(proj)
+			}
+			return true
+		})
+		return out, nil
+
+	case OpProduct:
+		left, err := Eval(e.left, cat)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Eval(e.right, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := relation.New("×", e.schema)
+		left.Each(func(i int, lt relation.Tuple) bool {
+			right.Each(func(j int, rt relation.Tuple) bool {
+				out.MustAppend(concatTuples(lt, rt))
+				return true
+			})
+			return true
+		})
+		return out, nil
+
+	case OpJoin:
+		left, err := Eval(e.left, cat)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Eval(e.right, cat)
+		if err != nil {
+			return nil, err
+		}
+		// Build on the smaller side.
+		out := relation.New("⋈", e.schema)
+		if right.Len() <= left.Len() {
+			ix := relation.BuildIndex(right, e.joinRight)
+			left.Each(func(i int, lt relation.Tuple) bool {
+				for _, j := range ix.Lookup(lt, e.joinLeft) {
+					joined := concatTuples(lt, right.Tuple(j))
+					if e.theta.eval == nil || e.theta.eval(joined) {
+						out.MustAppend(joined)
+					}
+				}
+				return true
+			})
+		} else {
+			ix := relation.BuildIndex(left, e.joinLeft)
+			right.Each(func(j int, rt relation.Tuple) bool {
+				for _, i := range ix.Lookup(rt, e.joinRight) {
+					joined := concatTuples(left.Tuple(i), rt)
+					if e.theta.eval == nil || e.theta.eval(joined) {
+						out.MustAppend(joined)
+					}
+				}
+				return true
+			})
+		}
+		return out, nil
+
+	case OpUnion, OpIntersect, OpDiff:
+		left, err := Eval(e.left, cat)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Eval(e.right, cat)
+		if err != nil {
+			return nil, err
+		}
+		return evalSetOp(e.op, e.schema, left, right), nil
+
+	default:
+		return nil, fmt.Errorf("algebra: cannot evaluate op %s", e.op)
+	}
+}
+
+// Count evaluates COUNT(E) exactly. It materializes intermediate results;
+// for the sizes used in this repository's experiments that is acceptable as
+// ground truth (the estimators exist precisely so users don't have to do
+// this).
+func Count(e *Expr, cat Catalog) (int64, error) {
+	r, err := Eval(e, cat)
+	if err != nil {
+		return 0, err
+	}
+	return int64(r.Len()), nil
+}
+
+func evalSetOp(op Op, schema *relation.Schema, left, right *relation.Relation) *relation.Relation {
+	out := relation.New(op.String(), schema)
+	switch op {
+	case OpUnion:
+		seen := make(map[string]struct{}, left.Len()+right.Len())
+		add := func(t relation.Tuple) {
+			k := t.Key(nil)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out.MustAppend(t)
+			}
+		}
+		left.Each(func(i int, t relation.Tuple) bool { add(t); return true })
+		right.Each(func(i int, t relation.Tuple) bool { add(t); return true })
+	case OpIntersect:
+		rightKeys := make(map[string]struct{}, right.Len())
+		right.Each(func(i int, t relation.Tuple) bool {
+			rightKeys[t.Key(nil)] = struct{}{}
+			return true
+		})
+		emitted := make(map[string]struct{}, left.Len())
+		left.Each(func(i int, t relation.Tuple) bool {
+			k := t.Key(nil)
+			if _, in := rightKeys[k]; in {
+				if _, dup := emitted[k]; !dup {
+					emitted[k] = struct{}{}
+					out.MustAppend(t)
+				}
+			}
+			return true
+		})
+	case OpDiff:
+		rightKeys := make(map[string]struct{}, right.Len())
+		right.Each(func(i int, t relation.Tuple) bool {
+			rightKeys[t.Key(nil)] = struct{}{}
+			return true
+		})
+		emitted := make(map[string]struct{}, left.Len())
+		left.Each(func(i int, t relation.Tuple) bool {
+			k := t.Key(nil)
+			if _, in := rightKeys[k]; !in {
+				if _, dup := emitted[k]; !dup {
+					emitted[k] = struct{}{}
+					out.MustAppend(t)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func concatTuples(a, b relation.Tuple) relation.Tuple {
+	out := make(relation.Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

@@ -1,0 +1,280 @@
+package algebra
+
+import (
+	"fmt"
+
+	"relest/internal/relation"
+)
+
+// Predicate is a boolean condition over the tuples of some schema. Concrete
+// predicates reference columns by name; they are resolved to positions when
+// the enclosing expression node is constructed. Structured predicates
+// (comparisons and boolean combinators) expose their column sets, which lets
+// the normalizer push single-relation conditions down to the base-relation
+// occurrence they constrain.
+type Predicate interface {
+	// Columns returns the column names the predicate reads.
+	Columns() []string
+	// bind resolves names against a schema and returns the evaluator.
+	bind(s *relation.Schema) (func(relation.Tuple) bool, error)
+}
+
+// boundPred is a predicate resolved against a specific schema.
+type boundPred struct {
+	eval func(relation.Tuple) bool
+	cols []int // positions read, for pushdown analysis
+	src  Predicate
+}
+
+func bindPredicate(p Predicate, s *relation.Schema) (boundPred, error) {
+	eval, err := p.bind(s)
+	if err != nil {
+		return boundPred{}, err
+	}
+	names := p.Columns()
+	cols := make([]int, len(names))
+	for i, n := range names {
+		c := s.ColumnIndex(n)
+		if c < 0 {
+			return boundPred{}, fmt.Errorf("predicate column %q not in schema %s", n, s)
+		}
+		cols[i] = c
+	}
+	return boundPred{eval: eval, cols: cols, src: p}, nil
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators for Cmp predicates.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(o))
+	}
+}
+
+// Cmp compares a column against a constant: col op val. Comparisons
+// involving null are false (SQL three-valued logic collapsed to false).
+type Cmp struct {
+	Col string
+	Op  CmpOp
+	Val relation.Value
+}
+
+// Columns implements Predicate.
+func (c Cmp) Columns() []string { return []string{c.Col} }
+
+func (c Cmp) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	pos := s.ColumnIndex(c.Col)
+	if pos < 0 {
+		return nil, fmt.Errorf("no column %q in schema %s", c.Col, s)
+	}
+	op, val := c.Op, c.Val
+	return func(t relation.Tuple) bool {
+		v := t[pos]
+		if v.IsNull() || val.IsNull() {
+			return false
+		}
+		cmp := v.Compare(val)
+		switch op {
+		case EQ:
+			return cmp == 0
+		case NE:
+			return cmp != 0
+		case LT:
+			return cmp < 0
+		case LE:
+			return cmp <= 0
+		case GT:
+			return cmp > 0
+		case GE:
+			return cmp >= 0
+		default:
+			return false
+		}
+	}, nil
+}
+
+// String renders the comparison.
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Val) }
+
+// ColCmp compares two columns of the same schema: a op b. Used mainly as a
+// theta condition over a concatenated join schema. Null comparisons are
+// false.
+type ColCmp struct {
+	A  string
+	Op CmpOp
+	B  string
+}
+
+// Columns implements Predicate.
+func (c ColCmp) Columns() []string { return []string{c.A, c.B} }
+
+func (c ColCmp) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	pa, pb := s.ColumnIndex(c.A), s.ColumnIndex(c.B)
+	if pa < 0 {
+		return nil, fmt.Errorf("no column %q in schema %s", c.A, s)
+	}
+	if pb < 0 {
+		return nil, fmt.Errorf("no column %q in schema %s", c.B, s)
+	}
+	op := c.Op
+	return func(t relation.Tuple) bool {
+		a, b := t[pa], t[pb]
+		if a.IsNull() || b.IsNull() {
+			return false
+		}
+		cmp := a.Compare(b)
+		switch op {
+		case EQ:
+			return cmp == 0
+		case NE:
+			return cmp != 0
+		case LT:
+			return cmp < 0
+		case LE:
+			return cmp <= 0
+		case GT:
+			return cmp > 0
+		case GE:
+			return cmp >= 0
+		default:
+			return false
+		}
+	}, nil
+}
+
+// And is the conjunction of its parts; an empty And is true.
+type And []Predicate
+
+// Columns implements Predicate.
+func (a And) Columns() []string { return unionColumns(a) }
+
+func (a And) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	evals := make([]func(relation.Tuple) bool, len(a))
+	for i, p := range a {
+		e, err := p.bind(s)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return func(t relation.Tuple) bool {
+		for _, e := range evals {
+			if !e(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// Or is the disjunction of its parts; an empty Or is false.
+type Or []Predicate
+
+// Columns implements Predicate.
+func (o Or) Columns() []string { return unionColumns(o) }
+
+func (o Or) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	evals := make([]func(relation.Tuple) bool, len(o))
+	for i, p := range o {
+		e, err := p.bind(s)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return func(t relation.Tuple) bool {
+		for _, e := range evals {
+			if e(t) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Columns implements Predicate.
+func (n Not) Columns() []string { return n.P.Columns() }
+
+func (n Not) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	e, err := n.P.bind(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t relation.Tuple) bool { return !e(t) }, nil
+}
+
+// FuncOnCols is the escape hatch: an arbitrary function over the values of
+// the named columns, in the given order. The function must be pure.
+type FuncOnCols struct {
+	Cols []string
+	Fn   func(vals []relation.Value) bool
+}
+
+// Columns implements Predicate.
+func (f FuncOnCols) Columns() []string { return append([]string(nil), f.Cols...) }
+
+func (f FuncOnCols) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	if f.Fn == nil {
+		return nil, fmt.Errorf("FuncOnCols has nil Fn")
+	}
+	pos := make([]int, len(f.Cols))
+	for i, c := range f.Cols {
+		p := s.ColumnIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("no column %q in schema %s", c, s)
+		}
+		pos[i] = p
+	}
+	fn := f.Fn
+	return func(t relation.Tuple) bool {
+		vals := make([]relation.Value, len(pos))
+		for i, p := range pos {
+			vals[i] = t[p]
+		}
+		return fn(vals)
+	}, nil
+}
+
+// unionColumns merges the column sets of several predicates, preserving
+// first-occurrence order.
+func unionColumns(ps []Predicate) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, p := range ps {
+		for _, c := range p.Columns() {
+			if _, dup := seen[c]; !dup {
+				seen[c] = struct{}{}
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

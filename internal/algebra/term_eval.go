@@ -1,0 +1,353 @@
+package algebra
+
+import (
+	"fmt"
+
+	"relest/internal/relation"
+)
+
+// This file evaluates counting-polynomial terms over concrete relation
+// instances. The same machinery serves two callers:
+//
+//   - the exact path: instances are the full base relations and every
+//     satisfying assignment counts 1, reproducing COUNT(E);
+//   - the estimation path: instances are per-relation SRSWOR samples and
+//     each satisfying assignment is weighted by the falling-factorial
+//     pattern weight supplied by the estimator.
+//
+// Evaluation plans a greedy join order over the term's occurrences, applies
+// pushed-down local predicates first, uses composite-key hash indexes for
+// every equality constraint that connects a new occurrence to already-bound
+// ones, and enumerates assignments recursively. In pure counting mode,
+// occurrences that are unconstrained from some point on are folded into a
+// single multiplicative factor instead of being enumerated.
+
+// Instances carries one relation instance per occurrence of a term,
+// positionally aligned with Term.Occs. All occurrences of the same base
+// relation must reference the same instance for pattern weights to be
+// meaningful.
+type Instances []*relation.Relation
+
+// BindInstances builds the per-occurrence instance list for a term by
+// looking each occurrence's relation up in the catalog.
+func BindInstances(t *Term, cat Catalog) (Instances, error) {
+	inst := make(Instances, len(t.Occs))
+	for i, o := range t.Occs {
+		r, ok := cat.Relation(o.RelName)
+		if !ok {
+			return nil, fmt.Errorf("algebra: no relation %q in catalog", o.RelName)
+		}
+		if !r.Schema().EqualLayout(o.Schema) {
+			return nil, fmt.Errorf("algebra: relation %q layout %s does not match occurrence schema %s",
+				o.RelName, r.Schema(), o.Schema)
+		}
+		inst[i] = r
+	}
+	return inst, nil
+}
+
+// termPlan is the compiled evaluation order for one term over fixed
+// instances.
+type termPlan struct {
+	term *Term
+	inst Instances
+
+	order []int   // plan position → occurrence index
+	pos   []int   // occurrence index → plan position
+	cand  [][]int // per occurrence: candidate rows after local preds and intra-occurrence equalities
+
+	steps []planStep
+}
+
+type planStep struct {
+	occ int
+	// probe describes the composite hash index for this step: the
+	// occurrence's rows are indexed on keyCols, probed with values gathered
+	// from boundRefs (aligned with keyCols). Empty keyCols means a full
+	// scan of the candidate list.
+	keyCols   []int
+	boundRefs []ColRef
+	index     map[string][]int
+	// preds to evaluate once this step's occurrence is bound.
+	preds []TermPred
+	// independent marks a tail step with no constraints at or after it;
+	// counting mode multiplies by len(cand) instead of recursing.
+	independent bool
+}
+
+// compile builds the evaluation plan.
+func compile(t *Term, inst Instances) (*termPlan, error) {
+	m := len(t.Occs)
+	if len(inst) != m {
+		return nil, fmt.Errorf("algebra: term has %d occurrences, got %d instances", m, len(inst))
+	}
+	p := &termPlan{term: t, inst: inst}
+
+	// Candidate rows: local predicates plus intra-occurrence equalities.
+	intraEqs := make([][]EqCol, m)
+	var crossEqs []EqCol
+	for _, eq := range t.Eqs {
+		if eq.A.Occ == eq.B.Occ {
+			intraEqs[eq.A.Occ] = append(intraEqs[eq.A.Occ], eq)
+		} else {
+			crossEqs = append(crossEqs, eq)
+		}
+	}
+	p.cand = make([][]int, m)
+	for i := range t.Occs {
+		r := inst[i]
+		if !r.Schema().EqualLayout(t.Occs[i].Schema) {
+			return nil, fmt.Errorf("algebra: instance %d layout %s does not match occurrence schema %s",
+				i, r.Schema(), t.Occs[i].Schema)
+		}
+		rows := make([]int, 0, r.Len())
+	scan:
+		for ri := 0; ri < r.Len(); ri++ {
+			tp := r.Tuple(ri)
+			for _, lp := range t.Occs[i].LocalPreds {
+				if !lp(tp) {
+					continue scan
+				}
+			}
+			for _, eq := range intraEqs[i] {
+				if !tp[eq.A.Col].Equal(tp[eq.B.Col]) {
+					continue scan
+				}
+			}
+			rows = append(rows, ri)
+		}
+		p.cand[i] = rows
+	}
+
+	// Greedy order: smallest candidate list first, then prefer occurrences
+	// connected by an equality to the bound set (so the step gets an
+	// index), breaking ties by candidate count.
+	bound := make([]bool, m)
+	p.order = make([]int, 0, m)
+	p.pos = make([]int, m)
+	connected := func(occ int) bool {
+		for _, eq := range crossEqs {
+			if eq.A.Occ == occ && bound[eq.B.Occ] {
+				return true
+			}
+			if eq.B.Occ == occ && bound[eq.A.Occ] {
+				return true
+			}
+		}
+		return false
+	}
+	for k := 0; k < m; k++ {
+		best := -1
+		bestConn := false
+		for i := 0; i < m; i++ {
+			if bound[i] {
+				continue
+			}
+			conn := k > 0 && connected(i)
+			if best < 0 ||
+				(conn && !bestConn) ||
+				(conn == bestConn && len(p.cand[i]) < len(p.cand[best])) {
+				best, bestConn = i, conn
+			}
+		}
+		bound[best] = true
+		p.pos[best] = k
+		p.order = append(p.order, best)
+	}
+
+	// Assign constraints to the plan step at which they become checkable.
+	p.steps = make([]planStep, m)
+	for k, occ := range p.order {
+		p.steps[k].occ = occ
+		_ = k
+	}
+	for _, eq := range crossEqs {
+		// The equality is enforced at the later of its two occurrences.
+		a, b := eq.A, eq.B
+		if p.pos[a.Occ] < p.pos[b.Occ] {
+			a, b = b, a
+		}
+		// a is bound later: index a's occurrence on a.Col, probe with b.
+		st := &p.steps[p.pos[a.Occ]]
+		st.keyCols = append(st.keyCols, a.Col)
+		st.boundRefs = append(st.boundRefs, b)
+	}
+	for _, pr := range t.Preds {
+		last := 0
+		for _, ref := range pr.Refs {
+			if p.pos[ref.Occ] > last {
+				last = p.pos[ref.Occ]
+			}
+		}
+		p.steps[last].preds = append(p.steps[last].preds, pr)
+	}
+
+	// Build indexes and mark the independent tail.
+	for k := range p.steps {
+		st := &p.steps[k]
+		if len(st.keyCols) > 0 {
+			st.index = make(map[string][]int, len(p.cand[st.occ]))
+			r := inst[st.occ]
+			key := make(relation.Tuple, len(st.keyCols))
+			for _, ri := range p.cand[st.occ] {
+				tp := r.Tuple(ri)
+				for i, c := range st.keyCols {
+					key[i] = tp[c]
+				}
+				ks := key.Key(nil)
+				st.index[ks] = append(st.index[ks], ri)
+			}
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		st := &p.steps[k]
+		if len(st.keyCols) == 0 && len(st.preds) == 0 {
+			st.independent = true
+		} else {
+			break
+		}
+	}
+	return p, nil
+}
+
+// candidatesAt returns the rows compatible with the bound prefix at step k.
+func (p *termPlan) candidatesAt(k int, assign []int) []int {
+	st := &p.steps[k]
+	if st.index == nil {
+		return p.cand[st.occ]
+	}
+	key := make(relation.Tuple, len(st.boundRefs))
+	for i, ref := range st.boundRefs {
+		key[i] = p.inst[ref.Occ].Tuple(assign[ref.Occ])[ref.Col]
+	}
+	return st.index[key.Key(nil)]
+}
+
+// predsHold evaluates the step's residual predicates on the assignment.
+func (p *termPlan) predsHold(k int, assign []int) bool {
+	for _, pr := range p.steps[k].preds {
+		virt := make(relation.Tuple, pr.Width)
+		for i, pos := range pr.ReadPos {
+			ref := pr.Refs[i]
+			virt[pos] = p.inst[ref.Occ].Tuple(assign[ref.Occ])[ref.Col]
+		}
+		if !pr.Eval(virt) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountAssignments returns the number of occurrence-row assignments
+// satisfying the term over the instances, as a float64 (counts can exceed
+// int64 for product-heavy terms). Unconstrained tail occurrences are folded
+// multiplicatively.
+func (t *Term) CountAssignments(inst Instances) (float64, error) {
+	p, err := compile(t, inst)
+	if err != nil {
+		return 0, err
+	}
+	// Determine the enumerated prefix and the multiplicative tail.
+	m := len(p.steps)
+	enumUpto := m
+	tailFactor := 1.0
+	for k := m - 1; k >= 0; k-- {
+		if !p.steps[k].independent {
+			break
+		}
+		tailFactor *= float64(len(p.cand[p.steps[k].occ]))
+		enumUpto = k
+	}
+	if tailFactor == 0 {
+		return 0, nil
+	}
+	assign := make([]int, m)
+	var rec func(k int) float64
+	rec = func(k int) float64 {
+		if k == enumUpto {
+			return 1
+		}
+		st := &p.steps[k]
+		total := 0.0
+		for _, ri := range p.candidatesAt(k, assign) {
+			assign[st.occ] = ri
+			if !p.predsHold(k, assign) {
+				continue
+			}
+			total += rec(k + 1)
+		}
+		return total
+	}
+	return rec(0) * tailFactor, nil
+}
+
+// EnumerateAssignments invokes visit for every satisfying assignment (rows
+// positionally aligned with Term.Occs). visit must not retain the slice.
+// Enumeration stops early if visit returns false. Used by the
+// pattern-weighted estimator, whose weights depend on the full assignment.
+func (t *Term) EnumerateAssignments(inst Instances, visit func(rows []int) bool) error {
+	p, err := compile(t, inst)
+	if err != nil {
+		return err
+	}
+	m := len(p.steps)
+	assign := make([]int, m)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == m {
+			return visit(assign)
+		}
+		st := &p.steps[k]
+		for _, ri := range p.candidatesAt(k, assign) {
+			assign[st.occ] = ri
+			if !p.predsHold(k, assign) {
+				continue
+			}
+			if !rec(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return nil
+}
+
+// CountStreaming computes COUNT(e) exactly without materializing
+// intermediate results: π-free expressions go through the counting
+// polynomial (assignments are enumerated and counted, never stored), and
+// expressions with π fall back to the materializing evaluator. Prefer this
+// over Count for large join trees — it trades memory for the same
+// asymptotic time.
+func CountStreaming(e *Expr, cat Catalog) (float64, error) {
+	if e.HasProjection() {
+		c, err := Count(e, cat)
+		return float64(c), err
+	}
+	p, err := Normalize(e)
+	if err != nil {
+		return 0, err
+	}
+	return p.ExactCount(cat)
+}
+
+// ExactCount evaluates the polynomial with unit weights over the catalog's
+// full relations: the result equals COUNT(E) for the normalized expression.
+// It exists to validate the normalizer against the exact evaluator and to
+// let tests cross-check term evaluation.
+func (p Polynomial) ExactCount(cat Catalog) (float64, error) {
+	total := 0.0
+	for i := range p.Terms {
+		t := &p.Terms[i]
+		inst, err := BindInstances(t, cat)
+		if err != nil {
+			return 0, err
+		}
+		c, err := t.CountAssignments(inst)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(t.Coef) * c
+	}
+	return total, nil
+}

@@ -1,0 +1,243 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+	"relest/internal/stats"
+)
+
+// Aggregate estimation beyond COUNT — the extension the authors published
+// as the TODS 1991 follow-up ("Statistical estimators for aggregate
+// relational algebra queries"). SUM over a numeric output column of a
+// π-free expression is a weighted count:
+//
+//	SUM_col(E) = Σ_{assignments satisfying E} value(col),
+//
+// so the same counting-polynomial machinery applies with each satisfying
+// assignment contributing its column value times the sampling weight. The
+// estimator inherits COUNT's unbiasedness (including the repeated-relation
+// pattern weights). AVG = SUM/COUNT is a ratio of two unbiased estimators
+// — itself biased O(1/n) but consistent, as is standard for ratio
+// estimators.
+
+// Sum estimates SUM(col) over the result of the π-free expression e from
+// the synopsis, with default options.
+func Sum(e *algebra.Expr, col string, syn *Synopsis) (Estimate, error) {
+	return SumWithOptions(e, col, syn, Options{})
+}
+
+// SumWithOptions estimates SUM(col) over e's result. The column must be a
+// numeric column of e's output schema; null values contribute zero (SQL
+// SUM semantics over non-null values).
+func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
+	opts = opts.withDefaults()
+	pos := e.Schema().ColumnIndex(col)
+	if pos < 0 {
+		return Estimate{}, fmt.Errorf("estimator: no column %q in expression schema %s", col, e.Schema())
+	}
+	switch k := e.Schema().Column(pos).Kind; k {
+	case relation.KindInt, relation.KindFloat:
+	default:
+		return Estimate{}, fmt.Errorf("estimator: SUM over non-numeric column %q (%s)", col, k)
+	}
+	poly, err := algebra.Normalize(e)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := checkSampleSizes(poly, syn); err != nil {
+		return Estimate{}, err
+	}
+	value, err := sumEstimate(poly, syn, pos)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{
+		Value:      value,
+		Variance:   math.NaN(),
+		Confidence: opts.Confidence,
+		Terms:      poly.NumTerms(),
+	}
+	// Variance: replication methods re-run the whole sum estimator; the
+	// COUNT closed forms do not carry over to weighted counts, so VarAuto
+	// and VarAnalytic degrade to split-sample here.
+	method := opts.Variance
+	if method == VarAnalytic || method == VarAuto {
+		method = VarSplitSample
+	}
+	if method != VarNone {
+		v, err := replicateVariance(method, poly, syn, opts, func(sub *Synopsis) (float64, error) {
+			return sumEstimate(poly, sub, pos)
+		})
+		if err != nil {
+			if opts.Variance == VarSplitSample || opts.Variance == VarJackknife {
+				return Estimate{}, err
+			}
+			method = VarNone // auto: fall back to point-only
+		} else {
+			est.Variance = v
+			est.StdErr = math.Sqrt(math.Max(v, 0))
+			var z float64
+			switch opts.CI {
+			case CIChebyshev:
+				z = stats.ChebyshevZ(1 - opts.Confidence)
+			default:
+				z = stats.NormalQuantile(1 - (1-opts.Confidence)/2)
+			}
+			est.Lo = value - z*est.StdErr
+			est.Hi = value + z*est.StdErr
+		}
+	}
+	est.VarianceMethod = method
+	return est, nil
+}
+
+// AvgResult is the ratio estimate AVG = SUM/COUNT with its components.
+type AvgResult struct {
+	// Avg is the ratio estimate (NaN when the count estimate is 0).
+	Avg float64
+	// Sum and Count are the underlying unbiased estimates.
+	Sum, Count Estimate
+}
+
+// Avg estimates AVG(col) over e's result as the ratio of the SUM and COUNT
+// estimators — biased O(1/n) but consistent (the classical ratio
+// estimator).
+func Avg(e *algebra.Expr, col string, syn *Synopsis, opts Options) (AvgResult, error) {
+	sum, err := SumWithOptions(e, col, syn, opts)
+	if err != nil {
+		return AvgResult{}, err
+	}
+	cnt, err := CountWithOptions(e, syn, opts)
+	if err != nil {
+		return AvgResult{}, err
+	}
+	out := AvgResult{Sum: sum, Count: cnt, Avg: math.NaN()}
+	if cnt.Value != 0 {
+		out.Avg = sum.Value / cnt.Value
+	}
+	return out, nil
+}
+
+// sumEstimate evaluates the weighted-count estimator: like pointEstimate,
+// with each satisfying assignment contributing the value of the output
+// column at position pos.
+func sumEstimate(poly algebra.Polynomial, syn *Synopsis, pos int) (float64, error) {
+	total := 0.0
+	for i := range poly.Terms {
+		t := &poly.Terms[i]
+		v, err := estimateTermSum(t, syn, pos)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(t.Coef) * v
+	}
+	return total, nil
+}
+
+// estimateTermSum is estimateTerm with per-assignment column values. The
+// output column position maps to an occurrence column through the term's
+// Out mapping.
+func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int) (float64, error) {
+	if pos >= len(t.Out) {
+		return 0, fmt.Errorf("estimator: output column %d outside term mapping of width %d", pos, len(t.Out))
+	}
+	ref := t.Out[pos]
+	inst, err := algebra.BindInstances(t, syn)
+	if err != nil {
+		return 0, err
+	}
+	byRel := map[string][]int{}
+	for i, o := range t.Occs {
+		byRel[o.RelName] = append(byRel[o.RelName], i)
+	}
+	type relMeta struct {
+		occs  []int
+		N, n  int
+		scale float64
+	}
+	metas := make([]relMeta, 0, len(byRel))
+	uniform := true
+	for rel, occs := range byRel {
+		rs := syn.rels[rel]
+		if rs.m == 0 {
+			if rs.N == 0 {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("estimator: empty sample for non-empty relation %q", rel)
+		}
+		if !rs.uniformWeights() {
+			uniform = false
+		}
+		metas = append(metas, relMeta{occs: occs, N: rs.N, n: rs.n, scale: rs.scale()})
+	}
+	if !uniform {
+		// Non-uniform (stratified) weights: Horvitz–Thompson weighting per
+		// row; checkSampleSizes has already ruled out repeated relations.
+		weightOf := make([]func(int) float64, len(t.Occs))
+		for i, o := range t.Occs {
+			weightOf[i] = syn.rels[o.RelName].rowWeightFn()
+		}
+		total := 0.0
+		err = t.EnumerateAssignments(inst, func(rows []int) bool {
+			val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+			if val.IsNull() {
+				return true
+			}
+			w := 1.0
+			for i, row := range rows {
+				w *= weightOf[i](row)
+			}
+			total += w * val.Float64()
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		return total, nil
+	}
+	total := 0.0
+	distinct := make(map[int]struct{}, 4)
+	err = t.EnumerateAssignments(inst, func(rows []int) bool {
+		val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+		if val.IsNull() {
+			return true
+		}
+		w := 1.0
+		for _, m := range metas {
+			if len(m.occs) == 1 {
+				w *= m.scale
+				continue
+			}
+			for k := range distinct {
+				delete(distinct, k)
+			}
+			for _, oi := range m.occs {
+				distinct[rows[oi]] = struct{}{}
+			}
+			w *= stats.FallingFactorialRatio(m.N, m.n, len(distinct))
+		}
+		total += w * val.Float64()
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// replicateVariance runs a replication-based variance method with an
+// arbitrary re-estimation function (shared by SUM and the page-sampling
+// estimators).
+func replicateVariance(method VarianceMethod, poly algebra.Polynomial, syn *Synopsis, opts Options, estimate func(*Synopsis) (float64, error)) (float64, error) {
+	switch method {
+	case VarSplitSample:
+		return splitSampleVarianceFn(poly, syn, opts, estimate)
+	case VarJackknife:
+		return jackknifeVarianceFn(poly, syn, estimate)
+	default:
+		return 0, fmt.Errorf("estimator: replicateVariance does not support %v", method)
+	}
+}

@@ -1,0 +1,180 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"relest/internal/stats"
+)
+
+// testRand returns a deterministic RNG for tests.
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestGoodmanUnbiasedExhaustive verifies Goodman's estimator is exactly
+// unbiased over every SRSWOR sample when no value's multiplicity exceeds
+// the sample size.
+func TestGoodmanUnbiasedExhaustive(t *testing.T) {
+	cases := []struct {
+		pop []int64 // population of values
+		n   int
+	}{
+		{[]int64{1, 1, 2, 3}, 2},       // D=3, max mult 2 ≤ n
+		{[]int64{1, 1, 2, 2, 3}, 2},    // D=3
+		{[]int64{1, 2, 3, 4, 5}, 2},    // all distinct
+		{[]int64{1, 1, 1, 2, 3, 4}, 3}, // max mult 3 = n
+		{[]int64{7, 7, 8, 8, 9, 9}, 4},
+	}
+	for ci, c := range cases {
+		// Count true distinct.
+		dv := map[int64]struct{}{}
+		for _, v := range c.pop {
+			dv[v] = struct{}{}
+		}
+		want := float64(len(dv))
+		var mean stats.Welford
+		subsets(len(c.pop), c.n, func(rows []int) {
+			keys := make([]string, len(rows))
+			for i, r := range rows {
+				keys[i] = fmt.Sprint(c.pop[r])
+			}
+			ff, err := NewFreqOfFreq(len(c.pop), keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ff.Estimate(DistinctGoodman)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean.Add(got)
+		})
+		if !almostEqual(mean.Mean(), want, 1e-9) {
+			t.Errorf("case %d: E[Goodman] = %v, want %v", ci, mean.Mean(), want)
+		}
+	}
+}
+
+func TestGoodmanCensusIsExact(t *testing.T) {
+	keys := []string{"a", "a", "b", "c"}
+	ff, err := NewFreqOfFreq(4, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ff.Estimate(DistinctGoodman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("census Goodman = %v, want 3", got)
+	}
+}
+
+func TestDistinctMethodsSanity(t *testing.T) {
+	// Population: 1000 values, 100 distinct, uniform multiplicity 10.
+	rng := testRand(5)
+	var keys []string
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprint(rng.Intn(100)))
+	}
+	ff, err := NewFreqOfFreq(1000, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := float64(ff.D())
+	for _, m := range []DistinctMethod{DistinctScaleUp, DistinctSampleD, DistinctJackknife, DistinctGEE} {
+		got, err := ff.Estimate(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got < d-1e-9 {
+			t.Errorf("%v estimate %v below sample distinct %v", m, got, d)
+		}
+		if got > 1000 {
+			// Only scale-up can overshoot wildly; even it is capped by N
+			// for this sample since d/n < 1... verify generally sane.
+			t.Errorf("%v estimate %v above population size", m, got)
+		}
+	}
+	// SampleD is exactly d.
+	if got, _ := ff.Estimate(DistinctSampleD); got != d {
+		t.Errorf("sample-d = %v, want %v", got, d)
+	}
+}
+
+func TestDistinctJackknifeDegenerate(t *testing.T) {
+	// Every sampled value unique and n ≪ N: denominator 1−(1−f)·f1/n → ~0;
+	// must fall back rather than blow up.
+	keys := []string{"a", "b", "c"}
+	ff, err := NewFreqOfFreq(1000, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ff.Estimate(DistinctJackknife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 1000*2 {
+		t.Errorf("degenerate jackknife = %v", got)
+	}
+}
+
+func TestFreqOfFreqValidation(t *testing.T) {
+	if _, err := NewFreqOfFreq(2, []string{"a", "b", "c"}); err == nil {
+		t.Error("sample larger than population should fail")
+	}
+	ff, err := NewFreqOfFreq(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Estimate(DistinctGoodman); err == nil {
+		t.Error("empty sample of non-empty population should fail")
+	}
+	ff0, _ := NewFreqOfFreq(0, nil)
+	got, err := ff0.Estimate(DistinctGoodman)
+	if err != nil || got != 0 {
+		t.Errorf("empty population distinct = %v, %v", got, err)
+	}
+}
+
+func TestDistinctOverSynopsis(t *testing.T) {
+	// Relation with 40 distinct `a` values, each repeated 10 times.
+	rows := make([][]int64, 0, 400)
+	for i := 0; i < 400; i++ {
+		rows = append(rows, []int64{int64(i % 40), int64(i)})
+	}
+	r := intRelation("R", []string{"a", "b"}, rows)
+	syn := NewSynopsis()
+	if err := syn.AddDrawn(r, 200, testRand(11)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Distinct(syn, "R", []string{"a"}, DistinctJackknife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 30 || got > 60 {
+		t.Errorf("distinct estimate %v far from 40", got)
+	}
+	// b is unique per row: jackknife should land near 400.
+	got, err = Distinct(syn, "R", []string{"b"}, DistinctGEE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 200 || got > 800 {
+		t.Errorf("distinct(b) = %v far from 400", got)
+	}
+	// Errors.
+	if _, err := Distinct(syn, "nope", []string{"a"}, DistinctGEE); err == nil {
+		t.Error("missing relation should fail")
+	}
+	if _, err := Distinct(syn, "R", []string{"zz"}, DistinctGEE); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestDistinctMethodString(t *testing.T) {
+	for _, m := range []DistinctMethod{DistinctGoodman, DistinctScaleUp, DistinctSampleD, DistinctJackknife, DistinctGEE} {
+		if m.String() == "" {
+			t.Error("empty method name")
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"relest/internal/algebra"
+	"relest/internal/stats"
+)
+
+// Estimate is the result of a COUNT estimation.
+type Estimate struct {
+	// Value is the point estimate of COUNT(E).
+	Value float64
+	// Variance is the estimated variance of Value; NaN when no variance
+	// method was requested or applicable. Unbiased variance estimators can
+	// be negative on unlucky samples; StdErr clamps at zero.
+	Variance float64
+	// StdErr is sqrt(max(Variance, 0)).
+	StdErr float64
+	// Lo and Hi bound the confidence interval at the requested level
+	// (both zero when no variance is available).
+	Lo, Hi float64
+	// Confidence is the nominal CI level used.
+	Confidence float64
+	// VarianceMethod records how Variance was obtained.
+	VarianceMethod VarianceMethod
+	// Terms is the number of counting-polynomial terms evaluated.
+	Terms int
+}
+
+// VarianceMethod selects how the estimator's variance is assessed.
+type VarianceMethod int
+
+// Variance estimation strategies.
+const (
+	// VarAuto picks the best available method: closed-form where exact
+	// (single-relation polynomials; single two-relation terms), otherwise
+	// split-sample replication.
+	VarAuto VarianceMethod = iota
+	// VarNone skips variance estimation.
+	VarNone
+	// VarAnalytic requires a closed form and fails when none applies.
+	VarAnalytic
+	// VarSplitSample partitions each relation's sample into Options.Groups
+	// groups and uses the spread of the per-group replicate estimates.
+	VarSplitSample
+	// VarJackknife uses delete-one replicates over every relation sample.
+	// Exact-ish and expensive: O(Σ n_i) re-evaluations.
+	VarJackknife
+)
+
+// String names the method.
+func (m VarianceMethod) String() string {
+	switch m {
+	case VarAuto:
+		return "auto"
+	case VarNone:
+		return "none"
+	case VarAnalytic:
+		return "analytic"
+	case VarSplitSample:
+		return "split-sample"
+	case VarJackknife:
+		return "jackknife"
+	default:
+		return fmt.Sprintf("VarianceMethod(%d)", int(m))
+	}
+}
+
+// CIMethod selects the confidence-interval construction.
+type CIMethod int
+
+// Confidence-interval constructions.
+const (
+	// CINormal uses the CLT: Est ± z·σ̂.
+	CINormal CIMethod = iota
+	// CIChebyshev is distribution-free: Est ± σ̂/√δ.
+	CIChebyshev
+)
+
+// Options configures estimation.
+type Options struct {
+	// Variance selects the variance method (default VarAuto).
+	Variance VarianceMethod
+	// Groups is the number of split-sample groups (default 8, minimum 2).
+	Groups int
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// CI selects the interval construction (default CINormal).
+	CI CIMethod
+	// Seed drives the (deterministic) random grouping used by
+	// VarSplitSample. Two estimates with the same Seed and synopsis use
+	// identical groupings.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Groups <= 1 {
+		o.Groups = 8
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	return o
+}
+
+// Count estimates COUNT(e) from the synopsis with default options.
+func Count(e *algebra.Expr, syn *Synopsis) (Estimate, error) {
+	return CountWithOptions(e, syn, Options{})
+}
+
+// CountWithOptions estimates COUNT(e) from the synopsis.
+//
+// The expression must be π-free (use Distinct for projection counts). Set
+// operations (∪, ∩, −) additionally require the base relations involved to
+// be duplicate-free, which is the caller's contract. The estimator is
+// unbiased provided every relation's sample size is at least the relation's
+// maximum number of occurrences in any polynomial term (it returns an error
+// below that).
+func CountWithOptions(e *algebra.Expr, syn *Synopsis, opts Options) (Estimate, error) {
+	poly, err := algebra.Normalize(e)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return countPoly(poly, syn, opts)
+}
+
+func countPoly(poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, error) {
+	opts = opts.withDefaults()
+	if err := checkSampleSizes(poly, syn); err != nil {
+		return Estimate{}, err
+	}
+	value, err := pointEstimate(poly, syn)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{
+		Value:      value,
+		Variance:   math.NaN(),
+		Confidence: opts.Confidence,
+		Terms:      poly.NumTerms(),
+	}
+	variance, method, err := estimateVariance(poly, syn, opts)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est.VarianceMethod = method
+	if method != VarNone {
+		est.Variance = variance
+		est.StdErr = math.Sqrt(math.Max(variance, 0))
+		var z float64
+		switch opts.CI {
+		case CIChebyshev:
+			z = stats.ChebyshevZ(1 - opts.Confidence)
+		default:
+			z = stats.NormalQuantile(1 - (1-opts.Confidence)/2)
+		}
+		est.Lo = value - z*est.StdErr
+		est.Hi = value + z*est.StdErr
+	}
+	return est, nil
+}
+
+// checkSampleSizes verifies n_R ≥ (occurrences of R in any term) for every
+// relation — the condition under which the pattern-weighted estimator is
+// unbiased — that every referenced relation is in the synopsis, and that
+// repeated relations were sampled tuple-at-a-time (the pattern weights
+// assume SRSWOR of tuples, which page samples are not).
+func checkSampleSizes(poly algebra.Polynomial, syn *Synopsis) error {
+	for _, t := range poly.Terms {
+		byRel := map[string]int{}
+		for _, o := range t.Occs {
+			byRel[o.RelName]++
+		}
+		for rel, occs := range byRel {
+			rs, ok := syn.rels[rel]
+			if !ok {
+				return fmt.Errorf("estimator: no sample for relation %q in synopsis", rel)
+			}
+			if rs.n < occs {
+				return fmt.Errorf("estimator: sample of %q has %d rows but the expression uses it %d times in one term; need n ≥ %d for unbiasedness",
+					rel, rs.n, occs, occs)
+			}
+			if occs > 1 && (!rs.tupleDesign() || !rs.uniformWeights()) {
+				return fmt.Errorf("estimator: relation %q occurs %d times in one term but was not sampled as a plain tuple-level SRSWOR; repeated-relation terms require that design",
+					rel, occs)
+			}
+		}
+	}
+	return nil
+}
+
+// pointEstimate evaluates the polynomial estimator over the synopsis.
+func pointEstimate(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
+	total := 0.0
+	for i := range poly.Terms {
+		t := &poly.Terms[i]
+		v, err := estimateTerm(t, syn)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(t.Coef) * v
+	}
+	return total, nil
+}
+
+// estimateTerm computes the unbiased estimate of one counting term from the
+// per-relation samples.
+//
+// Fast path: when every base relation occurs once in the term, the pattern
+// weight is the constant ∏ N_R/n_R and the estimate is that constant times
+// the number of satisfying sample assignments.
+//
+// General path (repeated relations): enumerate satisfying assignments and
+// weight each by ∏_R (N_R)_{d_R}/(n_R)_{d_R}, where d_R is the number of
+// distinct sample rows the assignment uses from relation R. See package doc
+// and DESIGN.md for the unbiasedness argument.
+func estimateTerm(t *algebra.Term, syn *Synopsis) (float64, error) {
+	inst, err := algebra.BindInstances(t, syn)
+	if err != nil {
+		return 0, err
+	}
+	// Occurrence index → relation name; detect repeats.
+	byRel := map[string][]int{}
+	for i, o := range t.Occs {
+		byRel[o.RelName] = append(byRel[o.RelName], i)
+	}
+	repeated := false
+	uniform := true
+	for rel, occs := range byRel {
+		rs := syn.rels[rel]
+		if rs.m == 0 {
+			// An empty sample of a (possibly non-empty) relation: the
+			// scale-up is undefined unless the population is empty too.
+			if rs.N == 0 {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("estimator: empty sample for non-empty relation %q", rel)
+		}
+		if len(occs) > 1 {
+			repeated = true
+		}
+		if !rs.uniformWeights() {
+			uniform = false
+		}
+	}
+	if !repeated && uniform {
+		// Single occurrence per relation with equal inclusion
+		// probabilities: every sampling unit (tuple or page) is included
+		// with probability m/M, so scaling by ∏ M/m is unbiased.
+		w := 1.0
+		for rel := range byRel {
+			w *= syn.rels[rel].scale()
+		}
+		c, err := t.CountAssignments(inst)
+		if err != nil {
+			return 0, err
+		}
+		return w * c, nil
+	}
+	if !repeated {
+		// Single occurrence per relation, non-uniform weights (stratified
+		// designs): each satisfying assignment is Horvitz–Thompson
+		// weighted by the product of its rows' inverse inclusion
+		// probabilities.
+		weightOf := make([]func(int) float64, len(t.Occs))
+		for i, o := range t.Occs {
+			weightOf[i] = syn.rels[o.RelName].rowWeightFn()
+		}
+		total := 0.0
+		err = t.EnumerateAssignments(inst, func(rows []int) bool {
+			w := 1.0
+			for i, row := range rows {
+				w *= weightOf[i](row)
+			}
+			total += w
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		return total, nil
+	}
+	// Pattern-weighted enumeration.
+	type relMeta struct {
+		occs  []int
+		N, n  int
+		scale float64
+	}
+	metas := make([]relMeta, 0, len(byRel))
+	for rel, occs := range byRel {
+		rs := syn.rels[rel]
+		metas = append(metas, relMeta{occs: occs, N: rs.N, n: rs.n, scale: rs.scale()})
+	}
+	total := 0.0
+	distinct := make(map[int]struct{}, 4)
+	err = t.EnumerateAssignments(inst, func(rows []int) bool {
+		w := 1.0
+		for _, m := range metas {
+			if len(m.occs) == 1 {
+				w *= m.scale
+				continue
+			}
+			for k := range distinct {
+				delete(distinct, k)
+			}
+			for _, oi := range m.occs {
+				distinct[rows[oi]] = struct{}{}
+			}
+			w *= stats.FallingFactorialRatio(m.N, m.n, len(distinct))
+		}
+		total += w
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}

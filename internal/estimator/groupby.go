@@ -1,0 +1,142 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+	"relest/internal/stats"
+)
+
+// Group-by estimation: COUNT(*) GROUP BY col over a π-free expression,
+// from the same synopsis. Each group's count is a restricted COUNT(E) (the
+// indicator additionally matches the group value), so the per-group
+// estimates inherit the COUNT estimator's exact unbiasedness.
+//
+// The caveat is coverage, not bias: a group none of whose contributing
+// tuples were sampled produces no output row at all, so small groups are
+// systematically missing from the result — the classical limitation of
+// sampling for group-by queries. Callers needing group *presence*
+// guarantees want a census of the grouping column (cheap for
+// low-cardinality columns), not a sample.
+
+// GroupEstimate is one group's estimated count.
+type GroupEstimate struct {
+	// Value is the group's value of the grouping column.
+	Value relation.Value
+	// Count is the unbiased estimate of the group's row count.
+	Count float64
+}
+
+// GroupCount estimates COUNT(*) GROUP BY col over the π-free expression e.
+// Results are sorted by descending estimated count (ties by value order)
+// and include only groups observed in the sample.
+func GroupCount(e *algebra.Expr, col string, syn *Synopsis) ([]GroupEstimate, error) {
+	pos := e.Schema().ColumnIndex(col)
+	if pos < 0 {
+		return nil, fmt.Errorf("estimator: no column %q in expression schema %s", col, e.Schema())
+	}
+	poly, err := algebra.Normalize(e)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSampleSizes(poly, syn); err != nil {
+		return nil, err
+	}
+	acc := map[string]*GroupEstimate{}
+	for i := range poly.Terms {
+		t := &poly.Terms[i]
+		if err := accumulateGroups(t, syn, pos, acc); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]GroupEstimate, 0, len(acc))
+	for _, g := range acc {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value.Compare(out[j].Value) < 0
+	})
+	return out, nil
+}
+
+// accumulateGroups adds one term's weighted per-group contributions.
+func accumulateGroups(t *algebra.Term, syn *Synopsis, pos int, acc map[string]*GroupEstimate) error {
+	if pos >= len(t.Out) {
+		return fmt.Errorf("estimator: output column %d outside term mapping of width %d", pos, len(t.Out))
+	}
+	ref := t.Out[pos]
+	inst, err := algebra.BindInstances(t, syn)
+	if err != nil {
+		return err
+	}
+	byRel := map[string][]int{}
+	for i, o := range t.Occs {
+		byRel[o.RelName] = append(byRel[o.RelName], i)
+	}
+	type relMeta struct {
+		occs []int
+		N, n int
+	}
+	metas := make([]relMeta, 0, len(byRel))
+	uniform := true
+	for rel, occs := range byRel {
+		rs := syn.rels[rel]
+		if rs.m == 0 {
+			if rs.N == 0 {
+				return nil
+			}
+			return fmt.Errorf("estimator: empty sample for non-empty relation %q", rel)
+		}
+		if !rs.uniformWeights() {
+			uniform = false
+		}
+		metas = append(metas, relMeta{occs: occs, N: rs.N, n: rs.n})
+	}
+	weightOf := make([]func(int) float64, len(t.Occs))
+	for i, o := range t.Occs {
+		weightOf[i] = syn.rels[o.RelName].rowWeightFn()
+	}
+	coef := float64(t.Coef)
+	distinct := make(map[int]struct{}, 4)
+	add := func(v relation.Value, w float64) {
+		k := relation.Tuple{v}.Key(nil)
+		g, ok := acc[k]
+		if !ok {
+			g = &GroupEstimate{Value: v}
+			acc[k] = g
+		}
+		g.Count += coef * w
+	}
+	return t.EnumerateAssignments(inst, func(rows []int) bool {
+		v := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+		w := 1.0
+		if uniform {
+			for _, m := range metas {
+				if len(m.occs) == 1 {
+					w *= float64(m.N) / float64(m.n)
+					continue
+				}
+				for k := range distinct {
+					delete(distinct, k)
+				}
+				for _, oi := range m.occs {
+					distinct[rows[oi]] = struct{}{}
+				}
+				w *= stats.FallingFactorialRatio(m.N, m.n, len(distinct))
+			}
+		} else {
+			// Non-uniform designs: Horvitz–Thompson per-row weights
+			// (repeated relations already rejected by checkSampleSizes).
+			for i, row := range rows {
+				w *= weightOf[i](row)
+			}
+		}
+		add(v, w)
+		return true
+	})
+}

@@ -1,0 +1,128 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relest/internal/relation"
+	"relest/internal/sampling"
+)
+
+// Incremental synopsis maintenance: the calibration hint for this paper is
+// its role as an *incremental synopsis technique* — the per-relation
+// uniform samples are maintained continuously under a stream of insertions
+// and deletions, so a COUNT estimate of any registered expression is
+// available at any moment without touching the base data.
+//
+// Insertions run Vitter's reservoir sampling; deletions use random-pairing
+// compensation (package sampling), which preserves the uniformity of each
+// bounded sample without rescanning. A Snapshot materializes the current
+// samples plus exact cardinality counters into a Synopsis for estimation.
+//
+// Contract: tuples of a tracked relation are identified by value, so each
+// relation must be duplicate-free (proper set semantics — the same
+// requirement the algebra's set operations already impose). Streams whose
+// natural payload repeats must carry a unique identifier column, which is
+// how deletion events reference rows in change-data-capture feeds anyway.
+// With duplicate tuples present, Delete cannot tell which physical instance
+// died and the sample's uniformity degrades.
+
+// Incremental maintains bounded uniform samples over insert/delete streams
+// for a set of base relations.
+type Incremental struct {
+	capacity int
+	rng      *rand.Rand
+	rels     map[string]*incRel
+}
+
+type incRel struct {
+	schema    *relation.Schema
+	reservoir *sampling.PairedReservoir[relation.Tuple]
+}
+
+// NewIncremental creates an incremental synopsis holding up to capacity
+// sampled tuples per relation. The RNG drives all sampling decisions; use a
+// seeded generator for reproducible runs.
+func NewIncremental(capacity int, rng *rand.Rand) *Incremental {
+	if capacity < 1 {
+		panic(fmt.Sprintf("estimator: incremental synopsis capacity %d < 1", capacity))
+	}
+	return &Incremental{capacity: capacity, rng: rng, rels: map[string]*incRel{}}
+}
+
+// Track registers a relation (by name and schema) for maintenance.
+func (inc *Incremental) Track(name string, schema *relation.Schema) error {
+	if _, dup := inc.rels[name]; dup {
+		return fmt.Errorf("estimator: relation %q already tracked", name)
+	}
+	inc.rels[name] = &incRel{
+		schema: schema,
+		reservoir: sampling.NewPairedReservoir[relation.Tuple](inc.rng, inc.capacity,
+			func(t relation.Tuple) string { return t.Key(nil) }),
+	}
+	return nil
+}
+
+// Insert processes the arrival of a tuple for the named relation.
+func (inc *Incremental) Insert(name string, t relation.Tuple) error {
+	ir, ok := inc.rels[name]
+	if !ok {
+		return fmt.Errorf("estimator: relation %q not tracked", name)
+	}
+	if len(t) != ir.schema.Len() {
+		return fmt.Errorf("estimator: tuple arity %d != schema arity %d for %q", len(t), ir.schema.Len(), name)
+	}
+	ir.reservoir.Insert(t)
+	return nil
+}
+
+// Delete processes the deletion of one instance of a tuple from the named
+// relation. Deleting a tuple that was never inserted leaves the maintained
+// cardinality wrong; the caller owns stream well-formedness.
+func (inc *Incremental) Delete(name string, t relation.Tuple) error {
+	ir, ok := inc.rels[name]
+	if !ok {
+		return fmt.Errorf("estimator: relation %q not tracked", name)
+	}
+	if !ir.reservoir.Delete(t) {
+		return fmt.Errorf("estimator: delete from empty relation %q", name)
+	}
+	return nil
+}
+
+// PopulationSize returns the maintained exact cardinality of the relation.
+func (inc *Incremental) PopulationSize(name string) (int64, bool) {
+	ir, ok := inc.rels[name]
+	if !ok {
+		return 0, false
+	}
+	return ir.reservoir.PopulationSize(), true
+}
+
+// SampleSize returns the current number of sampled tuples for the relation.
+func (inc *Incremental) SampleSize(name string) (int, bool) {
+	ir, ok := inc.rels[name]
+	if !ok {
+		return 0, false
+	}
+	return ir.reservoir.SampleSize(), true
+}
+
+// Snapshot materializes the current samples into a Synopsis usable with
+// every estimator in this package. The snapshot is independent of later
+// stream updates.
+func (inc *Incremental) Snapshot() (*Synopsis, error) {
+	syn := NewSynopsis()
+	for name, ir := range inc.rels {
+		sample := relation.New(name, ir.schema)
+		for _, t := range ir.reservoir.Items() {
+			if err := sample.Append(t); err != nil {
+				return nil, err
+			}
+		}
+		if err := syn.AddSample(sample, int(ir.reservoir.PopulationSize())); err != nil {
+			return nil, err
+		}
+	}
+	return syn, nil
+}

@@ -1,0 +1,164 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+	"relest/internal/stats"
+)
+
+func TestIncrementalTrackAndCounts(t *testing.T) {
+	inc := NewIncremental(10, testRand(1))
+	schema := intSchema("a", "b")
+	if err := inc.Track("R", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Track("R", schema); err == nil {
+		t.Error("duplicate Track should fail")
+	}
+	for i := 0; i < 25; i++ {
+		if err := inc.Insert("R", relation.Tuple{relation.Int(int64(i)), relation.Int(int64(i * 10))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := inc.PopulationSize("R"); n != 25 {
+		t.Errorf("population %d", n)
+	}
+	if n, _ := inc.SampleSize("R"); n != 10 {
+		t.Errorf("sample %d", n)
+	}
+	if err := inc.Delete("R", relation.Tuple{relation.Int(3), relation.Int(30)}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := inc.PopulationSize("R"); n != 24 {
+		t.Errorf("population after delete %d", n)
+	}
+	// Errors.
+	if err := inc.Insert("X", relation.Tuple{relation.Int(1)}); err == nil {
+		t.Error("untracked insert should fail")
+	}
+	if err := inc.Delete("X", relation.Tuple{relation.Int(1)}); err == nil {
+		t.Error("untracked delete should fail")
+	}
+	if err := inc.Insert("R", relation.Tuple{relation.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, ok := inc.PopulationSize("X"); ok {
+		t.Error("untracked PopulationSize should report !ok")
+	}
+	if _, ok := inc.SampleSize("X"); ok {
+		t.Error("untracked SampleSize should report !ok")
+	}
+}
+
+func TestIncrementalSnapshotEstimation(t *testing.T) {
+	// Stream two relations, snapshot, and estimate a join; compare with
+	// the exact count over the surviving population.
+	rng := testRand(7)
+	inc := NewIncremental(400, rng)
+	schema := intSchema("a", "id")
+	if err := inc.Track("R", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Track("S", schema); err != nil {
+		t.Fatal(err)
+	}
+	fullR := relation.New("R", schema)
+	fullS := relation.New("S", schema)
+	for i := 0; i < 3000; i++ {
+		tr := relation.Tuple{relation.Int(int64(rng.Intn(50))), relation.Int(int64(i))}
+		ts := relation.Tuple{relation.Int(int64(rng.Intn(50))), relation.Int(int64(i))}
+		_ = inc.Insert("R", tr)
+		_ = inc.Insert("S", ts)
+		fullR.MustAppend(tr)
+		fullS.MustAppend(ts)
+	}
+	e := algebra.Must(algebra.Join(
+		algebra.Base("R", schema), algebra.Base("S", schema),
+		[]algebra.On{{Left: "a", Right: "a"}}, nil, "S"))
+	want, err := algebra.Count(e, algebra.MapCatalog{"R": fullR, "S": fullS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := inc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := syn.PopulationSize("R"); n != 3000 {
+		t.Errorf("snapshot population %d", n)
+	}
+	est, err := Count(e, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(est.Value-float64(want)) / float64(want)
+	if rel > 0.30 {
+		t.Errorf("incremental estimate rel error %.3f (est %v, want %d)", rel, est.Value, want)
+	}
+}
+
+// TestIncrementalUnbiasedOverStream checks the end-to-end statistical
+// property: across many independently seeded streams with deletions, the
+// mean of the snapshot-based estimates matches the exact count over the
+// surviving population.
+func TestIncrementalUnbiasedOverStream(t *testing.T) {
+	schema := intSchema("a", "id")
+	e := algebra.Must(algebra.Select(algebra.Base("R", schema),
+		algebra.Cmp{Col: "a", Op: algebra.LT, Val: relation.Int(10)}))
+
+	// Fixed stream of value-unique tuples (the incremental synopsis
+	// contract): insert (i%30, i) for i<300, delete the first 60 inserted,
+	// insert 60 more. Survivors are deterministic.
+	build := func(seed int64) (float64, float64) {
+		rng := testRand(seed)
+		inc := NewIncremental(40, rng)
+		if err := inc.Track("R", schema); err != nil {
+			t.Fatal(err)
+		}
+		full := relation.New("R", schema)
+		var inserted []relation.Tuple
+		for i := 0; i < 300; i++ {
+			tp := relation.Tuple{relation.Int(int64(i % 30)), relation.Int(int64(i))}
+			_ = inc.Insert("R", tp)
+			inserted = append(inserted, tp)
+		}
+		for i := 0; i < 60; i++ {
+			_ = inc.Delete("R", inserted[i])
+		}
+		for i := 0; i < 60; i++ {
+			tp := relation.Tuple{relation.Int(int64(i % 15)), relation.Int(int64(1000 + i))}
+			_ = inc.Insert("R", tp)
+			inserted = append(inserted, tp)
+		}
+		for _, tp := range inserted[60:] {
+			full.MustAppend(tp)
+		}
+		want, err := algebra.Count(e, algebra.MapCatalog{"R": full})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := inc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := CountWithOptions(e, syn, Options{Variance: VarNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Value, float64(want)
+	}
+	var mean stats.Welford
+	var want float64
+	for seed := int64(0); seed < 300; seed++ {
+		got, w := build(seed)
+		want = w
+		mean.Add(got)
+	}
+	// Mean over 300 streams should be within ~4 standard errors of truth.
+	se := mean.StdDev() / math.Sqrt(float64(mean.N()))
+	if math.Abs(mean.Mean()-want) > 5*se+1e-9 {
+		t.Errorf("E[estimate] = %v ± %v, want %v", mean.Mean(), se, want)
+	}
+}

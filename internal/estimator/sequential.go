@@ -1,0 +1,231 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"relest/internal/algebra"
+	"relest/internal/stats"
+)
+
+// Sequential (two-phase / "double") sampling and deadline-bounded
+// estimation — the CASE-DB mode the paper was built for: produce an answer
+// whose accuracy is quantified, either at a requested precision or by a
+// hard time budget.
+
+// SequentialOptions configures double sampling.
+type SequentialOptions struct {
+	// TargetRelErr is the desired relative half-width of the confidence
+	// interval (e.g. 0.05 for ±5%). Required, > 0.
+	TargetRelErr float64
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// PilotSize is the per-relation pilot sample size (default 100,
+	// clamped to each relation's size).
+	PilotSize int
+	// MaxFraction caps the final per-relation sampling fraction
+	// (default 1.0 = allow a census when needed).
+	MaxFraction float64
+	// Estimation options for both phases (variance method, groups...).
+	Estimate Options
+}
+
+// SequentialResult reports both phases of a double-sampling run.
+type SequentialResult struct {
+	// Pilot is the phase-one estimate from the pilot samples.
+	Pilot Estimate
+	// Final is the phase-two estimate from the enlarged samples.
+	Final Estimate
+	// SampleSizes is the final per-relation sample size.
+	SampleSizes map[string]int
+	// GrowthFactor is the sample enlargement factor φ chosen from the
+	// pilot variance.
+	GrowthFactor float64
+	// TargetMet reports whether the final CI half-width is within the
+	// target relative error of the final estimate.
+	TargetMet bool
+}
+
+// SequentialCount runs double sampling: a pilot estimate determines the
+// variance, the sample is grown to the size projected to achieve the target
+// relative error at the requested confidence, and the estimate is
+// recomputed. The synopsis must have been drawn from stored relations
+// (AddDrawn / Draw) so its samples can be extended in place; on return the
+// synopsis holds the enlarged samples.
+//
+// The projection assumes every variance component scales as 1/n_i when all
+// sample sizes are scaled together — exact for the leading terms of the
+// multilinear estimators used here — so the target is met up to the
+// pilot-variance estimation noise; TargetMet reports the verdict from the
+// final sample itself.
+func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts SequentialOptions) (SequentialResult, error) {
+	if opts.TargetRelErr <= 0 {
+		return SequentialResult{}, fmt.Errorf("estimator: sequential estimation requires TargetRelErr > 0")
+	}
+	if opts.Confidence <= 0 || opts.Confidence >= 1 {
+		opts.Confidence = 0.95
+	}
+	if opts.PilotSize <= 0 {
+		opts.PilotSize = 100
+	}
+	if opts.MaxFraction <= 0 || opts.MaxFraction > 1 {
+		opts.MaxFraction = 1
+	}
+	opts.Estimate.Confidence = opts.Confidence
+
+	poly, err := algebra.Normalize(e)
+	if err != nil {
+		return SequentialResult{}, err
+	}
+	rels := poly.RelationNames()
+
+	// Phase one: make sure every relation has at least the pilot size.
+	for _, rel := range rels {
+		n, ok := syn.SampleSize(rel)
+		if !ok {
+			return SequentialResult{}, fmt.Errorf("estimator: no sample for %q in synopsis", rel)
+		}
+		N, _ := syn.PopulationSize(rel)
+		want := opts.PilotSize
+		if want > N {
+			want = N
+		}
+		if n < want {
+			if err := syn.ExtendSample(rel, want-n, rng); err != nil {
+				return SequentialResult{}, err
+			}
+		}
+	}
+	pilot, err := countPoly(poly, syn, opts.Estimate)
+	if err != nil {
+		return SequentialResult{}, err
+	}
+
+	res := SequentialResult{Pilot: pilot, SampleSizes: map[string]int{}, GrowthFactor: 1}
+
+	// Phase two: grow the samples so that z·σ ≤ e·|J|. With σ² ∝ 1/φ when
+	// all sample sizes grow by φ: φ = (z·σ̂ / (e·|Ĵ|))².
+	z := stats.NormalQuantile(1 - (1-opts.Confidence)/2)
+	if pilot.StdErr > 0 && pilot.Value != 0 {
+		phi := math.Pow(z*pilot.StdErr/(opts.TargetRelErr*math.Abs(pilot.Value)), 2)
+		if phi > 1 {
+			res.GrowthFactor = phi
+			for _, rel := range rels {
+				n, _ := syn.SampleSize(rel)
+				N, _ := syn.PopulationSize(rel)
+				target := int(math.Ceil(float64(n) * phi))
+				if lim := int(opts.MaxFraction * float64(N)); target > lim {
+					target = lim
+				}
+				if target > N {
+					target = N
+				}
+				if target > n {
+					if err := syn.ExtendSample(rel, target-n, rng); err != nil {
+						return SequentialResult{}, err
+					}
+				}
+			}
+		}
+	}
+	final, err := countPoly(poly, syn, opts.Estimate)
+	if err != nil {
+		return SequentialResult{}, err
+	}
+	res.Final = final
+	for _, rel := range rels {
+		n, _ := syn.SampleSize(rel)
+		res.SampleSizes[rel] = n
+	}
+	if final.Value != 0 && final.StdErr >= 0 {
+		res.TargetMet = z*final.StdErr <= opts.TargetRelErr*math.Abs(final.Value)*1.0000001
+	}
+	return res, nil
+}
+
+// DeadlineOptions configures deadline-bounded estimation.
+type DeadlineOptions struct {
+	// Budget is the wall-clock budget for sampling + estimation.
+	Budget time.Duration
+	// InitialSize is the starting per-relation sample size (default 50).
+	InitialSize int
+	// Growth multiplies the sample sizes between rounds (default 2.0).
+	Growth float64
+	// Estimate configures each round's estimation.
+	Estimate Options
+}
+
+// DeadlineStep records one estimation round.
+type DeadlineStep struct {
+	SampleSizes map[string]int
+	Estimate    Estimate
+	Elapsed     time.Duration
+}
+
+// DeadlineCount grows the synopsis samples geometrically and re-estimates
+// until the budget expires, returning the final (most precise) estimate and
+// the per-round history. The answer available at the deadline is exactly
+// what the CASE-DB use case demands: the best estimate the time allowed.
+func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts DeadlineOptions) (Estimate, []DeadlineStep, error) {
+	if opts.Budget <= 0 {
+		return Estimate{}, nil, fmt.Errorf("estimator: deadline estimation requires a positive budget")
+	}
+	if opts.InitialSize <= 0 {
+		opts.InitialSize = 50
+	}
+	if opts.Growth <= 1 {
+		opts.Growth = 2
+	}
+	poly, err := algebra.Normalize(e)
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	rels := poly.RelationNames()
+	start := time.Now()
+	deadline := start.Add(opts.Budget)
+
+	var history []DeadlineStep
+	target := opts.InitialSize
+	for {
+		exhausted := true
+		for _, rel := range rels {
+			n, ok := syn.SampleSize(rel)
+			if !ok {
+				return Estimate{}, nil, fmt.Errorf("estimator: no sample for %q in synopsis", rel)
+			}
+			N, _ := syn.PopulationSize(rel)
+			want := target
+			if want > N {
+				want = N
+			}
+			if n < want {
+				if err := syn.ExtendSample(rel, want-n, rng); err != nil {
+					return Estimate{}, nil, err
+				}
+			}
+			if n, _ := syn.SampleSize(rel); n < N {
+				exhausted = false
+			}
+		}
+		est, err := countPoly(poly, syn, opts.Estimate)
+		if err != nil {
+			return Estimate{}, nil, err
+		}
+		sizes := map[string]int{}
+		for _, rel := range rels {
+			n, _ := syn.SampleSize(rel)
+			sizes[rel] = n
+		}
+		history = append(history, DeadlineStep{
+			SampleSizes: sizes,
+			Estimate:    est,
+			Elapsed:     time.Since(start),
+		})
+		if exhausted || !time.Now().Before(deadline) {
+			return est, history, nil
+		}
+		target = int(math.Ceil(float64(target) * opts.Growth))
+	}
+}

@@ -1,0 +1,510 @@
+// Package estimator implements the paper's contribution: statistical point
+// estimators, variance estimators and confidence intervals for COUNT(E)
+// over relational algebra expressions E, computed from simple random
+// samples drawn without replacement (SRSWOR) from each base relation.
+//
+// The packages below it provide the machinery: algebra normalizes COUNT(E)
+// into a counting polynomial of conjunctive terms; sampling draws and
+// maintains the samples; stats supplies the finite-population variance
+// algebra and distributions. This package combines them:
+//
+//   - terms whose base relations each occur once are estimated by the
+//     classical scale-up (∏ N_i/n_i) · count-over-samples;
+//   - terms with repeated relations (self-joins, ∩ expansions) are
+//     estimated with falling-factorial pattern weights — the multivariate
+//     hypergeometric (U-statistic) correction that restores unbiasedness;
+//   - distinct counts (π) use Goodman's unbiased estimator and practical
+//     consistent alternatives;
+//   - SUM and AVG extend the counting machinery to weighted counts (the
+//     authors' TODS 1991 follow-up);
+//   - variance comes from closed forms where they exist (single-relation
+//     polynomials, two-relation join terms) and from split-sample
+//     replication or the delete-one jackknife otherwise;
+//   - sequential (double) sampling sizes the sample for a target error,
+//     and deadline mode grows it until a time budget expires;
+//   - an incremental synopsis maintains the samples under insert/delete
+//     streams so all of the above run continuously;
+//   - page-level (cluster) sampling models the physical design CASE-DB
+//     actually sampled — whole disk pages — trading statistical
+//     efficiency for I/O efficiency.
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"relest/internal/relation"
+	"relest/internal/sampling"
+)
+
+// relSynopsis is the per-relation part of a synopsis: a uniform sample of
+// the relation plus its exact cardinality.
+//
+// The sampling unit is either a tuple (simple random sampling, the paper's
+// main design) or a fixed-size page of consecutive tuples (cluster
+// sampling, the physical design). Both are represented uniformly: the
+// population consists of M units, m of which were drawn SRSWOR; every
+// sampled unit's tuples are in the sample relation, grouped by clusters.
+// For the tuple design M = N, m = n and every cluster is a singleton.
+type relSynopsis struct {
+	name   string
+	sample *relation.Relation // rows are the sampled tuples
+	n      int                // sampled tuples (== sample.Len())
+	N      int                // population tuples
+
+	M, m     int     // population / sampled sampling units
+	clusters [][]int // sample row positions per sampled unit (len m)
+	pageSize int     // 0 for tuple design, > 0 for page design
+
+	// strata is non-nil for stratified tuple samples: each stratum has its
+	// own population size and its own SRSWOR sample, so the inverse
+	// inclusion probability varies by stratum.
+	strata []stratumInfo
+
+	// base and unit ids are retained when the synopsis was drawn from a
+	// stored relation, enabling sample extension (sequential estimation).
+	base  *relation.Relation
+	units []int // sampled unit ids within [0, M)
+}
+
+// stratumInfo describes one stratum of a stratified sample.
+type stratumInfo struct {
+	Nh    int   // population tuples in the stratum
+	units []int // unit (== row) indices of the stratum's sampled tuples
+}
+
+// stratified reports whether the relation uses a stratified design.
+func (rs *relSynopsis) stratified() bool { return rs.strata != nil }
+
+// uniformWeights reports whether every sampling unit shares the same
+// inverse inclusion probability (true for the tuple and page designs,
+// false for stratified samples).
+func (rs *relSynopsis) uniformWeights() bool { return rs.strata == nil }
+
+// rowWeightFn returns the per-sample-row inverse inclusion probability.
+func (rs *relSynopsis) rowWeightFn() func(row int) float64 {
+	if rs.uniformWeights() {
+		w := rs.scale()
+		return func(int) float64 { return w }
+	}
+	weights := make([]float64, rs.n)
+	for _, st := range rs.strata {
+		w := float64(st.Nh) / float64(len(st.units))
+		for _, u := range st.units {
+			for _, row := range rs.clusters[u] {
+				weights[row] = w
+			}
+		}
+	}
+	return func(row int) float64 { return weights[row] }
+}
+
+// tupleDesign reports whether the relation was sampled tuple-at-a-time
+// (required by the repeated-relation pattern weights and the two-relation
+// variance closed form).
+func (rs *relSynopsis) tupleDesign() bool { return rs.pageSize == 0 }
+
+// scale returns the inverse inclusion probability of one sampling unit —
+// the per-occurrence weight of the point estimator.
+func (rs *relSynopsis) scale() float64 { return float64(rs.M) / float64(rs.m) }
+
+// singletonClusters builds the cluster list of a tuple-design sample.
+func singletonClusters(n int) [][]int {
+	cs := make([][]int, n)
+	for i := range cs {
+		cs[i] = []int{i}
+	}
+	return cs
+}
+
+// Synopsis is the estimator's input: one uniform sample per base relation,
+// with known population sizes. It implements algebra.Catalog by exposing
+// the sample relations under the base-relation names, which is what lets
+// the counting-polynomial machinery run unchanged over samples.
+type Synopsis struct {
+	rels map[string]*relSynopsis
+}
+
+// NewSynopsis creates an empty synopsis.
+func NewSynopsis() *Synopsis { return &Synopsis{rels: make(map[string]*relSynopsis)} }
+
+// Relation implements algebra.Catalog, returning the sample relation.
+func (s *Synopsis) Relation(name string) (*relation.Relation, bool) {
+	rs, ok := s.rels[name]
+	if !ok {
+		return nil, false
+	}
+	return rs.sample, true
+}
+
+// PopulationSize returns N (tuples) for the named relation.
+func (s *Synopsis) PopulationSize(name string) (int, bool) {
+	rs, ok := s.rels[name]
+	if !ok {
+		return 0, false
+	}
+	return rs.N, true
+}
+
+// SampleSize returns n (sampled tuples) for the named relation.
+func (s *Synopsis) SampleSize(name string) (int, bool) {
+	rs, ok := s.rels[name]
+	if !ok {
+		return 0, false
+	}
+	return rs.n, true
+}
+
+// Design returns the sampling design of the named relation: pageSize 0
+// means tuple-level SRSWOR; otherwise units are pages of that many rows.
+func (s *Synopsis) Design(name string) (pageSize int, ok bool) {
+	rs, ok := s.rels[name]
+	if !ok {
+		return 0, false
+	}
+	return rs.pageSize, true
+}
+
+// Names returns the relation names in the synopsis, sorted.
+func (s *Synopsis) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddSample registers an externally obtained uniform tuple-level sample
+// for a relation of the given population size. The sample relation's name
+// must be the base-relation name the expressions use.
+func (s *Synopsis) AddSample(sample *relation.Relation, populationSize int) error {
+	if sample.Len() > populationSize {
+		return fmt.Errorf("estimator: sample of %q has %d rows > population %d",
+			sample.Name(), sample.Len(), populationSize)
+	}
+	if _, dup := s.rels[sample.Name()]; dup {
+		return fmt.Errorf("estimator: relation %q already in synopsis", sample.Name())
+	}
+	n := sample.Len()
+	s.rels[sample.Name()] = &relSynopsis{
+		name:     sample.Name(),
+		sample:   sample,
+		n:        n,
+		N:        populationSize,
+		M:        populationSize,
+		m:        n,
+		clusters: singletonClusters(n),
+	}
+	return nil
+}
+
+// AddDrawn draws a tuple-level SRSWOR sample of size n from the stored
+// relation and registers it. The base relation and sampled positions are
+// retained so the sample can later be extended (sequential estimation).
+func (s *Synopsis) AddDrawn(base *relation.Relation, n int, rng *rand.Rand) error {
+	if n < 0 || n > base.Len() {
+		return fmt.Errorf("estimator: sample size %d outside [0, %d] for %q", n, base.Len(), base.Name())
+	}
+	if _, dup := s.rels[base.Name()]; dup {
+		return fmt.Errorf("estimator: relation %q already in synopsis", base.Name())
+	}
+	rows := sampling.WithoutReplacement(rng, base.Len(), n)
+	s.rels[base.Name()] = &relSynopsis{
+		name:     base.Name(),
+		sample:   base.Subset(base.Name(), rows),
+		n:        n,
+		N:        base.Len(),
+		M:        base.Len(),
+		m:        n,
+		clusters: singletonClusters(n),
+		base:     base,
+		units:    rows,
+	}
+	return nil
+}
+
+// AddDrawnPages draws an SRSWOR sample of whole pages: the relation's rows
+// are viewed as ⌈N/pageSize⌉ consecutive fixed-size pages (the last may be
+// short) and `pages` of them are sampled. Every tuple of a sampled page
+// enters the sample — the access pattern of a system that samples disk
+// blocks. Estimates from page samples remain unbiased for expressions in
+// which each relation occurs once; accuracy depends on how values cluster
+// within pages (see the A2 ablation).
+func (s *Synopsis) AddDrawnPages(base *relation.Relation, pageSize, pages int, rng *rand.Rand) error {
+	if pageSize < 1 {
+		return fmt.Errorf("estimator: page size %d < 1 for %q", pageSize, base.Name())
+	}
+	if _, dup := s.rels[base.Name()]; dup {
+		return fmt.Errorf("estimator: relation %q already in synopsis", base.Name())
+	}
+	M := (base.Len() + pageSize - 1) / pageSize
+	if pages < 0 || pages > M {
+		return fmt.Errorf("estimator: page count %d outside [0, %d] for %q", pages, M, base.Name())
+	}
+	unitIDs := sampling.WithoutReplacement(rng, M, pages)
+	rs := &relSynopsis{
+		name:     base.Name(),
+		N:        base.Len(),
+		M:        M,
+		m:        pages,
+		pageSize: pageSize,
+		base:     base,
+		units:    unitIDs,
+	}
+	var positions []int
+	for _, p := range unitIDs {
+		lo := p * pageSize
+		hi := lo + pageSize
+		if hi > base.Len() {
+			hi = base.Len()
+		}
+		var cluster []int
+		for i := lo; i < hi; i++ {
+			cluster = append(cluster, len(positions))
+			positions = append(positions, i)
+		}
+		rs.clusters = append(rs.clusters, cluster)
+	}
+	rs.sample = base.Subset(base.Name(), positions)
+	rs.n = rs.sample.Len()
+	s.rels[base.Name()] = rs
+	return nil
+}
+
+// AddDrawnStratified draws a stratified tuple sample: every row of the
+// stored relation is assigned to a stratum by stratumOf (any int labels),
+// the total sample size is allocated proportionally to stratum sizes
+// (largest-remainder rounding, with every non-empty stratum getting at
+// least min(2, N_h) rows so stratum variances stay estimable), and an
+// independent SRSWOR sample is drawn within each stratum.
+//
+// Stratification is the classical variance-reduction design: when the
+// strata are homogeneous with respect to the query (e.g. stratified by the
+// selection attribute), the estimator's variance drops toward the
+// within-stratum variance. Stratified relations may appear at most once
+// per polynomial term (the pattern weights assume exchangeable samples).
+func (s *Synopsis) AddDrawnStratified(base *relation.Relation, stratumOf func(relation.Tuple) int, totalN int, rng *rand.Rand) error {
+	if stratumOf == nil {
+		return fmt.Errorf("estimator: stratified sampling needs a stratum function")
+	}
+	if totalN < 0 || totalN > base.Len() {
+		return fmt.Errorf("estimator: stratified sample size %d outside [0, %d] for %q", totalN, base.Len(), base.Name())
+	}
+	if _, dup := s.rels[base.Name()]; dup {
+		return fmt.Errorf("estimator: relation %q already in synopsis", base.Name())
+	}
+	// Bucket rows by stratum label, preserving first-seen label order.
+	var labels []int
+	rowsByLabel := map[int][]int{}
+	base.Each(func(i int, t relation.Tuple) bool {
+		l := stratumOf(t)
+		if _, seen := rowsByLabel[l]; !seen {
+			labels = append(labels, l)
+		}
+		rowsByLabel[l] = append(rowsByLabel[l], i)
+		return true
+	})
+	if len(labels) == 0 {
+		return s.AddSample(relation.New(base.Name(), base.Schema()), 0)
+	}
+	sizes := make([]int, len(labels))
+	for i, l := range labels {
+		sizes[i] = len(rowsByLabel[l])
+	}
+	alloc := sampling.Proportional(sizes, totalN)
+	for i := range alloc {
+		if minN := 2; alloc[i] < minN {
+			if sizes[i] < minN {
+				alloc[i] = sizes[i]
+			} else {
+				alloc[i] = minN
+			}
+		}
+	}
+	rs := &relSynopsis{
+		name: base.Name(),
+		N:    base.Len(),
+		base: base,
+	}
+	var positions []int
+	for i, l := range labels {
+		stratumRows := rowsByLabel[l]
+		drawn := sampling.WithoutReplacement(rng, len(stratumRows), alloc[i])
+		st := stratumInfo{Nh: len(stratumRows)}
+		for _, d := range drawn {
+			unit := len(positions)
+			st.units = append(st.units, unit)
+			positions = append(positions, stratumRows[d])
+		}
+		rs.strata = append(rs.strata, st)
+	}
+	rs.sample = base.Subset(base.Name(), positions)
+	rs.n = rs.sample.Len()
+	rs.m = rs.n
+	rs.M = rs.N
+	rs.clusters = singletonClusters(rs.n)
+	s.rels[base.Name()] = rs
+	return nil
+}
+
+// Draw builds a synopsis sampling the given fraction (0, 1] of tuples from
+// every stored relation, with a minimum sample size of min(minSize, |R|).
+func Draw(rels []*relation.Relation, fraction float64, minSize int, rng *rand.Rand) (*Synopsis, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("estimator: sampling fraction %v outside (0, 1]", fraction)
+	}
+	s := NewSynopsis()
+	for _, r := range rels {
+		n := int(fraction * float64(r.Len()))
+		if n < minSize {
+			n = minSize
+		}
+		if n > r.Len() {
+			n = r.Len()
+		}
+		if err := s.AddDrawn(r, n, rng); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ExtendSample enlarges the sample of the named relation by add more
+// sampling units (tuples under the tuple design, pages under the page
+// design), drawn SRSWOR from the unsampled remainder; the combined sample
+// is again SRSWOR. It fails if the synopsis was not drawn from a stored
+// relation.
+func (s *Synopsis) ExtendSample(name string, add int, rng *rand.Rand) error {
+	rs, ok := s.rels[name]
+	if !ok {
+		return fmt.Errorf("estimator: no relation %q in synopsis", name)
+	}
+	if rs.base == nil {
+		return fmt.Errorf("estimator: sample of %q was not drawn from a stored relation; cannot extend", name)
+	}
+	if rs.stratified() {
+		return fmt.Errorf("estimator: stratified sample of %q cannot be extended; redraw with a larger allocation", name)
+	}
+	if add < 0 || rs.m+add > rs.M {
+		return fmt.Errorf("estimator: cannot extend sample of %q by %d units (m=%d, M=%d)", name, add, rs.m, rs.M)
+	}
+	if add == 0 {
+		return nil
+	}
+	rs.units = sampling.Extend(rng, rs.M, rs.units, add)
+	rs.m = len(rs.units)
+	if rs.tupleDesign() {
+		rs.sample = rs.base.Subset(name, rs.units)
+		rs.n = rs.m
+		rs.clusters = singletonClusters(rs.n)
+		return nil
+	}
+	var positions []int
+	rs.clusters = rs.clusters[:0]
+	for _, p := range rs.units {
+		lo := p * rs.pageSize
+		hi := lo + rs.pageSize
+		if hi > rs.base.Len() {
+			hi = rs.base.Len()
+		}
+		var cluster []int
+		for i := lo; i < hi; i++ {
+			cluster = append(cluster, len(positions))
+			positions = append(positions, i)
+		}
+		rs.clusters = append(rs.clusters, cluster)
+	}
+	rs.sample = rs.base.Subset(name, positions)
+	rs.n = rs.sample.Len()
+	return nil
+}
+
+// subSynopsisUnits builds a synopsis whose sample for each selected
+// relation keeps only the sampling units at the given unit indices
+// (indices into the current cluster list). Relations not in the map keep
+// their full samples. Used by the replication variance estimators, which
+// must resample whole units to respect the design.
+func (s *Synopsis) subSynopsisUnits(unitSel map[string][]int) *Synopsis {
+	out := NewSynopsis()
+	for name, rs := range s.rels {
+		sel, ok := unitSel[name]
+		if !ok {
+			out.rels[name] = rs
+			continue
+		}
+		var positions []int
+		clusters := make([][]int, 0, len(sel))
+		newUnitOf := map[int]int{} // original unit index → new unit index
+		for newU, u := range sel {
+			var cluster []int
+			for _, rowPos := range rs.clusters[u] {
+				cluster = append(cluster, len(positions))
+				positions = append(positions, rowPos)
+			}
+			clusters = append(clusters, cluster)
+			newUnitOf[u] = newU
+		}
+		sub := &relSynopsis{
+			name:     name,
+			sample:   rs.sample.Subset(name, positions),
+			n:        len(positions),
+			N:        rs.N,
+			M:        rs.M,
+			m:        len(sel),
+			clusters: clusters,
+			pageSize: rs.pageSize,
+		}
+		// A subset of a stratified sample is again stratified: keep each
+		// stratum's population size with its surviving units.
+		for _, st := range rs.strata {
+			sub2 := stratumInfo{Nh: st.Nh}
+			for _, u := range st.units {
+				if nu, kept := newUnitOf[u]; kept {
+					sub2.units = append(sub2.units, nu)
+				}
+			}
+			sub.strata = append(sub.strata, sub2)
+		}
+		out.rels[name] = sub
+	}
+	return out
+}
+
+// splitUnits partitions the relation's sampling units into g groups for
+// replication: plain random groups for the tuple/page designs, per-stratum
+// random groups for stratified samples (so every replicate is itself a
+// stratified sample with the same strata).
+func (rs *relSynopsis) splitUnits(rng *rand.Rand, g int) [][]int {
+	if !rs.stratified() {
+		all := make([]int, rs.m)
+		for i := range all {
+			all[i] = i
+		}
+		return sampling.SplitGroups(rng, all, g)
+	}
+	groups := make([][]int, g)
+	for _, st := range rs.strata {
+		for gi, part := range sampling.SplitGroups(rng, st.units, g) {
+			groups[gi] = append(groups[gi], part...)
+		}
+	}
+	for i := range groups {
+		sort.Ints(groups[i])
+	}
+	return groups
+}
+
+// withoutUnit builds a synopsis in which one relation's sample has one
+// sampling unit removed (delete-one jackknife replicate).
+func (s *Synopsis) withoutUnit(name string, unit int) *Synopsis {
+	rs := s.rels[name]
+	keep := make([]int, 0, rs.m-1)
+	for i := 0; i < rs.m; i++ {
+		if i != unit {
+			keep = append(keep, i)
+		}
+	}
+	return s.subSynopsisUnits(map[string][]int{name: keep})
+}

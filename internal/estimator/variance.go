@@ -1,0 +1,362 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"relest/internal/algebra"
+	"relest/internal/stats"
+)
+
+// estimateVariance dispatches to the requested variance method and returns
+// the variance estimate together with the method actually used.
+func estimateVariance(poly algebra.Polynomial, syn *Synopsis, opts Options) (float64, VarianceMethod, error) {
+	switch opts.Variance {
+	case VarNone:
+		return math.NaN(), VarNone, nil
+	case VarAnalytic:
+		if v, ok, err := analyticVariance(poly, syn); err != nil {
+			return 0, VarAnalytic, err
+		} else if ok {
+			return v, VarAnalytic, nil
+		}
+		return 0, VarAnalytic, fmt.Errorf("estimator: no closed-form variance for this expression shape; use split-sample or jackknife")
+	case VarSplitSample:
+		v, err := splitSampleVariance(poly, syn, opts, false)
+		return v, VarSplitSample, err
+	case VarJackknife:
+		v, err := jackknifeVariance(poly, syn)
+		return v, VarJackknife, err
+	default: // VarAuto
+		if v, ok, err := analyticVariance(poly, syn); err == nil && ok {
+			return v, VarAnalytic, nil
+		}
+		if v, err := splitSampleVariance(poly, syn, opts, true); err == nil {
+			return v, VarSplitSample, nil
+		}
+		if v, err := jackknifeVariance(poly, syn); err == nil {
+			return v, VarJackknife, nil
+		}
+		return math.NaN(), VarNone, nil
+	}
+}
+
+// analyticVariance returns a closed-form variance estimate when one exists:
+//
+//   - polynomials over a single relation in which every term uses one
+//     occurrence: the whole estimator is N·ȳ for per-tuple scores y, so the
+//     classical SRSWOR total variance N²(1−f)s²/n applies exactly and its
+//     plug-in is unbiased;
+//   - a single term over two distinct relations (the paper's join
+//     estimator): the exactly unbiased two-sample variance estimator
+//     derived from the second-moment decomposition over index-equality
+//     patterns (see below).
+//
+// The boolean result reports whether a closed form applied.
+func analyticVariance(poly algebra.Polynomial, syn *Synopsis) (float64, bool, error) {
+	if len(poly.RelationNames()) == 1 && poly.MaxOccurrences() == 1 {
+		v, err := singleRelationVariance(poly, syn)
+		return v, err == nil, err
+	}
+	if poly.NumTerms() == 1 && len(poly.Terms[0].Occs) == 2 &&
+		poly.Terms[0].Occs[0].RelName != poly.Terms[0].Occs[1].RelName &&
+		plainTupleSample(syn.rels[poly.Terms[0].Occs[0].RelName]) &&
+		plainTupleSample(syn.rels[poly.Terms[0].Occs[1].RelName]) {
+		v, err := twoRelationTermVariance(&poly.Terms[0], syn)
+		return v, err == nil, err
+	}
+	return 0, false, nil
+}
+
+// plainTupleSample reports an unstratified tuple-level SRSWOR sample — the
+// design the two-relation variance closed form is derived for.
+func plainTupleSample(rs *relSynopsis) bool {
+	return rs != nil && rs.tupleDesign() && rs.uniformWeights()
+}
+
+// singleRelationVariance handles polynomials over one relation with one
+// occurrence per term. Every sample tuple i has a deterministic score
+// y_i = Σ_j coef_j·ψ_j(t_i); summed within each sampling unit this gives
+// per-unit totals z_u, the estimator equals M·z̄, and
+// Var̂ = M²(1−m/M)s²_z/m (Cochran), which is unbiased for both the tuple
+// design (units are tuples) and the page design (units are pages — the
+// "ultimate cluster" variance).
+func singleRelationVariance(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
+	rel := poly.RelationNames()[0]
+	rs := syn.rels[rel]
+	if rs.m < 2 {
+		return 0, fmt.Errorf("estimator: sample of %q too small for variance (m=%d units)", rel, rs.m)
+	}
+	y := make([]float64, rs.n)
+	for i := range poly.Terms {
+		t := &poly.Terms[i]
+		inst, err := algebra.BindInstances(t, syn)
+		if err != nil {
+			return 0, err
+		}
+		coef := float64(t.Coef)
+		err = t.EnumerateAssignments(inst, func(rows []int) bool {
+			y[rows[0]] += coef
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if rs.stratified() {
+		// Stratified closed form: independent SRSWOR within each stratum,
+		// so Var̂ = Σ_h N_h²(1−f_h)s²_h/n_h — exactly unbiased, and the
+		// quantity stratification exists to shrink.
+		total := 0.0
+		for _, st := range rs.strata {
+			var w stats.Welford
+			for _, u := range st.units {
+				for _, row := range rs.clusters[u] {
+					w.Add(y[row])
+				}
+			}
+			if len(st.units) < 2 {
+				if st.Nh <= len(st.units) {
+					continue // census stratum contributes no variance
+				}
+				return 0, fmt.Errorf("estimator: stratum of %q has %d sampled rows; need 2 for variance", rel, len(st.units))
+			}
+			total += stats.TotalVariance(st.Nh, len(st.units), w.Variance())
+		}
+		return total, nil
+	}
+	var w stats.Welford
+	for _, cluster := range rs.clusters {
+		z := 0.0
+		for _, row := range cluster {
+			z += y[row]
+		}
+		w.Add(z)
+	}
+	return stats.TotalVariance(rs.M, rs.m, w.Variance()), nil
+}
+
+// twoRelationTermVariance implements the exactly unbiased variance
+// estimator for Ĵ = c·T, c = N₁N₂/(n₁n₂), T = Σ_{u∈s₁,v∈s₂} ψ(u,v), with
+// independent SRSWOR samples.
+//
+// Decompose E[T²] over the index-equality patterns of the pair of pairs
+// ((u,v),(u′,v′)):
+//
+//	E[T²] = p₁₁S₁₁ + p₁₂S₁₂ + p₂₁S₂₁ + p₂₂S₂₂
+//
+// with population quantities (a_U, b_V the join degrees)
+//
+//	S₁₁ = J,  S₁₂ = Σ_U a_U² − J,  S₂₁ = Σ_V b_V² − J,
+//	S₂₂ = J² − Σa² − Σb² + J,
+//
+// and inclusion probabilities p₁₁ = (n₁n₂)/(N₁N₂),
+// p₁₂ = (n₁/N₁)·(n₂)₂/(N₂)₂, p₂₁ symmetric, p₂₂ = (n₁)₂/(N₁)₂·(n₂)₂/(N₂)₂.
+// Each S is estimated unbiasedly from the sample by the same
+// falling-factorial scaling, and since J² = S₁₁+S₁₂+S₂₁+S₂₂,
+//
+//	Var̂(Ĵ) = c²·(p₁₁Ŝ₁₁ + p₁₂Ŝ₁₂ + p₂₁Ŝ₂₁ + p₂₂Ŝ₂₂) − (Ŝ₁₁+Ŝ₂₁+Ŝ₁₂+Ŝ₂₂)
+//
+// is unbiased. It can be negative on unlucky samples, as unbiased variance
+// estimators are allowed to be.
+func twoRelationTermVariance(t *algebra.Term, syn *Synopsis) (float64, error) {
+	rel1, rel2 := t.Occs[0].RelName, t.Occs[1].RelName
+	n1, _ := syn.SampleSize(rel1)
+	n2, _ := syn.SampleSize(rel2)
+	N1, _ := syn.PopulationSize(rel1)
+	N2, _ := syn.PopulationSize(rel2)
+	if n1 < 2 || n2 < 2 {
+		return 0, fmt.Errorf("estimator: samples too small for the two-relation variance (n1=%d, n2=%d)", n1, n2)
+	}
+	inst, err := algebra.BindInstances(t, syn)
+	if err != nil {
+		return 0, err
+	}
+	alpha := make([]float64, n1)
+	beta := make([]float64, n2)
+	var T float64
+	err = t.EnumerateAssignments(inst, func(rows []int) bool {
+		alpha[rows[0]]++
+		beta[rows[1]]++
+		T++
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sumA2, sumB2 float64
+	for _, a := range alpha {
+		sumA2 += a * a
+	}
+	for _, b := range beta {
+		sumB2 += b * b
+	}
+	r1 := stats.FallingFactorialRatio(N1, n1, 1)  // N1/n1
+	r2 := stats.FallingFactorialRatio(N2, n2, 1)  // N2/n2
+	r11 := stats.FallingFactorialRatio(N1, n1, 2) // (N1)₂/(n1)₂
+	r22 := stats.FallingFactorialRatio(N2, n2, 2)
+
+	s11 := r1 * r2 * T
+	s12 := r1 * r22 * (sumA2 - T)
+	s21 := r11 * r2 * (sumB2 - T)
+	s22 := r11 * r22 * (T*T - sumA2 - sumB2 + T)
+
+	c := r1 * r2
+	p11 := 1 / (r1 * r2)
+	p12 := (1 / r1) * (1 / r22)
+	p21 := (1 / r11) * (1 / r2)
+	p22 := (1 / r11) * (1 / r22)
+
+	ej2 := c * c * (p11*s11 + p12*s12 + p21*s21 + p22*s22)
+	j2 := s11 + s12 + s21 + s22
+	return ej2 - j2, nil
+}
+
+// splitSampleVariance estimates variance by replication: each relation's
+// sample is randomly partitioned into g groups; replicate i re-runs the
+// point estimator on the i-th group of every relation. A replicate uses
+// samples of size n/g, so to first order Var(replicate) ≈ g·Var(full), and
+//
+//	Var̂(full) ≈ s²_replicates / g.
+//
+// This is the generic method for arbitrary polynomials: it automatically
+// captures the covariances between polynomial terms because each replicate
+// recomputes the entire polynomial. It is approximate (the 1/n scaling of
+// every variance component is first-order), in exchange for requiring
+// nothing about the expression's shape.
+//
+// When shrink is true the group count is reduced as needed so that each
+// group keeps at least max-occurrences rows per relation (VarAuto mode);
+// otherwise too-small samples are an error.
+func splitSampleVariance(poly algebra.Polynomial, syn *Synopsis, opts Options, shrink bool) (float64, error) {
+	return splitSampleVarianceImpl(poly, syn, opts, shrink, func(sub *Synopsis) (float64, error) {
+		return pointEstimate(poly, sub)
+	})
+}
+
+// splitSampleVarianceFn is the split-sample method for an arbitrary
+// re-estimation function (SUM, page-sampling); group shrinking enabled.
+func splitSampleVarianceFn(poly algebra.Polynomial, syn *Synopsis, opts Options, estimate func(*Synopsis) (float64, error)) (float64, error) {
+	return splitSampleVarianceImpl(poly, syn, opts, true, estimate)
+}
+
+func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Options, shrink bool, estimate func(*Synopsis) (float64, error)) (float64, error) {
+	need := poly.MaxOccurrences()
+	if need < 1 {
+		need = 1
+	}
+	g := opts.Groups
+	minM := math.MaxInt
+	for _, rel := range poly.RelationNames() {
+		rs, ok := syn.rels[rel]
+		if !ok {
+			return 0, fmt.Errorf("estimator: no sample for %q", rel)
+		}
+		mm := rs.m
+		// Stratified replicates must keep every stratum populated, so the
+		// smallest stratum bounds the group count.
+		for _, st := range rs.strata {
+			if len(st.units) < mm {
+				mm = len(st.units)
+			}
+		}
+		if mm < minM {
+			minM = mm
+		}
+	}
+	if minM/g < need {
+		if !shrink {
+			return 0, fmt.Errorf("estimator: %d split-sample groups leave fewer than %d sampling units per group (min sample %d units)", g, need, minM)
+		}
+		g = minM / need
+		if g > opts.Groups {
+			g = opts.Groups
+		}
+	}
+	if g < 2 {
+		return 0, fmt.Errorf("estimator: samples too small for split-sample variance (min sample %d units, need %d per group)", minM, need)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed5eed))
+	// Partition each relation's sampling units into g groups; whole units
+	// move together (and strata split evenly) so every group is a valid
+	// smaller sample of the same design.
+	groupsByRel := map[string][][]int{}
+	for _, rel := range poly.RelationNames() {
+		groupsByRel[rel] = syn.rels[rel].splitUnits(rng, g)
+	}
+	var reps stats.Welford
+	for i := 0; i < g; i++ {
+		unitSel := map[string][]int{}
+		for rel, groups := range groupsByRel {
+			unitSel[rel] = groups[i]
+		}
+		sub := syn.subSynopsisUnits(unitSel)
+		v, err := estimate(sub)
+		if err != nil {
+			return 0, err
+		}
+		reps.Add(v)
+	}
+	return reps.Variance() / float64(g), nil
+}
+
+// jackknifeVariance estimates variance with delete-one replicates: for
+// each relation R and each sampling unit u (tuple or page), the point
+// estimate is recomputed without that unit; the per-relation jackknife
+// variances (m−1)/m·Σ(θ₍ᵤ₎−θ̄)², each scaled by the finite-population
+// correction (1−m/M), add up across relations (the samples are
+// independent). Cost is Σ m_R full re-evaluations — use on small samples
+// or when no other method applies.
+func jackknifeVariance(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
+	return jackknifeVarianceFn(poly, syn, func(sub *Synopsis) (float64, error) {
+		return pointEstimate(poly, sub)
+	})
+}
+
+// jackknifeVarianceFn is the delete-one jackknife for an arbitrary
+// re-estimation function.
+func jackknifeVarianceFn(poly algebra.Polynomial, syn *Synopsis, estimate func(*Synopsis) (float64, error)) (float64, error) {
+	need := poly.MaxOccurrences()
+	total := 0.0
+	for _, rel := range poly.RelationNames() {
+		rs, ok := syn.rels[rel]
+		if !ok {
+			return 0, fmt.Errorf("estimator: no sample for %q", rel)
+		}
+		if rs.stratified() {
+			return 0, fmt.Errorf("estimator: jackknife does not support the stratified sample of %q; use the analytic or split-sample variance", rel)
+		}
+		m := rs.m
+		if rs.n-len(longestCluster(rs)) < need || m < 2 {
+			return 0, fmt.Errorf("estimator: sample of %q too small for jackknife (m=%d units, need %d rows after deletion)", rel, m, need)
+		}
+		var reps stats.Welford
+		for u := 0; u < m; u++ {
+			sub := syn.withoutUnit(rel, u)
+			v, err := estimate(sub)
+			if err != nil {
+				return 0, err
+			}
+			reps.Add(v)
+		}
+		// (m−1)/m · Σ(θ₍ᵤ₎−θ̄)², with Σ(θ−θ̄)² = (m−1)·s² from Welford.
+		sumSq := float64(reps.N()-1) * reps.Variance()
+		vr := float64(m-1) / float64(m) * sumSq
+		vr *= 1 - float64(m)/float64(rs.M)
+		total += vr
+	}
+	return total, nil
+}
+
+// longestCluster returns the largest sampled unit (for the jackknife's
+// worst-case post-deletion sample-size check).
+func longestCluster(rs *relSynopsis) []int {
+	var best []int
+	for _, c := range rs.clusters {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,123 @@
+package planner
+
+import (
+	"fmt"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+)
+
+// SubsetOracle is an optional oracle refinement: estimators that work from
+// precomputed per-query statistics (the System-R catalog) estimate a join
+// subset directly from its relation bitmask instead of analyzing the
+// expression. The mask is relative to the Query the oracle was built for.
+type SubsetOracle interface {
+	SubsetCardinality(mask uint32) (float64, error)
+}
+
+// Catalog is the System-R-era baseline oracle: exact (filtered) base
+// cardinalities plus per-join-column distinct counts, combined with the
+// attribute-value-independence and uniformity assumptions:
+//
+//	card(S) = ∏_{R∈S} |σ(R)| · ∏_{edges (A.a=B.b)⊆S} 1/max(d_A.a, d_B.b)
+//
+// It is deliberately generous to the baseline — the filtered base
+// cardinalities are exact, as if the catalog kept perfect single-table
+// statistics — so that any plan-quality gap against the sampling oracle is
+// attributable purely to the independence assumption across relations.
+type Catalog struct {
+	q        Query
+	idx      map[string]int
+	baseCard []float64
+	distinct map[string]map[string]float64 // rel → col → distinct count
+}
+
+// NewCatalog precomputes the statistics for one query against stored
+// relations.
+func NewCatalog(q Query, cat algebra.Catalog) (*Catalog, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		q:        q,
+		idx:      map[string]int{},
+		baseCard: make([]float64, len(q.Relations)),
+		distinct: map[string]map[string]float64{},
+	}
+	for i, name := range q.Relations {
+		c.idx[name] = i
+		r, ok := cat.Relation(name)
+		if !ok {
+			return nil, fmt.Errorf("planner: no relation %q in catalog", name)
+		}
+		e := algebra.Base(name, q.Schemas[name])
+		if f, fok := q.Filters[name]; fok && f != nil {
+			var err error
+			e, err = algebra.Select(e, f)
+			if err != nil {
+				return nil, err
+			}
+		}
+		card, err := algebra.Count(e, cat)
+		if err != nil {
+			return nil, err
+		}
+		c.baseCard[i] = float64(card)
+		c.distinct[name] = map[string]float64{}
+		_ = r
+	}
+	// Distinct counts for every join column (on the unfiltered relation,
+	// as a real catalog would store).
+	for _, e := range c.q.Edges {
+		for _, side := range []struct{ rel, col string }{{e.A, e.ACol}, {e.B, e.BCol}} {
+			if _, done := c.distinct[side.rel][side.col]; done {
+				continue
+			}
+			r, _ := cat.Relation(side.rel)
+			pos := r.Schema().ColumnIndex(side.col)
+			if pos < 0 {
+				return nil, fmt.Errorf("planner: no column %q in %q", side.col, side.rel)
+			}
+			seen := map[string]struct{}{}
+			r.Each(func(i int, t relation.Tuple) bool {
+				seen[t.Key([]int{pos})] = struct{}{}
+				return true
+			})
+			c.distinct[side.rel][side.col] = float64(len(seen))
+		}
+	}
+	return c, nil
+}
+
+// SubsetCardinality implements SubsetOracle with the AVI formula.
+func (c *Catalog) SubsetCardinality(mask uint32) (float64, error) {
+	card := 1.0
+	for i, name := range c.q.Relations {
+		if mask&(1<<i) != 0 {
+			card *= c.baseCard[i]
+			_ = name
+		}
+	}
+	for _, e := range c.q.Edges {
+		a, b := c.idx[e.A], c.idx[e.B]
+		if mask&(1<<a) == 0 || mask&(1<<b) == 0 {
+			continue
+		}
+		da := c.distinct[e.A][e.ACol]
+		db := c.distinct[e.B][e.BCol]
+		d := da
+		if db > d {
+			d = db
+		}
+		if d > 1 {
+			card /= d
+		}
+	}
+	return card, nil
+}
+
+// Cardinality implements CardinalityEstimator for completeness; the DP
+// prefers the subset path for this oracle.
+func (c *Catalog) Cardinality(e *algebra.Expr) (float64, error) {
+	return 0, fmt.Errorf("planner: the catalog oracle estimates by subset; use it through Optimize")
+}

@@ -1,0 +1,148 @@
+// Package query implements the small functional query language the
+// cmd/relest CLI exposes over the algebra:
+//
+//	count(join(select(orders, amount > 100), customers, on cust = id))
+//	count(except(R, S))
+//	distinct(employees.dept_id)
+//
+// Grammar (case-insensitive keywords):
+//
+//	query    := "count" "(" relexpr ")"
+//	          | "distinct" "(" ident "." ident { "," ident } ")"
+//	relexpr  := ident
+//	          | "select"    "(" relexpr "," cond ")"
+//	          | "project"   "(" relexpr "," ident { "," ident } ")"
+//	          | "join"      "(" relexpr "," relexpr "," "on" eq { "," eq } ")"
+//	          | "product"   "(" relexpr "," relexpr ")"
+//	          | "union"     "(" relexpr "," relexpr ")"
+//	          | "intersect" "(" relexpr "," relexpr ")"
+//	          | "except"    "(" relexpr "," relexpr ")"
+//	eq       := ident "=" ident
+//	cond     := cmp { "and" cmp }
+//	cmp      := ident op (literal | ident)
+//	op       := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	literal  := INT | FLOAT | 'string'
+//
+// A cmp whose right side is an identifier compares two columns; otherwise
+// it compares a column with the literal.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token types.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokOp // comparison operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			j := i + 1
+			if j < len(input) && input[j] == '=' {
+				j++
+			}
+			op := input[i:j]
+			switch op {
+			case "=", "!=", "<", "<=", ">", ">=":
+				toks = append(toks, token{tokOp, op, i})
+			default:
+				return nil, fmt.Errorf("query: bad operator %q at offset %d", op, i)
+			}
+			i = j
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			isFloat := false
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				if input[j] == '.' {
+					if isFloat {
+						break
+					}
+					isFloat = true
+				}
+				j++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+// keyword reports whether an identifier token matches the keyword
+// (case-insensitive).
+func keyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,391 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+)
+
+// Statement is a parsed query: a COUNT/SUM/AVG over a bound algebra
+// expression, or a DISTINCT over columns of a base relation.
+type Statement struct {
+	// Agg is "count", "sum" or "avg" for aggregate queries; "" for
+	// distinct queries.
+	Agg string
+	// Expr is the bound expression for aggregate queries.
+	Expr *algebra.Expr
+	// AggCol is the aggregated output column for sum/avg.
+	AggCol string
+	// DistinctRel and DistinctCols are set for distinct(R.a, b, ...) queries.
+	DistinctRel  string
+	DistinctCols []string
+}
+
+// IsDistinct reports whether the statement is a distinct-count query.
+func (s *Statement) IsDistinct() bool { return s.Expr == nil }
+
+// SchemaProvider resolves base relation names to schemas at parse time.
+// Both algebra.Catalog implementations and estimator synopses satisfy it
+// via small adapters; cmd/relest uses the loaded CSV relations.
+type SchemaProvider interface {
+	Schema(name string) (*relation.Schema, bool)
+}
+
+// CatalogSchemas adapts an algebra.Catalog into a SchemaProvider.
+type CatalogSchemas struct{ Cat algebra.Catalog }
+
+// Schema implements SchemaProvider.
+func (c CatalogSchemas) Schema(name string) (*relation.Schema, bool) {
+	r, ok := c.Cat.Relation(name)
+	if !ok {
+		return nil, false
+	}
+	return r.Schema(), true
+}
+
+// Parse parses and binds a query against the provider's schemas.
+func Parse(input string, schemas SchemaProvider) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, schemas: schemas}
+	st, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input starting at %s", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	schemas SchemaProvider
+	joinSeq int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("query: expected %s, got %s at offset %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Statement, error) {
+	t := p.next()
+	switch {
+	case keyword(t, "count"):
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseRelExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &Statement{Agg: "count", Expr: e}, nil
+	case keyword(t, "sum"), keyword(t, "avg"), keyword(t, "group"):
+		agg := strings.ToLower(t.text)
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseRelExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if e.Schema().ColumnIndex(col.text) < 0 {
+			return nil, fmt.Errorf("query: no column %q in expression schema %s", col.text, e.Schema())
+		}
+		return &Statement{Agg: agg, Expr: e, AggCol: col.text}, nil
+	case keyword(t, "distinct"):
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		rel, err := p.expect(tokIdent, "relation name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot, "'.'"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		cols := []string{col.text}
+		for p.peek().kind == tokComma {
+			p.next()
+			c, err := p.expect(tokIdent, "column name")
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c.text)
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		schema, ok := p.schemas.Schema(rel.text)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", rel.text)
+		}
+		for _, c := range cols {
+			if schema.ColumnIndex(c) < 0 {
+				return nil, fmt.Errorf("query: no column %q in relation %q", c, rel.text)
+			}
+		}
+		return &Statement{DistinctRel: rel.text, DistinctCols: cols}, nil
+	default:
+		return nil, fmt.Errorf("query: expected count, sum, avg or distinct, got %s", t)
+	}
+}
+
+func (p *parser) parseRelExpr() (*algebra.Expr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected relation or operator, got %s at offset %d", t, t.pos)
+	}
+	lower := strings.ToLower(t.text)
+	switch lower {
+	case "select", "project", "join", "product", "union", "intersect", "except":
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		switch lower {
+		case "select":
+			child, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return algebra.Select(child, pred)
+		case "project":
+			child, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			var cols []string
+			for p.peek().kind == tokComma {
+				p.next()
+				c, err := p.expect(tokIdent, "column name")
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, c.text)
+			}
+			if len(cols) == 0 {
+				return nil, fmt.Errorf("query: project needs at least one column")
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return algebra.Project(child, cols...)
+		case "join":
+			left, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			on, err := p.expect(tokIdent, "'on'")
+			if err != nil {
+				return nil, err
+			}
+			if !keyword(on, "on") {
+				return nil, fmt.Errorf("query: expected 'on', got %s", on)
+			}
+			var conds []algebra.On
+			for {
+				l, err := p.expect(tokIdent, "left join column")
+				if err != nil {
+					return nil, err
+				}
+				op, err := p.expect(tokOp, "'='")
+				if err != nil {
+					return nil, err
+				}
+				if op.text != "=" {
+					return nil, fmt.Errorf("query: join conditions must use '=', got %q", op.text)
+				}
+				r, err := p.expect(tokIdent, "right join column")
+				if err != nil {
+					return nil, err
+				}
+				conds = append(conds, algebra.On{Left: l.text, Right: r.text})
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			p.joinSeq++
+			return algebra.Join(left, right, conds, nil, fmt.Sprintf("r%d", p.joinSeq))
+		case "product":
+			left, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			p.joinSeq++
+			return algebra.Product(left, right, fmt.Sprintf("r%d", p.joinSeq))
+		default: // union, intersect, except
+			left, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseRelExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			switch lower {
+			case "union":
+				return algebra.Union(left, right)
+			case "intersect":
+				return algebra.Intersect(left, right)
+			default:
+				return algebra.Diff(left, right)
+			}
+		}
+	default:
+		// Base relation reference.
+		schema, ok := p.schemas.Schema(t.text)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", t.text)
+		}
+		return algebra.Base(t.text, schema), nil
+	}
+}
+
+// parseCondition parses an and-chain of comparisons. It is contextual: the
+// column names are validated later by algebra.Select's binding.
+func (p *parser) parseCondition() (algebra.Predicate, error) {
+	var parts algebra.And
+	for {
+		cmp, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, cmp)
+		if keyword(p.peek(), "and") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return parts, nil
+}
+
+func (p *parser) parseCmp() (algebra.Predicate, error) {
+	col, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	var op algebra.CmpOp
+	switch opTok.text {
+	case "=":
+		op = algebra.EQ
+	case "!=":
+		op = algebra.NE
+	case "<":
+		op = algebra.LT
+	case "<=":
+		op = algebra.LE
+	case ">":
+		op = algebra.GT
+	case ">=":
+		op = algebra.GE
+	}
+	rhs := p.next()
+	switch rhs.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(rhs.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad integer %q: %v", rhs.text, err)
+		}
+		return algebra.Cmp{Col: col.text, Op: op, Val: relation.Int(v)}, nil
+	case tokFloat:
+		v, err := strconv.ParseFloat(rhs.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad float %q: %v", rhs.text, err)
+		}
+		return algebra.Cmp{Col: col.text, Op: op, Val: relation.Float(v)}, nil
+	case tokString:
+		return algebra.Cmp{Col: col.text, Op: op, Val: relation.Str(rhs.text)}, nil
+	case tokIdent:
+		if keyword(rhs, "null") {
+			return algebra.Cmp{Col: col.text, Op: op, Val: relation.Null()}, nil
+		}
+		return algebra.ColCmp{A: col.text, Op: op, B: rhs.text}, nil
+	default:
+		return nil, fmt.Errorf("query: expected literal or column after %q, got %s", opTok.text, rhs)
+	}
+}

@@ -1,0 +1,223 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+)
+
+func testCatalog() algebra.MapCatalog {
+	rs := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "b", Kind: relation.KindInt},
+	)
+	r := relation.New("R", rs)
+	for _, p := range [][2]int64{{1, 10}, {2, 20}, {3, 30}, {4, 40}} {
+		r.MustAppend(relation.Tuple{relation.Int(p[0]), relation.Int(p[1])})
+	}
+	ss := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "b", Kind: relation.KindInt},
+	)
+	s := relation.New("S", ss)
+	for _, p := range [][2]int64{{3, 30}, {4, 99}, {5, 50}} {
+		s.MustAppend(relation.Tuple{relation.Int(p[0]), relation.Int(p[1])})
+	}
+	ts := relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "x", Kind: relation.KindFloat},
+	)
+	tt := relation.New("T", ts)
+	tt.MustAppend(relation.Tuple{relation.Str("hi"), relation.Float(0.5)})
+	tt.MustAppend(relation.Tuple{relation.Str("lo"), relation.Float(2.5)})
+	return algebra.MapCatalog{"R": r, "S": s, "T": tt}
+}
+
+// parseCount parses a count query and returns its exact value.
+func parseCount(t *testing.T, q string) int64 {
+	t.Helper()
+	cat := testCatalog()
+	st, err := Parse(q, CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	if st.IsDistinct() {
+		t.Fatalf("%q parsed as distinct", q)
+	}
+	got, err := algebra.Count(st.Expr, cat)
+	if err != nil {
+		t.Fatalf("eval %q: %v", q, err)
+	}
+	return got
+}
+
+func TestParseCountQueries(t *testing.T) {
+	cases := []struct {
+		q    string
+		want int64
+	}{
+		{"count(R)", 4},
+		{"COUNT(R)", 4},
+		{"count(select(R, a >= 2))", 3},
+		{"count(select(R, a >= 2 and b < 40))", 2},
+		{"count(select(R, a = b))", 0},
+		{"count(join(R, S, on a = a))", 2},
+		{"count(join(R, S, on a = a, b = b))", 1},
+		{"count(product(R, S))", 12},
+		{"count(union(R, S))", 6},
+		{"count(intersect(R, S))", 1},
+		{"count(except(R, S))", 3},
+		{"count(except(union(R, S), intersect(R, S)))", 5},
+		{"count(select(T, name = 'hi'))", 1},
+		{"count(select(T, x < 1.0))", 1},
+		{"count(project(R, b))", 4},
+		{"count(join(select(R, a > 1), select(S, b != 99), on a = a))", 1},
+	}
+	for _, c := range cases {
+		if got := parseCount(t, c.q); got != c.want {
+			t.Errorf("%q = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestParseSumAvg(t *testing.T) {
+	cat := testCatalog()
+	st, err := Parse("sum(select(R, a >= 2), b)", CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != "sum" || st.AggCol != "b" || st.IsDistinct() {
+		t.Errorf("statement %+v", st)
+	}
+	st, err = Parse("AVG(R, a)", CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != "avg" || st.AggCol != "a" {
+		t.Errorf("statement %+v", st)
+	}
+	st, err = Parse("group(join(R, S, on a = a), b)", CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg != "group" || st.AggCol != "b" {
+		t.Errorf("statement %+v", st)
+	}
+	// Aggregated column must exist in the expression's output schema.
+	if _, err := Parse("sum(R, zz)", CatalogSchemas{Cat: cat}); err == nil {
+		t.Error("unknown aggregate column should fail")
+	}
+	if _, err := Parse("sum(R)", CatalogSchemas{Cat: cat}); err == nil {
+		t.Error("sum without column should fail")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	cat := testCatalog()
+	st, err := Parse("distinct(R.a, b)", CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsDistinct() || st.DistinctRel != "R" || len(st.DistinctCols) != 2 {
+		t.Errorf("statement %+v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := testCatalog()
+	bad := []string{
+		"",
+		"count",
+		"count(R",
+		"count(R))",
+		"count(nope)",
+		"count(select(R))",
+		"count(select(R, zz > 1))",
+		"count(join(R, S))",
+		"count(join(R, S, on a < a))",
+		"count(join(R, S, on zz = a))",
+		"count(union(R, T))",
+		"select(R, a > 1)",
+		"count(project(R))",
+		"distinct(R)",
+		"distinct(R.zz)",
+		"distinct(nope.a)",
+		"count(select(R, a > ))",
+		"count(select(R, a $ 1))",
+		"count(select(T, name = 'unterminated))",
+		"count(select(R, a >> 1))",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q, CatalogSchemas{Cat: cat}); err == nil {
+			t.Errorf("%q should fail to parse", q)
+		}
+	}
+}
+
+func TestParseColumnComparison(t *testing.T) {
+	got := parseCount(t, "count(select(R, b > a))")
+	if got != 4 {
+		t.Errorf("b > a count %d, want 4", got)
+	}
+	// Null literal.
+	got = parseCount(t, "count(select(R, a = null))")
+	if got != 0 {
+		t.Errorf("null comparison count %d, want 0", got)
+	}
+}
+
+func TestParseNestedJoinPrefixes(t *testing.T) {
+	// Nested joins must not collide on generated column prefixes.
+	q := "count(join(join(R, S, on a = a), S, on a = a))"
+	if got := parseCount(t, q); got != 2 {
+		t.Errorf("%q = %d, want 2", q, got)
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	toks, err := lex("select 'hello world' 1.5 -3 <=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{tokIdent, tokString, tokFloat, tokInt, tokOp, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens %v", toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: kind %d, want %d", i, kinds[i], want[i])
+		}
+	}
+	if toks[1].text != "hello world" {
+		t.Errorf("string token %q", toks[1].text)
+	}
+}
+
+func TestStatementEstimable(t *testing.T) {
+	// Parsed count queries without π normalize; with π they do not (the
+	// CLI routes them to the distinct estimators instead).
+	cat := testCatalog()
+	st, err := Parse("count(join(R, S, on a = a))", CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := algebra.Normalize(st.Expr); err != nil {
+		t.Errorf("join query should normalize: %v", err)
+	}
+	st, err = Parse("count(project(R, b))", CatalogSchemas{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := algebra.Normalize(st.Expr); err == nil {
+		t.Error("π query should not normalize")
+	}
+	if !strings.Contains(st.Expr.String(), "project") {
+		t.Errorf("expr string %q", st.Expr.String())
+	}
+}

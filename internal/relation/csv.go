@@ -1,0 +1,122 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ImportCSV reads a relation from CSV. The first record must be a header of
+// column names. If schema is nil, column kinds are inferred by attempting
+// int, then float, then string parses over every data row (empty cells are
+// nulls and do not constrain inference). If schema is non-nil, its arity
+// must match the header and cells are parsed with its kinds.
+func ImportCSV(name string, r io.Reader, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV for %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: CSV for %s has no header", name)
+	}
+	header := records[0]
+	data := records[1:]
+
+	if schema == nil {
+		kinds := inferKinds(header, data)
+		cols := make([]Column, len(header))
+		for i, h := range header {
+			cols[i] = Column{Name: h, Kind: kinds[i]}
+		}
+		schema, err = NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+	} else if schema.Len() != len(header) {
+		return nil, fmt.Errorf("relation: CSV for %s has %d columns, schema has %d", name, len(header), schema.Len())
+	}
+
+	rel := New(name, schema)
+	for rowNum, rec := range data {
+		t := make(Tuple, len(rec))
+		for i, cell := range rec {
+			v, err := ParseValue(cell, schema.Column(i).Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: %s row %d: %w", name, rowNum+2, err)
+			}
+			t[i] = v
+		}
+		if err := rel.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// inferKinds picks the narrowest kind that parses every non-empty cell of
+// each column: int ⊂ float ⊂ string. All-empty columns default to string.
+func inferKinds(header []string, data [][]string) []Kind {
+	kinds := make([]Kind, len(header))
+	for c := range header {
+		canInt, canFloat, nonEmpty := true, true, false
+		for _, rec := range data {
+			if c >= len(rec) || rec[c] == "" {
+				continue
+			}
+			nonEmpty = true
+			if canInt {
+				if _, err := strconv.ParseInt(rec[c], 10, 64); err != nil {
+					canInt = false
+				}
+			}
+			if canFloat && !canInt {
+				if _, err := strconv.ParseFloat(rec[c], 64); err != nil {
+					canFloat = false
+				}
+			}
+			if !canFloat {
+				break
+			}
+		}
+		switch {
+		case !nonEmpty:
+			kinds[c] = KindString
+		case canInt:
+			kinds[c] = KindInt
+		case canFloat:
+			kinds[c] = KindFloat
+		default:
+			kinds[c] = KindString
+		}
+	}
+	return kinds
+}
+
+// ExportCSV writes the relation as CSV with a header row. Null values are
+// written as empty cells.
+func ExportCSV(rel *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Names()); err != nil {
+		return fmt.Errorf("relation: writing CSV header for %s: %w", rel.Name(), err)
+	}
+	rec := make([]string, rel.Schema().Len())
+	var outerErr error
+	rel.Each(func(i int, t Tuple) bool {
+		for j, v := range t {
+			rec[j] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			outerErr = fmt.Errorf("relation: writing CSV row %d for %s: %w", i, rel.Name(), err)
+			return false
+		}
+		return true
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,46 @@
+package relation
+
+// Index is a hash index mapping a composite key over a fixed column set to
+// the row positions holding that key. It is the access path used by the
+// exact evaluator's hash joins and by the estimators' sample-side joins.
+type Index struct {
+	cols    []int
+	buckets map[string][]int
+}
+
+// BuildIndex indexes relation r on the given column positions.
+func BuildIndex(r *Relation, cols []int) *Index {
+	ix := &Index{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[string][]int, r.Len()),
+	}
+	r.Each(func(i int, t Tuple) bool {
+		k := t.Key(ix.cols)
+		ix.buckets[k] = append(ix.buckets[k], i)
+		return true
+	})
+	return ix
+}
+
+// Lookup returns the row positions whose key columns equal those of probe
+// (a tuple from another relation) at probeCols. The returned slice must not
+// be modified.
+func (ix *Index) Lookup(probe Tuple, probeCols []int) []int {
+	return ix.buckets[probe.Key(probeCols)]
+}
+
+// LookupKey returns the row positions for a pre-built key.
+func (ix *Index) LookupKey(key string) []int { return ix.buckets[key] }
+
+// Buckets returns the number of distinct keys in the index.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// EachBucket iterates over (key, positions) pairs in unspecified order,
+// stopping early if fn returns false.
+func (ix *Index) EachBucket(fn func(key string, positions []int) bool) {
+	for k, ps := range ix.buckets {
+		if !fn(k, ps) {
+			return
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) for the value and tuple invariants
+// everything above this package depends on.
+
+// randomValue draws an arbitrary Value from the generator's entropy.
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(4) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(int64(rng.Intn(21) - 10))
+	case 2:
+		return Float(float64(rng.Intn(41)-20) / 4)
+	default:
+		letters := []string{"", "a", "b", "ab", "ba", "z"}
+		return Str(letters[rng.Intn(len(letters))])
+	}
+}
+
+func TestQuickCompareIsTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(rng), randomValue(rng), randomValue(rng)
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Reflexivity.
+		if a.Compare(a) != 0 {
+			return false
+		}
+		// Transitivity (≤).
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		// Equal ⇒ equal hashes and equal keys.
+		if a.Compare(b) == 0 {
+			if a.Hash() != b.Hash() {
+				return false
+			}
+			if string(a.appendKey(nil)) != string(b.appendKey(nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyConsistentWithEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(3)
+		a := make(Tuple, width)
+		b := make(Tuple, width)
+		for i := 0; i < width; i++ {
+			a[i] = randomValue(rng)
+			b[i] = randomValue(rng)
+		}
+		return a.Equal(b) == (a.Key(nil) == b.Key(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := MustSchema(
+			Column{Name: "i", Kind: KindInt},
+			Column{Name: "f", Kind: KindFloat},
+			Column{Name: "s", Kind: KindString},
+		)
+		r := New("R", schema)
+		n := rng.Intn(20)
+		for k := 0; k < n; k++ {
+			row := Tuple{Int(int64(rng.Intn(1000) - 500)), Float(rng.Float64() * 100), Str(csvSafeString(rng))}
+			if rng.Intn(8) == 0 {
+				row[rng.Intn(3)] = Null()
+			}
+			r.MustAppend(row)
+		}
+		var buf bytes.Buffer
+		if err := ExportCSV(r, &buf); err != nil {
+			return false
+		}
+		got, err := ImportCSV("R", bytes.NewReader(buf.Bytes()), schema)
+		if err != nil {
+			return false
+		}
+		if got.Len() != r.Len() {
+			return false
+		}
+		for i := 0; i < r.Len(); i++ {
+			if !got.Tuple(i).Equal(r.Tuple(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// csvSafeString avoids the one representational ambiguity of the CSV
+// format: the empty string round-trips as null.
+func csvSafeString(rng *rand.Rand) string {
+	options := []string{"x", "hello", "with,comma", `with"quote`, "multi\nline", "späce"}
+	return options[rng.Intn(len(options))]
+}
+
+func TestQuickDistinctIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New("R", MustSchema(Column{Name: "a", Kind: KindInt}))
+		for k := 0; k < rng.Intn(30); k++ {
+			r.MustAppend(Tuple{Int(int64(rng.Intn(5)))})
+		}
+		d1 := r.Distinct("d1")
+		d2 := d1.Distinct("d2")
+		if d1.Len() != d2.Len() {
+			return false
+		}
+		return d1.IsSet()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetPreservesTuples(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New("R", MustSchema(Column{Name: "a", Kind: KindInt}))
+		n := 1 + rng.Intn(20)
+		for k := 0; k < n; k++ {
+			r.MustAppend(Tuple{Int(int64(k))})
+		}
+		m := rng.Intn(n + 1)
+		pos := make([]int, m)
+		for i := range pos {
+			pos[i] = rng.Intn(n)
+		}
+		s := r.Subset("S", pos)
+		if s.Len() != m {
+			return false
+		}
+		for i, p := range pos {
+			if !s.Tuple(i).Equal(r.Tuple(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

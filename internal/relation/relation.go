@@ -1,0 +1,210 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation: a slice of values positionally aligned
+// with a schema. Tuples are treated as immutable once appended.
+type Tuple []Value
+
+// Equal reports whether two tuples have equal values position by position.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by Value.Compare.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a self-delimiting byte-string key over the given column
+// positions, suitable for use as a map key in hash joins: two tuples have
+// equal keys over cols iff the projected values are pairwise Equal.
+// Passing nil cols keys the whole tuple.
+func (t Tuple) Key(cols []int) string {
+	buf := make([]byte, 0, 16*max(1, len(cols)))
+	if cols == nil {
+		for _, v := range t {
+			buf = v.appendKey(buf)
+		}
+		return string(buf)
+	}
+	for _, c := range cols {
+		buf = t[c].appendKey(buf)
+	}
+	return string(buf)
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Relation is an in-memory bag of tuples with a fixed schema and a name.
+// Rows are addressable by dense position [0, Len), which is what the
+// sampling layer relies on. A Relation is safe for concurrent reads after
+// construction; appends are not synchronized.
+type Relation struct {
+	name   string
+	schema *Schema
+	rows   []Tuple
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{name: name, schema: schema}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Tuple returns the row at position i. The returned slice must not be
+// modified.
+func (r *Relation) Tuple(i int) Tuple { return r.rows[i] }
+
+// Append adds a tuple after validating its arity and kinds against the
+// schema (nulls are accepted in any column).
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Len() {
+		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d", r.name, len(t), r.schema.Len())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		if want := r.schema.Column(i).Kind; v.Kind() != want {
+			return fmt.Errorf("relation %s: column %s expects %s, got %s",
+				r.name, r.schema.Column(i).Name, want, v.Kind())
+		}
+	}
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error, for tests and generators whose
+// tuples are constructed type-correct by design.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// AppendRow is a convenience wrapper building a tuple from values.
+func (r *Relation) AppendRow(vals ...Value) error { return r.Append(Tuple(vals)) }
+
+// Each calls fn for every row position and tuple, stopping early if fn
+// returns false.
+func (r *Relation) Each(fn func(i int, t Tuple) bool) {
+	for i, t := range r.rows {
+		if !fn(i, t) {
+			return
+		}
+	}
+}
+
+// Subset returns a new relation containing the rows at the given positions,
+// in the given order. Positions may repeat. It shares tuple storage with r.
+func (r *Relation) Subset(name string, positions []int) *Relation {
+	out := New(name, r.schema)
+	out.rows = make([]Tuple, len(positions))
+	for i, p := range positions {
+		out.rows[i] = r.rows[p]
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy: a new row slice over the same immutable
+// tuples.
+func (r *Relation) Clone(name string) *Relation {
+	out := New(name, r.schema)
+	out.rows = append([]Tuple(nil), r.rows...)
+	return out
+}
+
+// Distinct returns a new relation with duplicate tuples removed, preserving
+// first-occurrence order.
+func (r *Relation) Distinct(name string) *Relation {
+	out := New(name, r.schema)
+	seen := make(map[string]struct{}, len(r.rows))
+	for _, t := range r.rows {
+		k := t.Key(nil)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.rows = append(out.rows, t)
+	}
+	return out
+}
+
+// IsSet reports whether the relation contains no duplicate tuples.
+func (r *Relation) IsSet() bool {
+	seen := make(map[string]struct{}, len(r.rows))
+	for _, t := range r.rows {
+		k := t.Key(nil)
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+	}
+	return true
+}
+
+// Sort sorts the rows in place lexicographically; used to canonicalize
+// relations in tests.
+func (r *Relation) Sort() {
+	sort.Slice(r.rows, func(i, j int) bool { return r.rows[i].Compare(r.rows[j]) < 0 })
+}
+
+// String renders a compact description, not the data.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s%s[%d rows]", r.name, r.schema, len(r.rows))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

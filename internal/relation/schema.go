@@ -1,0 +1,137 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Column names within a schema are
+// unique (enforced by NewSchema).
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from columns, validating that names are
+// non-empty and unique.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: column %d has empty name", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column name %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for use in tests and
+// statically known schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustColumnIndex is ColumnIndex that panics when the column is missing.
+func (s *Schema) MustColumnIndex(name string) int {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: no column %q in schema %s", name, s))
+	}
+	return i
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns a new schema containing the columns at the given
+// positions, in that order. It errors on out-of-range positions or if the
+// projection would duplicate a name.
+func (s *Schema) Project(positions []int) (*Schema, error) {
+	cols := make([]Column, len(positions))
+	for i, p := range positions {
+		if p < 0 || p >= len(s.cols) {
+			return nil, fmt.Errorf("relation: projection position %d outside schema of %d columns", p, len(s.cols))
+		}
+		cols[i] = s.cols[p]
+	}
+	return NewSchema(cols...)
+}
+
+// Concat returns the schema of a cartesian product: s's columns followed by
+// t's. Name collisions are disambiguated by prefixing the colliding column
+// from t with the given prefix (typically the relation name) and a dot.
+func (s *Schema) Concat(t *Schema, prefix string) (*Schema, error) {
+	cols := s.Columns()
+	for _, c := range t.cols {
+		name := c.Name
+		if s.ColumnIndex(name) >= 0 {
+			name = prefix + "." + name
+		}
+		cols = append(cols, Column{Name: name, Kind: c.Kind})
+	}
+	return NewSchema(cols...)
+}
+
+// EqualLayout reports whether two schemas have the same column kinds in the
+// same order (names may differ). Set operations require equal layouts.
+func (s *Schema) EqualLayout(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i].Kind != t.cols[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name kind, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

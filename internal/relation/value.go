@@ -1,0 +1,275 @@
+// Package relation implements the in-memory row-store that the algebra,
+// sampling and estimation layers operate on: typed values, schemas, tuples,
+// relations, hash indexes, and CSV import/export.
+//
+// The design goals, in order: correctness of value semantics (comparison,
+// hashing and null handling are used by every join and set operation above),
+// cheap random access by row position (sampling addresses tuples by index),
+// and zero dependencies beyond the standard library.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the value types supported by the engine.
+type Kind uint8
+
+const (
+	// KindNull is the type of the SQL-style null value.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable byte string.
+	KindString
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding one typed datum. The zero Value
+// is the null value. Values are immutable; all methods take value receivers.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value. The name Str avoids colliding with the
+// fmt.Stringer method.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int64 returns the integer payload. It panics if the kind is not KindInt.
+func (v Value) Int64() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("relation: Int64 on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float64 returns the numeric payload as a float64. Integers are widened.
+// It panics for non-numeric kinds.
+func (v Value) Float64() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		panic(fmt.Sprintf("relation: Float64 on %s value", v.kind))
+	}
+}
+
+// Text returns the string payload. It panics if the kind is not KindString.
+func (v Value) Text() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("relation: Text on %s value", v.kind))
+	}
+	return v.s
+}
+
+// String renders the value for display and CSV export.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Equal reports value equality. Numeric values of different kinds compare
+// numerically (Int(2) equals Float(2.0)); null equals only null. This is the
+// equality used by joins, intersections and duplicate elimination, so it
+// must agree with Compare and with Hash.
+func (v Value) Equal(u Value) bool { return v.Compare(u) == 0 }
+
+// Compare returns -1, 0 or +1 ordering v against u. The total order is:
+// null < all numerics < all strings; numerics order numerically across
+// kinds; strings order lexicographically. A deterministic total order across
+// kinds keeps sort-based algorithms well defined even on mixed columns.
+func (v Value) Compare(u Value) int {
+	va, ub := v.class(), u.class()
+	if va != ub {
+		if va < ub {
+			return -1
+		}
+		return 1
+	}
+	switch va {
+	case 0: // both null
+		return 0
+	case 1: // both numeric
+		// Compare exactly when both are ints to avoid float rounding.
+		if v.kind == KindInt && u.kind == KindInt {
+			switch {
+			case v.i < u.i:
+				return -1
+			case v.i > u.i:
+				return 1
+			}
+			return 0
+		}
+		a, b := v.Float64(), u.Float64()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	default: // both string
+		switch {
+		case v.s < u.s:
+			return -1
+		case v.s > u.s:
+			return 1
+		}
+		return 0
+	}
+}
+
+// class buckets kinds into null(0) / numeric(1) / string(2) for Compare.
+func (v Value) class() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// fnv64 constants for value hashing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the value consistent with Equal: values
+// that compare equal hash identically (in particular Int(2) and Float(2.0)).
+func (v Value) Hash() uint64 {
+	var h uint64 = fnvOffset
+	mix := func(b byte) { h = (h ^ uint64(b)) * fnvPrime }
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindInt, KindFloat:
+		// Hash the numeric value through its float64 bits so that Int(k)
+		// and Float(k) collide, as Equal demands. Fold -0 into +0.
+		f := v.Float64()
+		if f == 0 {
+			f = 0
+		}
+		bits := math.Float64bits(f)
+		mix(1)
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	case KindString:
+		mix(2)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	}
+	return h
+}
+
+// appendKey appends a self-delimiting encoding of the value to dst such
+// that two values have identical encodings iff they are Equal. Used to
+// build composite hash-join keys.
+func (v Value) appendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0)
+	case KindInt, KindFloat:
+		f := v.Float64()
+		if f == 0 {
+			f = 0 // fold -0
+		}
+		bits := math.Float64bits(f)
+		dst = append(dst, 1)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(bits>>(8*i)))
+		}
+		return dst
+	default:
+		dst = append(dst, 2)
+		var lenbuf [4]byte
+		n := len(v.s)
+		lenbuf[0] = byte(n)
+		lenbuf[1] = byte(n >> 8)
+		lenbuf[2] = byte(n >> 16)
+		lenbuf[3] = byte(n >> 24)
+		dst = append(dst, lenbuf[:]...)
+		return append(dst, v.s...)
+	}
+}
+
+// ParseValue parses s into a Value of the given kind. Empty strings parse
+// to null for every kind, matching the CSV convention used by Export.
+func ParseValue(s string, k Kind) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch k {
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parsing %q as int: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parsing %q as float: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return Str(s), nil
+	case KindNull:
+		return Null(), nil
+	default:
+		return Value{}, fmt.Errorf("relation: unknown kind %v", k)
+	}
+}

@@ -1,0 +1,284 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Reservoir maintains a uniform SRSWOR sample of capacity k over an
+// insert-only stream of unknown length: after any number of Add calls, the
+// held items are a uniform k-subset of everything added so far (or all of
+// it, while fewer than k items have arrived).
+//
+// The implementation is Vitter's Algorithm R upgraded with the skip-based
+// acceleration of Algorithm X: once the reservoir is full it draws, in O(1)
+// amortized time, the number of stream items to skip before the next
+// replacement, instead of flipping a coin per item.
+type Reservoir[T any] struct {
+	rng   *rand.Rand
+	cap   int
+	seen  int64
+	items []T
+	skip  int64 // items still to pass over before the next replacement
+}
+
+// NewReservoir creates a reservoir with the given capacity.
+// It panics if capacity < 1.
+func NewReservoir[T any](rng *rand.Rand, capacity int) *Reservoir[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sampling: reservoir capacity %d < 1", capacity))
+	}
+	return &Reservoir[T]{rng: rng, cap: capacity}
+}
+
+// Add offers one stream item to the reservoir.
+func (r *Reservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, item)
+		if len(r.items) == r.cap {
+			r.skip = r.drawSkip()
+		}
+		return
+	}
+	if r.skip > 0 {
+		r.skip--
+		return
+	}
+	// This item replaces a uniformly chosen slot.
+	r.items[r.rng.Intn(r.cap)] = item
+	r.skip = r.drawSkip()
+}
+
+// drawSkip draws the number of upcoming items to pass over before the next
+// replacement, using the Algorithm X distribution: with t items seen so far
+// and a full reservoir of size k,
+//
+//	P(skip ≥ s) = ∏_{j=1..s} (t+j−k)/(t+j),
+//
+// inverted by sequential search against one uniform variate. The expected
+// work per accepted item is O(t/k), making the whole stream O(k·(1+log(T/k)))
+// random draws instead of one per item.
+func (r *Reservoir[T]) drawSkip() int64 {
+	k := int64(r.cap)
+	t := r.seen
+	u := r.rng.Float64()
+	var s int64
+	// quot = P(skip ≥ s+1), maintained incrementally.
+	quot := float64(t+1-k) / float64(t+1)
+	for quot > u {
+		s++
+		t++
+		quot *= float64(t+1-k) / float64(t+1)
+	}
+	return s
+}
+
+// Items returns the current sample. The returned slice is the reservoir's
+// own storage and must not be modified.
+func (r *Reservoir[T]) Items() []T { return r.items }
+
+// Seen returns the number of items offered so far.
+func (r *Reservoir[T]) Seen() int64 { return r.seen }
+
+// Cap returns the reservoir capacity.
+func (r *Reservoir[T]) Cap() int { return r.cap }
+
+// PairedReservoir maintains a bounded uniform sample over a stream of
+// insertions AND deletions, using the random-pairing scheme
+// (Gemulla–Lehner–Haas, VLDB 2006): every deletion is conceptually paired
+// with a future insertion that "re-fills" the hole it left, which preserves
+// the uniformity of the sample without ever rescanning the base data.
+//
+// Items are identified for deletion by the key function supplied at
+// construction; the population is multiset-semantics (deleting a key
+// removes one instance).
+type PairedReservoir[T any] struct {
+	rng  *rand.Rand
+	cap  int
+	key  func(T) string
+	size int64 // current population size (inserts − deletes)
+
+	items []T
+	index map[string][]int // key → slots holding it (for deletion lookup)
+
+	// Uncompensated deletions: c1 counts deletions that removed a sample
+	// item, c2 deletions that did not. While c1+c2 > 0, insertions
+	// compensate them instead of running the plain reservoir step.
+	c1, c2 int64
+}
+
+// NewPairedReservoir creates a random-pairing reservoir with the given
+// capacity and key function. It panics if capacity < 1 or key is nil.
+func NewPairedReservoir[T any](rng *rand.Rand, capacity int, key func(T) string) *PairedReservoir[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sampling: paired reservoir capacity %d < 1", capacity))
+	}
+	if key == nil {
+		panic("sampling: paired reservoir requires a key function")
+	}
+	return &PairedReservoir[T]{
+		rng:   rng,
+		cap:   capacity,
+		key:   key,
+		index: make(map[string][]int),
+	}
+}
+
+// Insert offers an insertion to the reservoir.
+func (p *PairedReservoir[T]) Insert(item T) {
+	p.size++
+	if p.c1+p.c2 > 0 {
+		// Compensation step: this insertion is paired with one of the
+		// uncompensated deletions. With probability c1/(c1+c2) it refills
+		// a hole the sample itself suffered.
+		if float64(p.c1) > p.rng.Float64()*float64(p.c1+p.c2) {
+			p.place(item)
+			p.c1--
+		} else {
+			p.c2--
+		}
+		return
+	}
+	// Plain reservoir step over the current population size.
+	if len(p.items) < p.cap {
+		p.place(item)
+		return
+	}
+	if int64(p.rng.Intn(int(p.size))) < int64(p.cap) {
+		p.replace(p.rng.Intn(p.cap), item)
+	}
+}
+
+// Delete processes a deletion of one instance of the given item. It returns
+// false if the population does not contain the item according to the
+// maintained size counter being zero; callers streaming well-formed
+// insert/delete sequences can ignore the return value.
+func (p *PairedReservoir[T]) Delete(item T) bool {
+	if p.size == 0 {
+		return false
+	}
+	p.size--
+	k := p.key(item)
+	if slots := p.index[k]; len(slots) > 0 {
+		p.removeSlot(slots[len(slots)-1])
+		p.c1++
+	} else {
+		p.c2++
+	}
+	return true
+}
+
+// place appends an item into a free slot.
+func (p *PairedReservoir[T]) place(item T) {
+	p.items = append(p.items, item)
+	slot := len(p.items) - 1
+	k := p.key(item)
+	p.index[k] = append(p.index[k], slot)
+}
+
+// replace overwrites the item at slot with a new item.
+func (p *PairedReservoir[T]) replace(slot int, item T) {
+	p.unindex(slot)
+	p.items[slot] = item
+	k := p.key(item)
+	p.index[k] = append(p.index[k], slot)
+}
+
+// removeSlot deletes the item at slot, moving the last item into its place.
+func (p *PairedReservoir[T]) removeSlot(slot int) {
+	last := len(p.items) - 1
+	p.unindex(slot)
+	if slot != last {
+		p.unindex(last)
+		p.items[slot] = p.items[last]
+		k := p.key(p.items[slot])
+		p.index[k] = append(p.index[k], slot)
+	}
+	p.items = p.items[:last]
+}
+
+// unindex removes slot from the index entry of the item it holds.
+func (p *PairedReservoir[T]) unindex(slot int) {
+	k := p.key(p.items[slot])
+	slots := p.index[k]
+	for i, s := range slots {
+		if s == slot {
+			slots[i] = slots[len(slots)-1]
+			slots = slots[:len(slots)-1]
+			break
+		}
+	}
+	if len(slots) == 0 {
+		delete(p.index, k)
+	} else {
+		p.index[k] = slots
+	}
+}
+
+// Items returns the current sample; the slice must not be modified.
+func (p *PairedReservoir[T]) Items() []T { return p.items }
+
+// PopulationSize returns the maintained population size
+// (insertions − deletions).
+func (p *PairedReservoir[T]) PopulationSize() int64 { return p.size }
+
+// SampleSize returns the current number of sampled items. It can be below
+// capacity after bursts of deletions; random pairing refills it as
+// insertions arrive.
+func (p *PairedReservoir[T]) SampleSize() int { return len(p.items) }
+
+// Allocation strategies for stratified sampling.
+
+// Proportional allocates a total sample size n across strata proportionally
+// to stratum sizes, largest-remainder rounding, never exceeding a stratum's
+// size. Returns per-stratum sample sizes.
+func Proportional(strataSizes []int, n int) []int {
+	total := 0
+	for _, s := range strataSizes {
+		total += s
+	}
+	out := make([]int, len(strataSizes))
+	if total == 0 || n <= 0 {
+		return out
+	}
+	if n > total {
+		n = total
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, len(strataSizes))
+	assigned := 0
+	for i, s := range strataSizes {
+		exact := float64(n) * float64(s) / float64(total)
+		out[i] = int(math.Floor(exact))
+		if out[i] > s {
+			out[i] = s
+		}
+		assigned += out[i]
+		rems[i] = rem{i: i, frac: exact - math.Floor(exact)}
+	}
+	// Distribute the remainder by largest fractional part, respecting caps.
+	for assigned < n {
+		best := -1
+		for j := range rems {
+			i := rems[j].i
+			if out[i] >= strataSizes[i] {
+				continue
+			}
+			if best < 0 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out[rems[best].i]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestWithoutReplacementBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ N, n int }{{10, 0}, {10, 3}, {10, 10}, {100, 99}, {1000, 5}} {
+		s := WithoutReplacement(rng, c.N, c.n)
+		if len(s) != c.n {
+			t.Fatalf("N=%d n=%d: got %d indices", c.N, c.n, len(s))
+		}
+		if !sort.IntsAreSorted(s) {
+			t.Errorf("N=%d n=%d: not sorted", c.N, c.n)
+		}
+		seen := map[int]bool{}
+		for _, i := range s {
+			if i < 0 || i >= c.N {
+				t.Errorf("index %d outside [0,%d)", i, c.N)
+			}
+			if seen[i] {
+				t.Errorf("duplicate index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestWithoutReplacementPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ N, n int }{{5, 6}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WithoutReplacement(%d, %d) should panic", c.N, c.n)
+				}
+			}()
+			WithoutReplacement(rng, c.N, c.n)
+		}()
+	}
+}
+
+// subsetKey canonicalizes a sample for frequency counting.
+func subsetKey(s []int) string {
+	return fmt.Sprint(s)
+}
+
+func TestWithoutReplacementUniformOverSubsets(t *testing.T) {
+	// N=5, n=2: all C(5,2)=10 subsets must be equally likely. This also
+	// exercises both the Floyd path (n*3 < N is false here: 6 > 5, so the
+	// Fisher–Yates path) — run a second config hitting Floyd's path.
+	configs := []struct{ N, n int }{{5, 2}, {20, 2}}
+	for _, cfg := range configs {
+		rng := rand.New(rand.NewSource(7))
+		const trials = 40000
+		counts := map[string]int{}
+		for i := 0; i < trials; i++ {
+			counts[subsetKey(WithoutReplacement(rng, cfg.N, cfg.n))]++
+		}
+		nsub := choose(cfg.N, cfg.n)
+		want := float64(trials) / float64(nsub)
+		sigma := math.Sqrt(float64(trials) * (1 / float64(nsub)) * (1 - 1/float64(nsub)))
+		if len(counts) != nsub {
+			t.Fatalf("N=%d n=%d: saw %d subsets, want %d", cfg.N, cfg.n, len(counts), nsub)
+		}
+		for k, c := range counts {
+			if math.Abs(float64(c)-want) > 6*sigma {
+				t.Errorf("N=%d n=%d subset %s: count %d, want %.0f±%.0f", cfg.N, cfg.n, k, c, want, 6*sigma)
+			}
+		}
+	}
+}
+
+func TestExtendDistribution(t *testing.T) {
+	// Sample 1 of 5 then extend by 1: the combined pair must be uniform
+	// over all C(5,2) subsets, exactly as a fresh SRSWOR of size 2.
+	rng := rand.New(rand.NewSource(11))
+	const trials = 40000
+	counts := map[string]int{}
+	for i := 0; i < trials; i++ {
+		s := WithoutReplacement(rng, 5, 1)
+		s = Extend(rng, 5, s, 1)
+		counts[subsetKey(s)]++
+	}
+	want := float64(trials) / 10
+	sigma := math.Sqrt(float64(trials) * 0.1 * 0.9)
+	if len(counts) != 10 {
+		t.Fatalf("saw %d subsets, want 10", len(counts))
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Errorf("subset %s: count %d, want %.0f±%.0f", k, c, want, 6*sigma)
+		}
+	}
+}
+
+func TestExtendDensePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := WithoutReplacement(rng, 10, 4)
+	s = Extend(rng, 10, s, 5) // (4+5)*2 >= 10 → complement path
+	if len(s) != 9 || !sort.IntsAreSorted(s) {
+		t.Fatalf("extend dense: %v", s)
+	}
+	seen := map[int]bool{}
+	for _, i := range s {
+		if seen[i] {
+			t.Fatalf("duplicate in %v", s)
+		}
+		seen[i] = true
+	}
+	// m = 0 round-trips.
+	s2 := Extend(rng, 10, s, 0)
+	if len(s2) != len(s) {
+		t.Error("extend by 0 changed size")
+	}
+}
+
+func TestExtendPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-extension should panic")
+			}
+		}()
+		Extend(rng, 5, []int{0, 1}, 4)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate existing sample should panic")
+			}
+		}()
+		Extend(rng, 5, []int{1, 1}, 1)
+	}()
+}
+
+func TestWithReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := WithReplacement(rng, 3, 1000)
+	if len(s) != 1000 {
+		t.Fatal("size")
+	}
+	counts := [3]int{}
+	for _, i := range s {
+		counts[i]++
+	}
+	for v, c := range counts {
+		if c < 250 || c > 420 {
+			t.Errorf("value %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := Bernoulli(rng, 10000, 0.2)
+	if len(s) < 1700 || len(s) > 2300 {
+		t.Errorf("bernoulli size %d far from 2000", len(s))
+	}
+	if !sort.IntsAreSorted(s) {
+		t.Error("not sorted")
+	}
+	if got := Bernoulli(rng, 100, 0); len(got) != 0 {
+		t.Error("p=0 should be empty")
+	}
+	if got := Bernoulli(rng, 100, 1); len(got) != 100 {
+		t.Error("p=1 should include all")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Stream 1..T through a reservoir of size k; each item must end up in
+	// the final sample with probability k/T.
+	const T, k, trials = 100, 10, 20000
+	counts := make([]int, T)
+	rng := rand.New(rand.NewSource(13))
+	for tr := 0; tr < trials; tr++ {
+		r := NewReservoir[int](rng, k)
+		for i := 0; i < T; i++ {
+			r.Add(i)
+		}
+		if len(r.Items()) != k {
+			t.Fatalf("sample size %d", len(r.Items()))
+		}
+		if r.Seen() != T {
+			t.Fatalf("seen %d", r.Seen())
+		}
+		for _, it := range r.Items() {
+			counts[it]++
+		}
+	}
+	p := float64(k) / float64(T)
+	want := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Errorf("item %d in sample %d times, want %.0f±%.0f", i, c, want, 6*sigma)
+		}
+	}
+}
+
+func TestReservoirShortStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewReservoir[string](rng, 5)
+	r.Add("a")
+	r.Add("b")
+	if len(r.Items()) != 2 || r.Cap() != 5 {
+		t.Errorf("short stream: %v", r.Items())
+	}
+}
+
+func TestPairedReservoirInsertOnlyUniform(t *testing.T) {
+	// Without deletions, the paired reservoir must behave exactly like a
+	// plain reservoir: inclusion probability k/T for every item.
+	const T, k, trials = 60, 6, 20000
+	counts := make([]int, T)
+	rng := rand.New(rand.NewSource(17))
+	for tr := 0; tr < trials; tr++ {
+		p := NewPairedReservoir[int](rng, k, func(i int) string { return fmt.Sprint(i) })
+		for i := 0; i < T; i++ {
+			p.Insert(i)
+		}
+		for _, it := range p.Items() {
+			counts[it]++
+		}
+	}
+	pr := float64(k) / float64(T)
+	want := pr * trials
+	sigma := math.Sqrt(trials * pr * (1 - pr))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Errorf("item %d: %d, want %.0f±%.0f", i, c, want, 6*sigma)
+		}
+	}
+}
+
+func TestPairedReservoirDeletionsUniform(t *testing.T) {
+	// Insert 0..29, delete 0..9, insert 30..39. The surviving population is
+	// {10..39} (30 items); each must be included with probability k/30.
+	const k, trials = 5, 30000
+	counts := map[int]int{}
+	rng := rand.New(rand.NewSource(23))
+	for tr := 0; tr < trials; tr++ {
+		p := NewPairedReservoir[int](rng, k, func(i int) string { return fmt.Sprint(i) })
+		for i := 0; i < 30; i++ {
+			p.Insert(i)
+		}
+		for i := 0; i < 10; i++ {
+			p.Delete(i)
+		}
+		for i := 30; i < 40; i++ {
+			p.Insert(i)
+		}
+		if p.PopulationSize() != 30 {
+			t.Fatalf("population %d", p.PopulationSize())
+		}
+		for _, it := range p.Items() {
+			if it < 10 {
+				t.Fatalf("deleted item %d still sampled", it)
+			}
+			counts[it]++
+		}
+	}
+	pr := float64(k) / 30
+	want := pr * trials
+	sigma := math.Sqrt(trials * pr * (1 - pr))
+	for i := 10; i < 40; i++ {
+		if math.Abs(float64(counts[i])-want) > 6*sigma {
+			t.Errorf("item %d: %d, want %.0f±%.0f", i, counts[i], want, 6*sigma)
+		}
+	}
+}
+
+func TestPairedReservoirDeleteUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPairedReservoir[int](rng, 3, func(i int) string { return fmt.Sprint(i) })
+	if p.Delete(7) {
+		t.Error("delete from empty population should report false")
+	}
+	p.Insert(1)
+	p.Insert(2)
+	// Deleting an item not in the sample is legal (it may simply not have
+	// been sampled); population shrinks regardless.
+	p.Delete(1)
+	p.Delete(2)
+	if p.PopulationSize() != 0 {
+		t.Errorf("population %d", p.PopulationSize())
+	}
+	if p.SampleSize() != 0 {
+		t.Errorf("sample %d after deleting everything", p.SampleSize())
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sample := WithoutReplacement(rng, 100, 20)
+	groups := SplitGroups(rng, sample, 4)
+	if len(groups) != 4 {
+		t.Fatal("group count")
+	}
+	var all []int
+	for _, g := range groups {
+		if len(g) != 5 {
+			t.Errorf("group size %d", len(g))
+		}
+		if !sort.IntsAreSorted(g) {
+			t.Error("group not sorted")
+		}
+		all = append(all, g...)
+	}
+	sort.Ints(all)
+	for i := range all {
+		if all[i] != sample[i] {
+			t.Fatalf("groups lost elements: %v vs %v", all, sample)
+		}
+	}
+}
+
+func TestProportional(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		n     int
+		want  []int
+	}{
+		{[]int{50, 30, 20}, 10, []int{5, 3, 2}},
+		{[]int{1, 1, 1}, 2, nil},        // sums to 2, each stratum ≤ 1
+		{[]int{100, 1}, 50, nil},        // cap respected
+		{[]int{0, 0}, 5, []int{0, 0}},   // empty population
+		{[]int{3, 3}, 100, []int{3, 3}}, // n > total clamps
+	}
+	for _, c := range cases {
+		got := Proportional(c.sizes, c.n)
+		sum, total := 0, 0
+		for i, g := range got {
+			if g < 0 || g > c.sizes[i] {
+				t.Errorf("Proportional(%v, %d) = %v: stratum cap violated", c.sizes, c.n, got)
+			}
+			sum += g
+			total += c.sizes[i]
+		}
+		wantSum := c.n
+		if wantSum > total {
+			wantSum = total
+		}
+		if sum != wantSum {
+			t.Errorf("Proportional(%v, %d) = %v sums to %d, want %d", c.sizes, c.n, got, sum, wantSum)
+		}
+		if c.want != nil {
+			for i := range c.want {
+				if got[i] != c.want[i] {
+					t.Errorf("Proportional(%v, %d) = %v, want %v", c.sizes, c.n, got, c.want)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	if a.StreamSeed(3) != b.StreamSeed(3) {
+		t.Error("same root seed must give same stream seeds")
+	}
+	if a.StreamSeed(1) == a.StreamSeed(2) {
+		t.Error("different streams must differ")
+	}
+	s1 := WithoutReplacement(a.Rand(0), 1000, 10)
+	s2 := WithoutReplacement(b.Rand(0), 1000, 10)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("derived streams not reproducible")
+		}
+	}
+}
+
+func choose(n, k int) int {
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

@@ -1,0 +1,170 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// WithoutReplacement draws a simple random sample of n distinct indices
+// from [0, N) — SRSWOR, the sampling design all of the paper's estimators
+// assume. Every size-n subset is equally likely. The returned slice is in
+// ascending order. It panics if n < 0 or n > N.
+//
+// The implementation picks between Floyd's O(n) set-based algorithm (sparse
+// samples) and a partial Fisher–Yates shuffle (dense samples) so that both
+// n ≪ N and n ≈ N are efficient.
+func WithoutReplacement(rng *rand.Rand, N, n int) []int {
+	if n < 0 || n > N {
+		panic(fmt.Sprintf("sampling: WithoutReplacement(N=%d, n=%d) out of range", N, n))
+	}
+	if n == 0 {
+		return []int{}
+	}
+	var out []int
+	if n*3 < N {
+		// Floyd's algorithm: for j = N−n .. N−1, draw t ∈ [0, j]; take t
+		// unless already taken, in which case take j. Yields a uniform
+		// n-subset using exactly n random draws and an O(n) set.
+		chosen := make(map[int]struct{}, n)
+		for j := N - n; j < N; j++ {
+			t := rng.Intn(j + 1)
+			if _, taken := chosen[t]; taken {
+				chosen[j] = struct{}{}
+			} else {
+				chosen[t] = struct{}{}
+			}
+		}
+		out = make([]int, 0, n)
+		for i := range chosen {
+			out = append(out, i)
+		}
+	} else {
+		// Partial Fisher–Yates over the full index range.
+		perm := make([]int, N)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := 0; i < n; i++ {
+			j := i + rng.Intn(N-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		out = perm[:n:n]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Extend enlarges an existing SRSWOR sample of [0, N) by m additional
+// distinct indices drawn uniformly from the complement, returning the
+// combined ascending sample. The result is distributed exactly as a fresh
+// SRSWOR sample of size len(existing)+m (sequential double sampling relies
+// on this). It panics if the extension is impossible.
+func Extend(rng *rand.Rand, N int, existing []int, m int) []int {
+	n := len(existing)
+	if m < 0 || n+m > N {
+		panic(fmt.Sprintf("sampling: Extend(N=%d, n=%d, m=%d) out of range", N, n, m))
+	}
+	if m == 0 {
+		out := append([]int(nil), existing...)
+		sort.Ints(out)
+		return out
+	}
+	taken := make(map[int]struct{}, n+m)
+	for _, i := range existing {
+		taken[i] = struct{}{}
+	}
+	if len(taken) != n {
+		panic("sampling: Extend given sample with duplicate indices")
+	}
+	// Rejection sampling is efficient while the occupied fraction is small;
+	// fall back to sampling positions in the complement when it is not.
+	if (n+m)*2 < N {
+		for added := 0; added < m; {
+			c := rng.Intn(N)
+			if _, dup := taken[c]; dup {
+				continue
+			}
+			taken[c] = struct{}{}
+			added++
+		}
+	} else {
+		complement := make([]int, 0, N-n)
+		for i := 0; i < N; i++ {
+			if _, dup := taken[i]; !dup {
+				complement = append(complement, i)
+			}
+		}
+		for _, pos := range WithoutReplacement(rng, len(complement), m) {
+			taken[complement[pos]] = struct{}{}
+		}
+	}
+	out := make([]int, 0, n+m)
+	for i := range taken {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WithReplacement draws n indices uniformly and independently from [0, N)
+// — SRSWR, provided for baseline comparisons. It panics if n < 0 or N <= 0
+// with n > 0.
+func WithReplacement(rng *rand.Rand, N, n int) []int {
+	if n < 0 || (N <= 0 && n > 0) {
+		panic(fmt.Sprintf("sampling: WithReplacement(N=%d, n=%d) out of range", N, n))
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(N)
+	}
+	return out
+}
+
+// Bernoulli includes each index of [0, N) independently with probability p,
+// returning the ascending included indices. The expected sample size is
+// N·p but the realized size is random — the property that distinguishes
+// Bernoulli designs from SRSWOR in the estimators' variance.
+func Bernoulli(rng *rand.Rand, N int, p float64) []int {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sampling: Bernoulli probability %v outside [0,1]", p))
+	}
+	var out []int
+	for i := 0; i < N; i++ {
+		if rng.Float64() < p {
+			out = append(out, i)
+		}
+	}
+	if out == nil {
+		out = []int{}
+	}
+	return out
+}
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func Shuffle(rng *rand.Rand, xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// SplitGroups partitions a sample into g nearly equal groups after a random
+// shuffle, for split-sample (replicated) variance estimation. Each group is
+// itself an SRSWOR sample of the population. It panics if g < 1; groups may
+// be empty when g exceeds the sample size.
+func SplitGroups(rng *rand.Rand, sample []int, g int) [][]int {
+	if g < 1 {
+		panic(fmt.Sprintf("sampling: SplitGroups with g=%d", g))
+	}
+	shuffled := append([]int(nil), sample...)
+	Shuffle(rng, shuffled)
+	groups := make([][]int, g)
+	for i, x := range shuffled {
+		groups[i%g] = append(groups[i%g], x)
+	}
+	for i := range groups {
+		sort.Ints(groups[i])
+	}
+	return groups
+}

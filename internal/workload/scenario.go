@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math/rand"
+
+	"relest/internal/relation"
+)
+
+// The employees/departments scenario: a small realistic schema used by the
+// examples and the CLI's bundled demo data. Age and salary follow the
+// rounded, hump-shaped marginals real HR data exhibits, and department
+// sizes are skewed.
+
+// EmployeeSchema returns the schema of the employees relation.
+func EmployeeSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "emp_id", Kind: relation.KindInt},
+		relation.Column{Name: "dept_id", Kind: relation.KindInt},
+		relation.Column{Name: "age", Kind: relation.KindInt},
+		relation.Column{Name: "salary", Kind: relation.KindInt},
+	)
+}
+
+// DepartmentSchema returns the schema of the departments relation.
+func DepartmentSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "dept_id", Kind: relation.KindInt},
+		relation.Column{Name: "budget", Kind: relation.KindInt},
+		relation.Column{Name: "site", Kind: relation.KindInt},
+	)
+}
+
+// Company generates an employees relation of n rows over d departments and
+// the matching departments relation. Department sizes are Zipf(0.8); ages
+// cluster around 40 ± 10; salaries correlate loosely with age.
+func Company(rng *rand.Rand, n, d int) (employees, departments *relation.Relation) {
+	employees = relation.New("employees", EmployeeSchema())
+	departments = relation.New("departments", DepartmentSchema())
+
+	deptOf := make([]int, 0, n)
+	for dept, c := range ZipfFrequencies(0.8, d, n) {
+		for k := 0; k < c; k++ {
+			deptOf = append(deptOf, dept)
+		}
+	}
+	perm := rng.Perm(len(deptOf))
+	for i := 0; i < n; i++ {
+		dept := deptOf[perm[i]]
+		age := int64(40 + rng.NormFloat64()*10)
+		if age < 18 {
+			age = 18
+		}
+		if age > 67 {
+			age = 67
+		}
+		salary := int64(30000 + (age-18)*900 + int64(rng.NormFloat64()*8000))
+		if salary < 22000 {
+			salary = 22000
+		}
+		employees.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(dept)),
+			relation.Int(age),
+			relation.Int(salary),
+		})
+	}
+	for dept := 0; dept < d; dept++ {
+		departments.MustAppend(relation.Tuple{
+			relation.Int(int64(dept)),
+			relation.Int(int64(100000 + rng.Intn(900000))),
+			relation.Int(int64(dept % 5)),
+		})
+	}
+	return employees, departments
+}
+
+// Op is one event of an insert/delete stream.
+type Op struct {
+	Rel    string
+	Delete bool
+	Tuple  relation.Tuple
+}
+
+// StreamSpec configures an insert/delete stream over one relation of
+// JoinSchema tuples.
+type StreamSpec struct {
+	Rel        string
+	Ops        int     // total operations
+	DeleteFrac float64 // fraction of operations that delete a live tuple
+	Z          float64 // skew of the join attribute
+	Domain     int     // join attribute domain
+}
+
+// Stream generates a well-formed insert/delete sequence: deletions only
+// target tuples currently live, tuples are value-unique (JoinSchema ids),
+// and the join attribute of inserted tuples is Zipf(Z)-distributed.
+func Stream(rng *rand.Rand, spec StreamSpec) []Op {
+	if spec.Domain < 1 {
+		spec.Domain = 1000
+	}
+	weights := ZipfFrequencies(spec.Z, spec.Domain, 1<<16)
+	cum := make([]int, len(weights))
+	s := 0
+	for i, w := range weights {
+		s += w
+		cum[i] = s
+	}
+	drawValue := func() int64 {
+		u := rng.Intn(s)
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] > u {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return int64(lo)
+	}
+	var ops []Op
+	var live []relation.Tuple
+	nextID := int64(0)
+	for len(ops) < spec.Ops {
+		if len(live) > 0 && rng.Float64() < spec.DeleteFrac {
+			i := rng.Intn(len(live))
+			ops = append(ops, Op{Rel: spec.Rel, Delete: true, Tuple: live[i]})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		t := relation.Tuple{relation.Int(drawValue()), relation.Int(nextID)}
+		nextID++
+		live = append(live, t)
+		ops = append(ops, Op{Rel: spec.Rel, Tuple: t})
+	}
+	return ops
+}
+
+// Materialize applies a stream's surviving inserts to a fresh relation —
+// the ground-truth population for stream experiments.
+func Materialize(name string, ops []Op) *relation.Relation {
+	liveSet := map[string]relation.Tuple{}
+	for _, op := range ops {
+		k := op.Tuple.Key(nil)
+		if op.Delete {
+			delete(liveSet, k)
+		} else {
+			liveSet[k] = op.Tuple
+		}
+	}
+	r := relation.New(name, JoinSchema())
+	for _, t := range liveSet {
+		r.MustAppend(t)
+	}
+	return r
+}

@@ -1,0 +1,254 @@
+// Package workload generates the synthetic datasets and streams the
+// experiments run on: Zipf-skewed join attributes with controlled
+// correlation and smoothness, clustered multi-region data in the style of
+// Vitter–Wang (as extended by Dobra et al. for correlated join attributes),
+// an employees/departments scenario for the examples, and insert/delete
+// streams for the incremental synopsis.
+//
+// All generators are deterministic given their *rand.Rand, and all emit
+// relations whose tuples carry a unique id column, so the outputs satisfy
+// both the set-semantics contract of the algebra's set operations and the
+// identity contract of the incremental synopsis.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"relest/internal/relation"
+)
+
+// ZipfFrequencies returns per-rank tuple counts for a Zipf(z) distribution
+// over domain ranks 1..domain, scaled to sum exactly to total. z = 0 is
+// uniform; larger z is more skewed. Largest-remainder rounding preserves
+// the total exactly.
+func ZipfFrequencies(z float64, domain, total int) []int {
+	if domain < 1 {
+		panic(fmt.Sprintf("workload: zipf domain %d < 1", domain))
+	}
+	if total < 0 {
+		panic(fmt.Sprintf("workload: zipf total %d < 0", total))
+	}
+	weights := make([]float64, domain)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), z)
+		sum += weights[i]
+	}
+	counts := make([]int, domain)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, domain)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		counts[i] = int(math.Floor(exact))
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - math.Floor(exact)}
+	}
+	// Distribute the remainder by largest fractional part; ranks are
+	// already sorted by weight so ties resolve toward the head.
+	for assigned < total {
+		best := 0
+		for j := 1; j < len(rems); j++ {
+			if rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return counts
+}
+
+// Mapping controls how frequency ranks map onto attribute values — the
+// knob that makes a frequency function "smooth" (orderly) or "rough"
+// (random) in value space.
+type Mapping int
+
+// Rank-to-value mappings.
+const (
+	// MapRandom scatters ranks over values with a random permutation.
+	MapRandom Mapping = iota
+	// MapSmooth assigns rank i to value i: frequency decreases smoothly
+	// in value space.
+	MapSmooth
+)
+
+// Correlation controls the relationship between the rank→value mappings of
+// a pair of join attributes.
+type Correlation int
+
+// Join-attribute correlations.
+const (
+	// Positive gives both relations the same mapping: frequent values in
+	// one are frequent in the other (the sketch-friendly regime).
+	Positive Correlation = iota
+	// Independent gives each relation its own random mapping.
+	Independent
+	// Negative inverts the second relation's ranks: its most frequent
+	// value is the first relation's least frequent.
+	Negative
+)
+
+// String names the correlation.
+func (c Correlation) String() string {
+	switch c {
+	case Positive:
+		return "positive"
+	case Independent:
+		return "independent"
+	case Negative:
+		return "negative"
+	default:
+		return fmt.Sprintf("Correlation(%d)", int(c))
+	}
+}
+
+// JoinSchema is the two-column schema every generated relation uses: the
+// join attribute a and a unique tuple id.
+func JoinSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "id", Kind: relation.KindInt},
+	)
+}
+
+// fromCounts materializes a relation with counts[rank] tuples of value
+// valueOf(rank), ids unique, rows shuffled.
+func fromCounts(rng *rand.Rand, name string, counts []int, valueOf func(rank int) int64) *relation.Relation {
+	r := relation.New(name, JoinSchema())
+	id := int64(0)
+	for rank, c := range counts {
+		v := valueOf(rank)
+		for k := 0; k < c; k++ {
+			r.MustAppend(relation.Tuple{relation.Int(v), relation.Int(id)})
+			id++
+		}
+	}
+	// Shuffle row order so samples-by-position carry no structure.
+	perm := rng.Perm(r.Len())
+	shuffled := r.Subset(name, perm)
+	return shuffled
+}
+
+// ZipfRelation generates one relation of n tuples whose join attribute a
+// follows Zipf(z) over the given domain with the given mapping.
+func ZipfRelation(rng *rand.Rand, name string, z float64, domain, n int, m Mapping) *relation.Relation {
+	counts := ZipfFrequencies(z, domain, n)
+	var valueOf func(int) int64
+	switch m {
+	case MapSmooth:
+		valueOf = func(rank int) int64 { return int64(rank) }
+	default:
+		perm := rng.Perm(domain)
+		valueOf = func(rank int) int64 { return int64(perm[rank]) }
+	}
+	return fromCounts(rng, name, counts, valueOf)
+}
+
+// JoinPairSpec describes a correlated pair of Zipf relations sharing a join
+// attribute domain.
+type JoinPairSpec struct {
+	Z1, Z2      float64     // skew of each relation
+	Domain      int         // join attribute domain size
+	N1, N2      int         // relation cardinalities
+	Correlation Correlation // mapping relationship
+	Smooth      bool        // orderly rank→value mapping (overrides Correlation's mapping shape, preserving its relationship)
+	PermuteFrac float64     // fraction of the second mapping randomly permuted (weakens the correlation)
+}
+
+// JoinPair generates two relations R1, R2 according to the spec.
+func JoinPair(rng *rand.Rand, spec JoinPairSpec) (*relation.Relation, *relation.Relation) {
+	if spec.Domain < 1 {
+		panic("workload: JoinPair domain < 1")
+	}
+	c1 := ZipfFrequencies(spec.Z1, spec.Domain, spec.N1)
+	c2 := ZipfFrequencies(spec.Z2, spec.Domain, spec.N2)
+
+	// First relation's mapping.
+	var map1 []int
+	if spec.Smooth {
+		map1 = identity(spec.Domain)
+	} else {
+		map1 = rng.Perm(spec.Domain)
+	}
+	// Second relation's mapping per the correlation.
+	var map2 []int
+	switch spec.Correlation {
+	case Positive:
+		map2 = append([]int(nil), map1...)
+	case Negative:
+		map2 = make([]int, spec.Domain)
+		for i := range map2 {
+			map2[i] = map1[spec.Domain-1-i]
+		}
+	default: // Independent
+		if spec.Smooth {
+			// An independent smooth mapping is its own random re-ordering
+			// of ranks over values; keep value space orderly by shifting.
+			map2 = rng.Perm(spec.Domain)
+		} else {
+			map2 = rng.Perm(spec.Domain)
+		}
+	}
+	// Optionally weaken the relationship by permuting a fraction of map2.
+	if spec.PermuteFrac > 0 {
+		k := int(spec.PermuteFrac * float64(spec.Domain))
+		idx := rng.Perm(spec.Domain)[:k]
+		shuffled := append([]int(nil), idx...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		orig := append([]int(nil), map2...)
+		for i, src := range idx {
+			map2[src] = orig[shuffled[i]]
+		}
+	}
+	r1 := fromCounts(rng, "R1", c1, func(rank int) int64 { return int64(map1[rank]) })
+	r2 := fromCounts(rng, "R2", c2, func(rank int) int64 { return int64(map2[rank]) })
+	return r1, r2
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// AttributeValues extracts a column as int64s — the input format the
+// histogram and sketch baselines consume.
+func AttributeValues(r *relation.Relation, col string) []int64 {
+	pos := r.Schema().MustColumnIndex(col)
+	out := make([]int64, 0, r.Len())
+	r.Each(func(i int, t relation.Tuple) bool {
+		out = append(out, t[pos].Int64())
+		return true
+	})
+	return out
+}
+
+// ExactJoinSize computes Σ_v f₁(v)·f₂(v) between two int columns directly,
+// without materializing the join — ground truth for the baselines.
+func ExactJoinSize(r1 *relation.Relation, col1 string, r2 *relation.Relation, col2 string) float64 {
+	f1 := map[int64]int64{}
+	p1 := r1.Schema().MustColumnIndex(col1)
+	r1.Each(func(i int, t relation.Tuple) bool {
+		f1[t[p1].Int64()]++
+		return true
+	})
+	p2 := r2.Schema().MustColumnIndex(col2)
+	var total float64
+	r2.Each(func(i int, t relation.Tuple) bool {
+		total += float64(f1[t[p2].Int64()])
+		return true
+	})
+	return total
+}

@@ -1,0 +1,418 @@
+// Package relest is a Go implementation of the sampling-based statistical
+// estimators for relational algebra expressions of Hou, Özsoyoğlu and
+// Taneja (PODS 1988): unbiased point estimators, variance estimators and
+// confidence intervals for COUNT(E) over arbitrary π-free relational
+// algebra expressions E — selection, product, θ-join, union, intersection,
+// difference — computed from simple random samples of the base relations,
+// plus Goodman-style distinct-count estimators for projections, sequential
+// (double) sampling, deadline-bounded estimation, and an incrementally
+// maintained synopsis for insert/delete streams.
+//
+// # Quick start
+//
+//	r := relest.NewRelation("orders", relest.MustSchema(
+//		relest.Col("customer", relest.KindInt),
+//		relest.Col("amount", relest.KindInt),
+//	))
+//	// ... append tuples ...
+//
+//	syn := relest.NewSynopsis()
+//	syn.AddDrawn(r, 1000, rng)                     // SRSWOR sample of 1000 rows
+//	e := relest.Must(relest.Select(relest.BaseOf(r),
+//		relest.Cmp{Col: "amount", Op: relest.GT, Val: relest.Int(100)}))
+//	est, err := relest.Count(e, syn)
+//	// est.Value ± est.StdErr, CI [est.Lo, est.Hi]
+//
+// The estimators are unbiased (not just consistent): over the randomness of
+// the samples, the expected value of the estimate equals COUNT(E) exactly,
+// including for expressions that use the same relation several times
+// (self-joins, intersections), which are handled with falling-factorial
+// pattern weights. See DESIGN.md for the construction and EXPERIMENTS.md
+// for the measured behaviour.
+//
+// This package is a facade: the implementation lives in internal packages
+// (relation storage, algebra and normalization, sampling, statistics, the
+// estimators, and the baseline synopses used by the benchmark suite).
+package relest
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"relest/internal/algebra"
+	"relest/internal/estimator"
+	"relest/internal/planner"
+	"relest/internal/relation"
+	"relest/internal/workload"
+)
+
+// Data model --------------------------------------------------------------
+
+// Core data-model types, re-exported from the storage engine.
+type (
+	// Value is one typed datum (int, float, string or null).
+	Value = relation.Value
+	// Kind enumerates value types.
+	Kind = relation.Kind
+	// Column is a named, typed attribute.
+	Column = relation.Column
+	// Schema is an ordered list of uniquely named columns.
+	Schema = relation.Schema
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Relation is an in-memory bag of tuples with a schema.
+	Relation = relation.Relation
+)
+
+// Value kinds.
+const (
+	KindNull   = relation.KindNull
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+)
+
+// Int returns an integer value.
+func Int(v int64) Value { return relation.Int(v) }
+
+// Float returns a float value.
+func Float(v float64) Value { return relation.Float(v) }
+
+// Str returns a string value.
+func Str(v string) Value { return relation.Str(v) }
+
+// Null returns the null value.
+func Null() Value { return relation.Null() }
+
+// Col builds a Column.
+func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} }
+
+// NewSchema builds a schema, validating column names.
+func NewSchema(cols ...Column) (*Schema, error) { return relation.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(cols ...Column) *Schema { return relation.MustSchema(cols...) }
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, schema *Schema) *Relation { return relation.New(name, schema) }
+
+// ImportCSV reads a relation from CSV (header row required; nil schema
+// infers column kinds).
+func ImportCSV(name string, r io.Reader, schema *Schema) (*Relation, error) {
+	return relation.ImportCSV(name, r, schema)
+}
+
+// ExportCSV writes a relation as CSV.
+func ExportCSV(rel *Relation, w io.Writer) error { return relation.ExportCSV(rel, w) }
+
+// Algebra -----------------------------------------------------------------
+
+// Expression and predicate types, re-exported from the algebra layer.
+type (
+	// Expr is a relational algebra expression.
+	Expr = algebra.Expr
+	// Predicate is a boolean condition over tuples.
+	Predicate = algebra.Predicate
+	// Cmp compares a column with a constant.
+	Cmp = algebra.Cmp
+	// ColCmp compares two columns.
+	ColCmp = algebra.ColCmp
+	// And is a conjunction of predicates.
+	And = algebra.And
+	// Or is a disjunction of predicates.
+	Or = algebra.Or
+	// Not negates a predicate.
+	Not = algebra.Not
+	// FuncOnCols is an arbitrary predicate over named columns.
+	FuncOnCols = algebra.FuncOnCols
+	// On is one equi-join column pair.
+	On = algebra.On
+	// Catalog resolves relation names (the exact evaluator's input).
+	Catalog = algebra.Catalog
+	// MapCatalog is a map-backed Catalog.
+	MapCatalog = algebra.MapCatalog
+)
+
+// Comparison operators.
+const (
+	EQ = algebra.EQ
+	NE = algebra.NE
+	LT = algebra.LT
+	LE = algebra.LE
+	GT = algebra.GT
+	GE = algebra.GE
+)
+
+// Base creates a leaf referencing a named base relation.
+func Base(name string, schema *Schema) *Expr { return algebra.Base(name, schema) }
+
+// BaseOf creates a leaf for a stored relation.
+func BaseOf(r *Relation) *Expr { return algebra.BaseOf(r) }
+
+// Select creates σ_p(child).
+func Select(child *Expr, p Predicate) (*Expr, error) { return algebra.Select(child, p) }
+
+// Project creates π_cols(child) with duplicate elimination.
+func Project(child *Expr, cols ...string) (*Expr, error) { return algebra.Project(child, cols...) }
+
+// Product creates child × right (rightPrefix disambiguates column names).
+func Product(left, right *Expr, rightPrefix string) (*Expr, error) {
+	return algebra.Product(left, right, rightPrefix)
+}
+
+// Join creates an equi-join with optional residual theta predicate.
+func Join(left, right *Expr, on []On, theta Predicate, rightPrefix string) (*Expr, error) {
+	return algebra.Join(left, right, on, theta, rightPrefix)
+}
+
+// Union creates left ∪ right (set semantics; equal layouts required).
+func Union(left, right *Expr) (*Expr, error) { return algebra.Union(left, right) }
+
+// Intersect creates left ∩ right.
+func Intersect(left, right *Expr) (*Expr, error) { return algebra.Intersect(left, right) }
+
+// Diff creates left − right.
+func Diff(left, right *Expr) (*Expr, error) { return algebra.Diff(left, right) }
+
+// Must unwraps an (Expr, error) pair, panicking on error.
+func Must(e *Expr, err error) *Expr { return algebra.Must(e, err) }
+
+// ExactCount evaluates COUNT(e) exactly over full relations — the ground
+// truth the estimators approximate.
+func ExactCount(e *Expr, cat Catalog) (int64, error) { return algebra.Count(e, cat) }
+
+// ExactEval evaluates e exactly and returns the result relation.
+func ExactEval(e *Expr, cat Catalog) (*Relation, error) { return algebra.Eval(e, cat) }
+
+// Estimation ---------------------------------------------------------------
+
+// Estimation types, re-exported from the estimator core.
+type (
+	// Synopsis holds one uniform sample per base relation plus exact
+	// cardinalities; it is the estimators' only input.
+	Synopsis = estimator.Synopsis
+	// Estimate is a point estimate with variance and confidence interval.
+	Estimate = estimator.Estimate
+	// Options configures variance method, confidence level and CI type.
+	Options = estimator.Options
+	// VarianceMethod selects how variance is estimated.
+	VarianceMethod = estimator.VarianceMethod
+	// CIMethod selects the confidence-interval construction.
+	CIMethod = estimator.CIMethod
+	// DistinctMethod selects the distinct-count estimator.
+	DistinctMethod = estimator.DistinctMethod
+	// SequentialOptions configures double sampling.
+	SequentialOptions = estimator.SequentialOptions
+	// SequentialResult reports a double-sampling run.
+	SequentialResult = estimator.SequentialResult
+	// DeadlineOptions configures deadline-bounded estimation.
+	DeadlineOptions = estimator.DeadlineOptions
+	// DeadlineStep is one round of a deadline run.
+	DeadlineStep = estimator.DeadlineStep
+	// Incremental maintains samples over insert/delete streams.
+	Incremental = estimator.Incremental
+	// FreqOfFreq is the sample summary distinct estimators consume.
+	FreqOfFreq = estimator.FreqOfFreq
+)
+
+// Variance methods.
+const (
+	VarAuto        = estimator.VarAuto
+	VarNone        = estimator.VarNone
+	VarAnalytic    = estimator.VarAnalytic
+	VarSplitSample = estimator.VarSplitSample
+	VarJackknife   = estimator.VarJackknife
+)
+
+// Confidence-interval constructions.
+const (
+	CINormal    = estimator.CINormal
+	CIChebyshev = estimator.CIChebyshev
+)
+
+// Distinct-count estimators.
+const (
+	DistinctGoodman   = estimator.DistinctGoodman
+	DistinctScaleUp   = estimator.DistinctScaleUp
+	DistinctSampleD   = estimator.DistinctSampleD
+	DistinctJackknife = estimator.DistinctJackknife
+	DistinctGEE       = estimator.DistinctGEE
+)
+
+// NewSynopsis creates an empty synopsis.
+func NewSynopsis() *Synopsis { return estimator.NewSynopsis() }
+
+// Draw builds a synopsis by sampling the given fraction from every
+// relation (minimum minSize rows each).
+func Draw(rels []*Relation, fraction float64, minSize int, rng *rand.Rand) (*Synopsis, error) {
+	return estimator.Draw(rels, fraction, minSize, rng)
+}
+
+// Count estimates COUNT(e) from the synopsis with default options
+// (automatic variance selection, 95% CLT confidence interval).
+func Count(e *Expr, syn *Synopsis) (Estimate, error) { return estimator.Count(e, syn) }
+
+// CountWithOptions estimates COUNT(e) with explicit options.
+func CountWithOptions(e *Expr, syn *Synopsis, opts Options) (Estimate, error) {
+	return estimator.CountWithOptions(e, syn, opts)
+}
+
+// Sum estimates SUM(col) over the result of the π-free expression e with
+// default options (the TODS 1991 aggregate extension).
+func Sum(e *Expr, col string, syn *Synopsis) (Estimate, error) {
+	return estimator.Sum(e, col, syn)
+}
+
+// SumWithOptions estimates SUM(col) with explicit options.
+func SumWithOptions(e *Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
+	return estimator.SumWithOptions(e, col, syn, opts)
+}
+
+// AvgResult is the ratio estimate AVG = SUM/COUNT with its components.
+type AvgResult = estimator.AvgResult
+
+// Avg estimates AVG(col) over e's result as the SUM/COUNT ratio estimator
+// (consistent; biased O(1/n), as ratio estimators are).
+func Avg(e *Expr, col string, syn *Synopsis, opts Options) (AvgResult, error) {
+	return estimator.Avg(e, col, syn, opts)
+}
+
+// GroupEstimate is one group's estimated count from GroupCount.
+type GroupEstimate = estimator.GroupEstimate
+
+// GroupCount estimates COUNT(*) GROUP BY col over the π-free expression e,
+// sorted by descending estimated count. Only groups observed in the sample
+// appear; each present group's estimate is unbiased.
+func GroupCount(e *Expr, col string, syn *Synopsis) ([]GroupEstimate, error) {
+	return estimator.GroupCount(e, col, syn)
+}
+
+// Distinct estimates the number of distinct values of the given columns of
+// a base relation (COUNT(π_cols(rel))).
+func Distinct(syn *Synopsis, relName string, cols []string, method DistinctMethod) (float64, error) {
+	return estimator.Distinct(syn, relName, cols, method)
+}
+
+// SequentialCount runs double sampling toward a target relative error.
+func SequentialCount(e *Expr, syn *Synopsis, rng *rand.Rand, opts SequentialOptions) (SequentialResult, error) {
+	return estimator.SequentialCount(e, syn, rng, opts)
+}
+
+// DeadlineCount grows samples until the time budget expires and returns
+// the estimate available at the deadline.
+func DeadlineCount(e *Expr, syn *Synopsis, rng *rand.Rand, opts DeadlineOptions) (Estimate, []DeadlineStep, error) {
+	return estimator.DeadlineCount(e, syn, rng, opts)
+}
+
+// NewIncremental creates an incrementally maintained synopsis with the
+// given per-relation sample capacity.
+func NewIncremental(capacity int, rng *rand.Rand) *Incremental {
+	return estimator.NewIncremental(capacity, rng)
+}
+
+// Join-order optimization ---------------------------------------------------
+
+// Planner types, re-exported from the optimizer built on the estimators —
+// the paper's motivating application (cardinality estimation for query
+// optimization).
+type (
+	// PlanQuery is a select-join query for the optimizer.
+	PlanQuery = planner.Query
+	// PlanEdge is one equi-join condition between two relations.
+	PlanEdge = planner.Edge
+	// Plan is an optimized left-deep join order with its estimated cost.
+	Plan = planner.Plan
+	// CardinalityOracle estimates the row count of a join prefix.
+	CardinalityOracle = planner.CardinalityEstimator
+	// CatalogOracle is the System-R AVI baseline oracle.
+	CatalogOracle = planner.Catalog
+)
+
+// Optimize runs the Selinger-style dynamic program over left-deep join
+// orders with the given cardinality oracle and returns the cheapest plan
+// under the C_out metric (sum of intermediate result sizes).
+func Optimize(q PlanQuery, oracle CardinalityOracle) (*Plan, error) {
+	return planner.Optimize(q, oracle)
+}
+
+// SamplingOracle builds the paper's oracle: cardinalities estimated from a
+// synopsis.
+func SamplingOracle(syn *Synopsis) CardinalityOracle { return planner.Sampling{Syn: syn} }
+
+// ExactOracle builds the ground-truth oracle over stored relations.
+func ExactOracle(cat Catalog) CardinalityOracle { return planner.Exact{Cat: cat} }
+
+// NewCatalogOracle builds the System-R baseline (exact single-table stats
+// combined under the attribute-value-independence assumption) for a query.
+func NewCatalogOracle(q PlanQuery, cat Catalog) (*CatalogOracle, error) {
+	return planner.NewCatalog(q, cat)
+}
+
+// PlanTrueCost evaluates the actual C_out of a join order exactly — the
+// score used to compare plans chosen by approximate oracles.
+func PlanTrueCost(q PlanQuery, order []string, cat Catalog) (float64, error) {
+	return planner.TrueCost(q, order, cat)
+}
+
+// Workloads ----------------------------------------------------------------
+
+// Workload-generation types for experiments and demos.
+type (
+	// JoinPairSpec describes a correlated pair of Zipf relations.
+	JoinPairSpec = workload.JoinPairSpec
+	// ClusterSpec describes clustered correlated data.
+	ClusterSpec = workload.ClusterSpec
+	// Correlation relates the two mappings of a join pair.
+	Correlation = workload.Correlation
+	// Mapping controls rank→value assignment.
+	Mapping = workload.Mapping
+	// StreamSpec describes an insert/delete stream.
+	StreamSpec = workload.StreamSpec
+	// Op is one stream event.
+	Op = workload.Op
+)
+
+// Correlations and mappings.
+const (
+	Positive    = workload.Positive
+	Independent = workload.Independent
+	Negative    = workload.Negative
+	MapRandom   = workload.MapRandom
+	MapSmooth   = workload.MapSmooth
+)
+
+// ZipfRelation generates a relation whose join attribute follows Zipf(z).
+func ZipfRelation(rng *rand.Rand, name string, z float64, domain, n int, m Mapping) *Relation {
+	return workload.ZipfRelation(rng, name, z, domain, n, m)
+}
+
+// JoinPair generates two correlated Zipf relations.
+func JoinPair(rng *rand.Rand, spec JoinPairSpec) (*Relation, *Relation) {
+	return workload.JoinPair(rng, spec)
+}
+
+// ClusteredPair generates two clustered correlated relations.
+func ClusteredPair(rng *rand.Rand, spec ClusterSpec) (*Relation, *Relation) {
+	return workload.ClusteredPair(rng, spec)
+}
+
+// Company generates the employees/departments demo scenario.
+func Company(rng *rand.Rand, employees, departments int) (*Relation, *Relation) {
+	return workload.Company(rng, employees, departments)
+}
+
+// Stream generates a well-formed insert/delete stream.
+func Stream(rng *rand.Rand, spec StreamSpec) []Op { return workload.Stream(rng, spec) }
+
+// JoinSchema returns the (a int, id int) schema the generators use.
+func JoinSchema() *Schema { return workload.JoinSchema() }
+
+// Convenience ---------------------------------------------------------------
+
+// Seeded returns a deterministic *rand.Rand. Sampling, estimation options
+// and generators all take explicit RNGs so entire runs are reproducible.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Deadline is shorthand for a DeadlineOptions with the given budget.
+func Deadline(budget time.Duration) DeadlineOptions { return DeadlineOptions{Budget: budget} }
