@@ -1,0 +1,23 @@
+# Pre-PR gate: `make check` must pass before any change lands.
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Variance-engine benchmarks (see BENCH_1.json for recorded results).
+bench:
+	$(GO) test -run XXX -bench 'JackknifeVariance|SplitSampleVariance|PointEstimateJoin' -benchtime 50x .
+	$(GO) test -run XXX -bench 'BenchmarkJackknife' -benchtime 5x ./internal/estimator/

@@ -93,6 +93,55 @@ func BenchmarkPointEstimateWithVariance(b *testing.B) {
 	}
 }
 
+// varianceBenchSynopsis builds the shared join fixture for the variance
+// benchmarks: 20k-row relations, n=1000 samples.
+func varianceBenchSynopsis(b *testing.B, seed int64) (*relest.Expr, *relest.Synopsis) {
+	b.Helper()
+	rng := relest.Seeded(seed)
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 2_000, N1: 20_000, N2: 20_000,
+		Correlation: relest.Independent,
+	})
+	e := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+	syn := relest.NewSynopsis()
+	if err := syn.AddDrawn(r1, 1_000, rng); err != nil {
+		b.Fatal(err)
+	}
+	if err := syn.AddDrawn(r2, 1_000, rng); err != nil {
+		b.Fatal(err)
+	}
+	return e, syn
+}
+
+// benchCountVariance measures a full estimate (point + variance) with the
+// given method and worker bound.
+func benchCountVariance(b *testing.B, method relest.VarianceMethod, workers int) {
+	e, syn := varianceBenchSynopsis(b, 6)
+	opts := relest.Options{Variance: method, Seed: 42, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relest.CountWithOptions(e, syn, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJackknifeVariance measures the delete-one jackknife over the
+// join fixture (2000 sampling units): the single-pass engine derives all
+// replicates from one enumeration instead of 2000 re-evaluations.
+func BenchmarkJackknifeVariance(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchCountVariance(b, relest.VarJackknife, 1) })
+	b.Run("parallel", func(b *testing.B) { benchCountVariance(b, relest.VarJackknife, 0) })
+}
+
+// BenchmarkSplitSampleVariance measures the g=8 replicate method; the
+// parallel variant fans the replicates across workers.
+func BenchmarkSplitSampleVariance(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchCountVariance(b, relest.VarSplitSample, 1) })
+	b.Run("parallel", func(b *testing.B) { benchCountVariance(b, relest.VarSplitSample, 0) })
+}
+
 // BenchmarkIncrementalUpdate measures the per-tuple cost of maintaining
 // the incremental synopsis (reservoir + random pairing).
 func BenchmarkIncrementalUpdate(b *testing.B) {

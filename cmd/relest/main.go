@@ -33,6 +33,7 @@ import (
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
+	"relest/internal/parallel"
 	"relest/internal/query"
 	"relest/internal/relation"
 	"relest/internal/sampling"
@@ -76,7 +77,9 @@ func run() error {
 	method := flag.String("method", "jackknife", "distinct estimator: goodman|scale-up|sample-d|jackknife|gee")
 	pageSize := flag.Int("page-size", 0, "page-level sampling: rows per page (0 = tuple-level SRSWOR)")
 	stratify := flag.String("stratify", "", "stratified sampling as rel=column (proportional allocation by column value)")
+	workers := flag.Int("workers", 0, "evaluation goroutines (0 = all CPUs, 1 = serial); estimates are identical for every setting")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if len(rels) == 0 {
 		return fmt.Errorf("no relations; pass at least one -rel name=path.csv")
@@ -183,7 +186,7 @@ func run() error {
 		return nil
 	}
 
-	opts := estimator.Options{Confidence: *confidence}
+	opts := estimator.Options{Confidence: *confidence, Workers: *workers}
 	if st.Agg == "group" {
 		groups, err := estimator.GroupCount(st.Expr, st.AggCol, syn)
 		if err != nil {

@@ -1,0 +1,221 @@
+package algebra
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// joinTermFixture returns the single term of R ⋈ S on a, with its bound
+// instances.
+func joinTermFixture(t *testing.T) (*Term, Instances) {
+	t.Helper()
+	cat, r, s, _ := fixtures()
+	j, err := Join(r, s, []On{{Left: "a", Right: "a"}}, nil, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Normalize(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := &p.Terms[0]
+	inst, err := BindInstances(term, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return term, inst
+}
+
+func TestPreparedCountMatchesTerm(t *testing.T) {
+	term, inst := joinTermFixture(t)
+	want, err := term.CountAssignments(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Count(); got != want {
+		t.Errorf("Prepared.Count() = %v, CountAssignments = %v", got, want)
+	}
+	// Counting twice from the same plan must not disturb it.
+	if got := pt.Count(); got != want {
+		t.Errorf("second Count() = %v, want %v", got, want)
+	}
+	if pt.Term() != term {
+		t.Error("Term() does not round-trip")
+	}
+}
+
+// TestCountPartsPartitionExactly checks that for every parts choice, the
+// per-part counts add up to the full count and the per-part enumerations
+// visit each assignment exactly once.
+func TestCountPartsPartitionExactly(t *testing.T) {
+	term, inst := joinTermFixture(t)
+	pt, err := Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pt.Count()
+	var full [][]int
+	pt.Enumerate(func(rows []int) bool {
+		full = append(full, append([]int(nil), rows...))
+		return true
+	})
+	if len(full) != int(want) {
+		t.Fatalf("enumerated %d assignments, count says %v", len(full), want)
+	}
+	for _, parts := range []int{1, 2, 3, 7} {
+		sum := 0.0
+		var seen [][]int
+		for p := 0; p < parts; p++ {
+			sum += pt.CountPart(p, parts)
+			pt.EnumeratePart(p, parts, func(rows []int) bool {
+				seen = append(seen, append([]int(nil), rows...))
+				return true
+			})
+		}
+		if sum != want {
+			t.Errorf("parts=%d: Σ CountPart = %v, want %v", parts, sum, want)
+		}
+		if len(seen) != len(full) {
+			t.Fatalf("parts=%d: enumerated %d assignments, want %d", parts, len(seen), len(full))
+		}
+		sortAssignments(seen)
+		sorted := append([][]int(nil), full...)
+		sortAssignments(sorted)
+		for i := range sorted {
+			for j := range sorted[i] {
+				if seen[i][j] != sorted[i][j] {
+					t.Fatalf("parts=%d: assignment sets differ at %d: %v vs %v", parts, i, seen[i], sorted[i])
+				}
+			}
+		}
+	}
+}
+
+func sortAssignments(a [][]int) {
+	sort.Slice(a, func(i, j int) bool {
+		for k := range a[i] {
+			if a[i][k] != a[j][k] {
+				return a[i][k] < a[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func TestPreparedFoldedTail(t *testing.T) {
+	cat, r, s, _ := fixtures()
+	// Pure product: the unconstrained tail is folded into a multiplier.
+	p, err := Normalize(Must(Product(r, s, "S")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := &p.Terms[0]
+	inst, err := BindInstances(term, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.FoldedTail() {
+		t.Error("product term should fold its tail")
+	}
+	if got := pt.Count(); got != 12 {
+		t.Errorf("folded count %v, want 12", got)
+	}
+	// A join term enumerates every occurrence.
+	jt, jinst := joinTermFixture(t)
+	jpt, err := Prepare(jt, jinst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jpt.FoldedTail() {
+		t.Error("join term should not fold")
+	}
+}
+
+func TestPlanCacheReusesAndInvalidates(t *testing.T) {
+	term, inst := joinTermFixture(t)
+	c := NewPlanCache()
+	pt1, err := c.Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := c.Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt1 != pt2 {
+		t.Error("same (term, instances) should hit the cache")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache Len = %d, want 1", c.Len())
+	}
+	// A different instance identity (same contents) is a different plan.
+	inst2 := append(Instances(nil), inst...)
+	inst2[0] = inst[0].Clone(inst[0].Name())
+	pt3, err := c.Prepare(term, inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt3 == pt1 {
+		t.Error("cloned instance must not share the cached plan")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache Len = %d, want 2", c.Len())
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Errorf("cache Len after Invalidate = %d, want 0", c.Len())
+	}
+	pt4, err := c.Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt4 == pt1 {
+		t.Error("Invalidate should force a fresh plan")
+	}
+}
+
+// TestPreparedTermConcurrentUse hammers one shared plan from many
+// goroutines; run under -race this verifies plans are read-only after
+// compilation and all mutable state is per-evaluation.
+func TestPreparedTermConcurrentUse(t *testing.T) {
+	term, inst := joinTermFixture(t)
+	pt, err := Prepare(term, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pt.Count()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := pt.Count(); got != want {
+					errs <- "Count mismatch"
+					return
+				}
+				n := 0
+				pt.Enumerate(func([]int) bool { n++; return true })
+				if n != int(want) {
+					errs <- "Enumerate mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"fmt"
+	"sync"
 
 	"relest/internal/relation"
 )
@@ -21,6 +22,11 @@ import (
 // ones, and enumerates assignments recursively. In pure counting mode,
 // occurrences that are unconstrained from some point on are folded into a
 // single multiplicative factor instead of being enumerated.
+//
+// Compilation is separated from evaluation: Prepare (or a PlanCache)
+// produces an immutable PreparedTerm whose candidate lists and hash indexes
+// are built once, and every evaluation carries its own scratch state
+// (termEval), so one plan can serve any number of concurrent evaluations.
 
 // Instances carries one relation instance per occurrence of a term,
 // positionally aligned with Term.Occs. All occurrences of the same base
@@ -48,6 +54,16 @@ func BindInstances(t *Term, cat Catalog) (Instances, error) {
 
 // termPlan is the compiled evaluation order for one term over fixed
 // instances.
+//
+// Plan reuse rules: a plan is immutable once compile returns — all mutable
+// per-evaluation state (the assignment under construction, probe-key and
+// virtual-tuple scratch) lives in termEval — so a single plan may be shared
+// freely across goroutines. A cached plan remains valid exactly as long as
+// (a) the Term's constraint structure is unchanged and (b) every bound
+// instance still holds the same rows it held at compile time. Swapping an
+// instance for a different *relation.Relation naturally misses the cache
+// (keys include instance identity); mutating a relation in place behind a
+// cached plan requires PlanCache.Invalidate.
 type termPlan struct {
 	term *Term
 	inst Instances
@@ -57,6 +73,16 @@ type termPlan struct {
 	cand  [][]int // per occurrence: candidate rows after local preds and intra-occurrence equalities
 
 	steps []planStep
+
+	// enumUpto is the first plan position of the independent tail: counting
+	// enumerates steps [0, enumUpto) and multiplies by tailFactor, the
+	// product of the tail occurrences' candidate counts.
+	enumUpto   int
+	tailFactor float64
+
+	// maxPredWidth sizes the per-evaluation virtual tuple for residual
+	// predicates.
+	maxPredWidth int
 }
 
 type planStep struct {
@@ -159,7 +185,6 @@ func compile(t *Term, inst Instances) (*termPlan, error) {
 	p.steps = make([]planStep, m)
 	for k, occ := range p.order {
 		p.steps[k].occ = occ
-		_ = k
 	}
 	for _, eq := range crossEqs {
 		// The equality is enforced at the later of its two occurrences.
@@ -180,29 +205,32 @@ func compile(t *Term, inst Instances) (*termPlan, error) {
 			}
 		}
 		p.steps[last].preds = append(p.steps[last].preds, pr)
+		if pr.Width > p.maxPredWidth {
+			p.maxPredWidth = pr.Width
+		}
 	}
 
 	// Build indexes and mark the independent tail.
+	var keyBuf []byte
 	for k := range p.steps {
 		st := &p.steps[k]
 		if len(st.keyCols) > 0 {
 			st.index = make(map[string][]int, len(p.cand[st.occ]))
 			r := inst[st.occ]
-			key := make(relation.Tuple, len(st.keyCols))
 			for _, ri := range p.cand[st.occ] {
-				tp := r.Tuple(ri)
-				for i, c := range st.keyCols {
-					key[i] = tp[c]
-				}
-				ks := key.Key(nil)
-				st.index[ks] = append(st.index[ks], ri)
+				keyBuf = r.Tuple(ri).AppendKey(keyBuf[:0], st.keyCols)
+				st.index[string(keyBuf)] = append(st.index[string(keyBuf)], ri)
 			}
 		}
 	}
+	p.enumUpto = m
+	p.tailFactor = 1.0
 	for k := m - 1; k >= 0; k-- {
 		st := &p.steps[k]
 		if len(st.keyCols) == 0 && len(st.preds) == 0 {
 			st.independent = true
+			p.tailFactor *= float64(len(p.cand[st.occ]))
+			p.enumUpto = k
 		} else {
 			break
 		}
@@ -210,26 +238,49 @@ func compile(t *Term, inst Instances) (*termPlan, error) {
 	return p, nil
 }
 
+// termEval is the per-evaluation scratch over an immutable plan: the
+// assignment under construction, the probe-key buffer and the virtual tuple
+// for residual predicates. Hoisting these out of the innermost enumeration
+// loops removes the per-probe/per-check allocations, and keeping them off
+// the plan lets concurrent evaluations share one plan safely.
+type termEval struct {
+	p      *termPlan
+	assign []int
+	keyBuf []byte
+	virt   relation.Tuple
+}
+
+func (p *termPlan) newEval() *termEval {
+	return &termEval{
+		p:      p,
+		assign: make([]int, len(p.steps)),
+		virt:   make(relation.Tuple, p.maxPredWidth),
+	}
+}
+
 // candidatesAt returns the rows compatible with the bound prefix at step k.
-func (p *termPlan) candidatesAt(k int, assign []int) []int {
+func (ev *termEval) candidatesAt(k int) []int {
+	p := ev.p
 	st := &p.steps[k]
 	if st.index == nil {
 		return p.cand[st.occ]
 	}
-	key := make(relation.Tuple, len(st.boundRefs))
-	for i, ref := range st.boundRefs {
-		key[i] = p.inst[ref.Occ].Tuple(assign[ref.Occ])[ref.Col]
+	buf := ev.keyBuf[:0]
+	for _, ref := range st.boundRefs {
+		buf = p.inst[ref.Occ].Tuple(ev.assign[ref.Occ])[ref.Col].AppendKey(buf)
 	}
-	return st.index[key.Key(nil)]
+	ev.keyBuf = buf
+	return st.index[string(buf)] // map lookup on string(buf) does not allocate
 }
 
 // predsHold evaluates the step's residual predicates on the assignment.
-func (p *termPlan) predsHold(k int, assign []int) bool {
+func (ev *termEval) predsHold(k int) bool {
+	p := ev.p
 	for _, pr := range p.steps[k].preds {
-		virt := make(relation.Tuple, pr.Width)
+		virt := ev.virt[:pr.Width]
 		for i, pos := range pr.ReadPos {
 			ref := pr.Refs[i]
-			virt[pos] = p.inst[ref.Occ].Tuple(assign[ref.Occ])[ref.Col]
+			virt[pos] = p.inst[ref.Occ].Tuple(ev.assign[ref.Occ])[ref.Col]
 		}
 		if !pr.Eval(virt) {
 			return false
@@ -238,69 +289,163 @@ func (p *termPlan) predsHold(k int, assign []int) bool {
 	return true
 }
 
-// CountAssignments returns the number of occurrence-row assignments
-// satisfying the term over the instances, as a float64 (counts can exceed
-// int64 for product-heavy terms). Unconstrained tail occurrences are folded
-// multiplicatively.
-func (t *Term) CountAssignments(inst Instances) (float64, error) {
+// Partitioned evaluation: the first enumerated step's candidate list is
+// split into a fixed number of contiguous chunks so independent workers can
+// evaluate chunks concurrently. The chunk count is a function of the plan
+// alone — never of the worker count — so summing per-chunk results in chunk
+// order yields bit-identical floats no matter how many workers ran them.
+const (
+	// partitionMinRows is the first-step candidate count below which a term
+	// is evaluated in a single part (small terms keep the exact historical
+	// summation order; partition overhead isn't worth it anyway).
+	partitionMinRows = 4096
+	// partitionParts is the fixed chunk count for partitioned terms.
+	partitionParts = 16
+)
+
+// PreparedTerm is a compiled, reusable evaluation plan for one term over
+// fixed instances. It is immutable and safe for concurrent use; obtain one
+// from Prepare or a PlanCache.
+type PreparedTerm struct {
+	p *termPlan
+}
+
+// Prepare compiles an evaluation plan for the term over the instances.
+func Prepare(t *Term, inst Instances) (*PreparedTerm, error) {
 	p, err := compile(t, inst)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	// Determine the enumerated prefix and the multiplicative tail.
-	m := len(p.steps)
-	enumUpto := m
-	tailFactor := 1.0
-	for k := m - 1; k >= 0; k-- {
-		if !p.steps[k].independent {
-			break
+	return &PreparedTerm{p: p}, nil
+}
+
+// Term returns the term this plan evaluates.
+func (pt *PreparedTerm) Term() *Term { return pt.p.term }
+
+// Instances returns the instances the plan was compiled over.
+func (pt *PreparedTerm) Instances() Instances { return pt.p.inst }
+
+// FoldedTail reports whether counting mode folds an unconstrained tail of
+// occurrences into a multiplicative factor instead of enumerating it. When
+// true, full enumeration visits (possibly vastly) more assignments than
+// Count computes — callers choosing between counting and enumeration-based
+// algorithms use this to avoid blowing up cross-product-heavy terms.
+func (pt *PreparedTerm) FoldedTail() bool { return pt.p.enumUpto < len(pt.p.steps) }
+
+// TailOnly reports whether the plan folds every occurrence: nothing is
+// enumerated and the count is the pure product of the candidate-list sizes
+// (the shape of bare |R| and |σR×σS| polynomial terms).
+func (pt *PreparedTerm) TailOnly() bool { return pt.p.enumUpto == 0 }
+
+// Candidates returns the candidate row list of the given occurrence — the
+// instance rows passing the occurrence's local predicates and
+// intra-occurrence equalities. The slice is shared with the plan and must
+// not be modified.
+func (pt *PreparedTerm) Candidates(occ int) []int { return pt.p.cand[occ] }
+
+// Parts returns the deterministic partition count for this plan: CountPart
+// and EnumeratePart accept parts in [0, Parts()). The count depends only on
+// the plan, so partitioned reductions are reproducible across worker
+// counts.
+func (pt *PreparedTerm) Parts() int {
+	p := pt.p
+	if p.enumUpto == 0 {
+		return 1 // pure multiplicative tail: nothing to enumerate
+	}
+	if len(p.cand[p.steps[0].occ]) < partitionMinRows {
+		return 1
+	}
+	return partitionParts
+}
+
+// chunk returns the [lo, hi) bounds of chunk part of parts over n rows.
+func chunk(n, part, parts int) (int, int) {
+	return n * part / parts, n * (part + 1) / parts
+}
+
+// Count returns the number of occurrence-row assignments satisfying the
+// term, as a float64 (counts can exceed int64 for product-heavy terms).
+// Unconstrained tail occurrences are folded multiplicatively. Count is
+// defined as the part-ordered sum of CountPart over Parts() chunks, so it
+// matches any parallel part-wise evaluation bit for bit.
+func (pt *PreparedTerm) Count() float64 {
+	parts := pt.Parts()
+	total := 0.0
+	for part := 0; part < parts; part++ {
+		total += pt.CountPart(part, parts)
+	}
+	return total
+}
+
+// CountPart counts the satisfying assignments whose first-step candidate
+// lies in chunk `part` of `parts` (see Parts).
+func (pt *PreparedTerm) CountPart(part, parts int) float64 {
+	p := pt.p
+	if p.tailFactor == 0 {
+		return 0
+	}
+	if p.enumUpto == 0 {
+		if part != 0 {
+			return 0
 		}
-		tailFactor *= float64(len(p.cand[p.steps[k].occ]))
-		enumUpto = k
+		return p.tailFactor
 	}
-	if tailFactor == 0 {
-		return 0, nil
-	}
-	assign := make([]int, m)
+	ev := p.newEval()
 	var rec func(k int) float64
 	rec = func(k int) float64 {
-		if k == enumUpto {
+		if k == p.enumUpto {
 			return 1
 		}
 		st := &p.steps[k]
+		cands := ev.candidatesAt(k)
+		if k == 0 {
+			lo, hi := chunk(len(cands), part, parts)
+			cands = cands[lo:hi]
+		}
 		total := 0.0
-		for _, ri := range p.candidatesAt(k, assign) {
-			assign[st.occ] = ri
-			if !p.predsHold(k, assign) {
+		for _, ri := range cands {
+			ev.assign[st.occ] = ri
+			if !ev.predsHold(k) {
 				continue
 			}
 			total += rec(k + 1)
 		}
 		return total
 	}
-	return rec(0) * tailFactor, nil
+	return rec(0) * p.tailFactor
 }
 
-// EnumerateAssignments invokes visit for every satisfying assignment (rows
-// positionally aligned with Term.Occs). visit must not retain the slice.
-// Enumeration stops early if visit returns false. Used by the
-// pattern-weighted estimator, whose weights depend on the full assignment.
-func (t *Term) EnumerateAssignments(inst Instances, visit func(rows []int) bool) error {
-	p, err := compile(t, inst)
-	if err != nil {
-		return err
-	}
+// Enumerate invokes visit for every satisfying assignment (rows positionally
+// aligned with Term.Occs). visit must not retain the slice. Enumeration
+// stops early if visit returns false. Used by the pattern-weighted
+// estimator, whose weights depend on the full assignment.
+func (pt *PreparedTerm) Enumerate(visit func(rows []int) bool) {
+	pt.EnumeratePart(0, 1, visit)
+}
+
+// EnumeratePart enumerates the satisfying assignments whose first-step
+// candidate lies in chunk `part` of `parts` (see Parts). Distinct parts
+// visit disjoint assignment sets whose union is the full enumeration, which
+// is what lets workers enumerate one term concurrently with per-part
+// accumulators.
+func (pt *PreparedTerm) EnumeratePart(part, parts int, visit func(rows []int) bool) {
+	p := pt.p
 	m := len(p.steps)
-	assign := make([]int, m)
+	ev := p.newEval()
 	var rec func(k int) bool
 	rec = func(k int) bool {
 		if k == m {
-			return visit(assign)
+			return visit(ev.assign)
 		}
 		st := &p.steps[k]
-		for _, ri := range p.candidatesAt(k, assign) {
-			assign[st.occ] = ri
-			if !p.predsHold(k, assign) {
+		cands := ev.candidatesAt(k)
+		if k == 0 {
+			lo, hi := chunk(len(cands), part, parts)
+			cands = cands[lo:hi]
+		}
+		for _, ri := range cands {
+			ev.assign[st.occ] = ri
+			if !ev.predsHold(k) {
 				continue
 			}
 			if !rec(k + 1) {
@@ -310,6 +455,96 @@ func (t *Term) EnumerateAssignments(inst Instances, visit func(rows []int) bool)
 		return true
 	}
 	rec(0)
+}
+
+// PlanCache caches compiled term plans keyed by (term identity, instance
+// identities). One CountWithOptions call with replication-based variance
+// evaluates the same (term, instances) pairs many times — the point
+// estimate plus every replicate that leaves a relation untouched — and the
+// cache makes each pair compile exactly once. It is safe for concurrent
+// use; concurrent Prepare calls for the same key compile once and share the
+// plan.
+//
+// The cache holds plans for as long as it lives, so callers scope it to an
+// evaluation (the estimator builds one engine per top-level call) or call
+// Invalidate after mutating any relation a cached plan was compiled over.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	pt   *PreparedTerm
+	err  error
+}
+
+// NewPlanCache creates an empty plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: make(map[string]*cacheEntry)}
+}
+
+// planCacheKey identifies a (term, instances) pair by pointer identity.
+func planCacheKey(t *Term, inst Instances) string {
+	buf := make([]byte, 0, 20+20*len(inst))
+	buf = fmt.Appendf(buf, "%p", t)
+	for _, r := range inst {
+		buf = fmt.Appendf(buf, ":%p", r)
+	}
+	return string(buf)
+}
+
+// Prepare returns the cached plan for (t, inst), compiling it on first use.
+func (c *PlanCache) Prepare(t *Term, inst Instances) (*PreparedTerm, error) {
+	key := planCacheKey(t, inst)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.pt, e.err = Prepare(t, inst) })
+	return e.pt, e.err
+}
+
+// Invalidate drops every cached plan. Call it after mutating a relation
+// that cached plans were compiled over.
+func (c *PlanCache) Invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached (term, instances) entries.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CountAssignments returns the number of occurrence-row assignments
+// satisfying the term over the instances. It compiles a throwaway plan; use
+// Prepare/PlanCache when the same term and instances are evaluated more
+// than once.
+func (t *Term) CountAssignments(inst Instances) (float64, error) {
+	pt, err := Prepare(t, inst)
+	if err != nil {
+		return 0, err
+	}
+	return pt.Count(), nil
+}
+
+// EnumerateAssignments invokes visit for every satisfying assignment (rows
+// positionally aligned with Term.Occs). visit must not retain the slice.
+// Enumeration stops early if visit returns false. It compiles a throwaway
+// plan; use Prepare/PlanCache for repeated evaluation.
+func (t *Term) EnumerateAssignments(inst Instances, visit func(rows []int) bool) error {
+	pt, err := Prepare(t, inst)
+	if err != nil {
+		return err
+	}
+	pt.Enumerate(visit)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"relest/internal/algebra"
+	"relest/internal/parallel"
 	"relest/internal/relation"
 	"relest/internal/stats"
 )
@@ -50,7 +51,8 @@ func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (E
 	if err := checkSampleSizes(poly, syn); err != nil {
 		return Estimate{}, err
 	}
-	value, err := sumEstimate(poly, syn, pos)
+	eng := newEngine(opts)
+	value, err := sumEstimate(poly, syn, pos, eng)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -68,9 +70,9 @@ func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (E
 		method = VarSplitSample
 	}
 	if method != VarNone {
-		v, err := replicateVariance(method, poly, syn, opts, func(sub *Synopsis) (float64, error) {
-			return sumEstimate(poly, sub, pos)
-		})
+		v, err := replicateVariance(method, poly, syn, opts, eng, func(sub *Synopsis, sube *engine) (float64, error) {
+			return sumEstimate(poly, sub, pos, sube)
+		}, sumContrib(pos))
 		if err != nil {
 			if opts.Variance == VarSplitSample || opts.Variance == VarJackknife {
 				return Estimate{}, err
@@ -124,15 +126,20 @@ func Avg(e *algebra.Expr, col string, syn *Synopsis, opts Options) (AvgResult, e
 // sumEstimate evaluates the weighted-count estimator: like pointEstimate,
 // with each satisfying assignment contributing the value of the output
 // column at position pos.
-func sumEstimate(poly algebra.Polynomial, syn *Synopsis, pos int) (float64, error) {
+func sumEstimate(poly algebra.Polynomial, syn *Synopsis, pos int, eng *engine) (float64, error) {
+	vals := make([]float64, len(poly.Terms))
+	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
+	err := parallel.ForErr(len(poly.Terms), outer, func(i int) error {
+		v, err := estimateTermSum(&poly.Terms[i], syn, pos, eng, inner)
+		vals[i] = v
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
-	for i := range poly.Terms {
-		t := &poly.Terms[i]
-		v, err := estimateTermSum(t, syn, pos)
-		if err != nil {
-			return 0, err
-		}
-		total += float64(t.Coef) * v
+	for i := range vals {
+		total += float64(poly.Terms[i].Coef) * vals[i]
 	}
 	return total, nil
 }
@@ -140,7 +147,7 @@ func sumEstimate(poly algebra.Polynomial, syn *Synopsis, pos int) (float64, erro
 // estimateTermSum is estimateTerm with per-assignment column values. The
 // output column position maps to an occurrence column through the term's
 // Out mapping.
-func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int) (float64, error) {
+func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int, eng *engine, workers int) (float64, error) {
 	if pos >= len(t.Out) {
 		return 0, fmt.Errorf("estimator: output column %d outside term mapping of width %d", pos, len(t.Out))
 	}
@@ -149,29 +156,22 @@ func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	byRel := map[string][]int{}
-	for i, o := range t.Occs {
-		byRel[o.RelName] = append(byRel[o.RelName], i)
+	metas, err := termRelMetas(t, syn)
+	if err != nil {
+		return 0, err
 	}
-	type relMeta struct {
-		occs  []int
-		N, n  int
-		scale float64
+	if ok, err := checkTermSamples(metas); !ok {
+		return 0, err
 	}
-	metas := make([]relMeta, 0, len(byRel))
 	uniform := true
-	for rel, occs := range byRel {
-		rs := syn.rels[rel]
-		if rs.m == 0 {
-			if rs.N == 0 {
-				return 0, nil
-			}
-			return 0, fmt.Errorf("estimator: empty sample for non-empty relation %q", rel)
-		}
-		if !rs.uniformWeights() {
+	for _, m := range metas {
+		if !m.rs.uniformWeights() {
 			uniform = false
 		}
-		metas = append(metas, relMeta{occs: occs, N: rs.N, n: rs.n, scale: rs.scale()})
+	}
+	pt, err := eng.prepare(t, inst)
+	if err != nil {
+		return 0, err
 	}
 	if !uniform {
 		// Non-uniform (stratified) weights: Horvitz–Thompson weighting per
@@ -180,63 +180,56 @@ func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int) (float64, error) {
 		for i, o := range t.Occs {
 			weightOf[i] = syn.rels[o.RelName].rowWeightFn()
 		}
-		total := 0.0
-		err = t.EnumerateAssignments(inst, func(rows []int) bool {
+		return sumTerm(pt, workers, func() func(rows []int) float64 {
+			return func(rows []int) float64 {
+				val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+				if val.IsNull() {
+					return 0
+				}
+				w := 1.0
+				for i, row := range rows {
+					w *= weightOf[i](row)
+				}
+				return w * val.Float64()
+			}
+		}), nil
+	}
+	return sumTerm(pt, workers, func() func(rows []int) float64 {
+		distinct := make(map[int]struct{}, 4)
+		return func(rows []int) float64 {
 			val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
 			if val.IsNull() {
-				return true
+				return 0
 			}
 			w := 1.0
-			for i, row := range rows {
-				w *= weightOf[i](row)
+			for _, m := range metas {
+				if len(m.occs) == 1 {
+					w *= m.rs.scale()
+					continue
+				}
+				for k := range distinct {
+					delete(distinct, k)
+				}
+				for _, oi := range m.occs {
+					distinct[rows[oi]] = struct{}{}
+				}
+				w *= stats.FallingFactorialRatio(m.rs.N, m.rs.n, len(distinct))
 			}
-			total += w * val.Float64()
-			return true
-		})
-		if err != nil {
-			return 0, err
+			return w * val.Float64()
 		}
-		return total, nil
-	}
-	total := 0.0
-	distinct := make(map[int]struct{}, 4)
-	err = t.EnumerateAssignments(inst, func(rows []int) bool {
-		val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
-		if val.IsNull() {
-			return true
-		}
-		w := 1.0
-		for _, m := range metas {
-			if len(m.occs) == 1 {
-				w *= m.scale
-				continue
-			}
-			for k := range distinct {
-				delete(distinct, k)
-			}
-			for _, oi := range m.occs {
-				distinct[rows[oi]] = struct{}{}
-			}
-			w *= stats.FallingFactorialRatio(m.N, m.n, len(distinct))
-		}
-		total += w * val.Float64()
-		return true
-	})
-	if err != nil {
-		return 0, err
-	}
-	return total, nil
+	}), nil
 }
 
 // replicateVariance runs a replication-based variance method with an
 // arbitrary re-estimation function (shared by SUM and the page-sampling
-// estimators).
-func replicateVariance(method VarianceMethod, poly algebra.Polynomial, syn *Synopsis, opts Options, estimate func(*Synopsis) (float64, error)) (float64, error) {
+// estimators). contrib, when non-nil, is the per-assignment contribution
+// underlying estimate and lets the jackknife take its single-pass path.
+func replicateVariance(method VarianceMethod, poly algebra.Polynomial, syn *Synopsis, opts Options, eng *engine, estimate func(*Synopsis, *engine) (float64, error), contrib termContrib) (float64, error) {
 	switch method {
 	case VarSplitSample:
-		return splitSampleVarianceFn(poly, syn, opts, estimate)
+		return splitSampleVarianceFn(poly, syn, opts, eng, estimate)
 	case VarJackknife:
-		return jackknifeVarianceFn(poly, syn, estimate)
+		return jackknifeVarianceFn(poly, syn, eng, estimate, contrib)
 	default:
 		return 0, fmt.Errorf("estimator: replicateVariance does not support %v", method)
 	}

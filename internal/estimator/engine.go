@@ -1,0 +1,503 @@
+package estimator
+
+import (
+	"fmt"
+
+	"relest/internal/algebra"
+	"relest/internal/parallel"
+	"relest/internal/stats"
+)
+
+// The evaluation engine: one engine serves one top-level estimation call
+// (point estimate plus variance replicates). It couples a plan cache —
+// compiled term plans keyed by (term, instance identity), so the point
+// estimate, the analytic variance pass and every replicate that leaves a
+// relation's instances untouched share one compilation — with the resolved
+// worker count for the call's parallel fan-outs.
+//
+// Every fan-out in this package follows the parallel package's determinism
+// contract: results land in index-addressed slots and are reduced in index
+// order, and intra-term partitioned evaluation uses a part count fixed by
+// the plan (PreparedTerm.Parts), never by the worker count. Estimates are
+// therefore bit-identical for every Options.Workers setting.
+type engine struct {
+	workers int
+	plans   *algebra.PlanCache
+	// cacheIf gates which terms the cache holds (nil = all). The jackknife
+	// fallback uses it to share full-sample plans across replicates without
+	// retaining one throwaway plan per deleted unit.
+	cacheIf func(t *algebra.Term) bool
+}
+
+// newEngine builds the engine for one top-level estimation call.
+func newEngine(opts Options) *engine {
+	return &engine{workers: parallel.Resolve(opts.Workers), plans: algebra.NewPlanCache()}
+}
+
+// subEngine is the serial engine replicate re-estimations run under (the
+// replicates themselves are already fanned out); plans may be nil for
+// throwaway evaluation.
+func subEngine(plans *algebra.PlanCache, cacheIf func(t *algebra.Term) bool) *engine {
+	return &engine{workers: 1, plans: plans, cacheIf: cacheIf}
+}
+
+// prepare returns the (cached, when eligible) compiled plan for the term
+// over the instances.
+func (eng *engine) prepare(t *algebra.Term, inst algebra.Instances) (*algebra.PreparedTerm, error) {
+	if eng.plans != nil && (eng.cacheIf == nil || eng.cacheIf(t)) {
+		return eng.plans.Prepare(t, inst)
+	}
+	return algebra.Prepare(t, inst)
+}
+
+// countTerm evaluates a pure count over the plan's fixed partitioning,
+// fanning parts across up to `workers` goroutines and reducing in part
+// order.
+func countTerm(pt *algebra.PreparedTerm, workers int) float64 {
+	parts := pt.Parts()
+	if parts == 1 || workers <= 1 {
+		return pt.Count()
+	}
+	partials := make([]float64, parts)
+	parallel.For(parts, workers, func(i int) { partials[i] = pt.CountPart(i, parts) })
+	total := 0.0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}
+
+// sumTerm evaluates Σ contribution(rows) over the plan's satisfying
+// assignments with the same fixed partitioned reduction as countTerm.
+// newContrib is called once per part so each part gets private scratch.
+func sumTerm(pt *algebra.PreparedTerm, workers int, newContrib func() func(rows []int) float64) float64 {
+	parts := pt.Parts()
+	partials := make([]float64, parts)
+	parallel.For(parts, workers, func(i int) {
+		contrib := newContrib()
+		total := 0.0
+		pt.EnumeratePart(i, parts, func(rows []int) bool {
+			total += contrib(rows)
+			return true
+		})
+		partials[i] = total
+	})
+	total := 0.0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}
+
+// relTermMeta describes one relation of a term for weighting: its
+// occurrence indices and its synopsis entry.
+type relTermMeta struct {
+	rel  string
+	occs []int
+	rs   *relSynopsis
+}
+
+// termRelMetas lists a term's relations in first-occurrence order. All
+// weight products iterate this fixed order (never a map), keeping float
+// results reproducible call to call.
+func termRelMetas(t *algebra.Term, syn *Synopsis) ([]relTermMeta, error) {
+	idx := make(map[string]int, 2)
+	var metas []relTermMeta
+	for i, o := range t.Occs {
+		j, ok := idx[o.RelName]
+		if !ok {
+			rs, known := syn.rels[o.RelName]
+			if !known {
+				return nil, fmt.Errorf("estimator: no sample for relation %q in synopsis", o.RelName)
+			}
+			j = len(metas)
+			idx[o.RelName] = j
+			metas = append(metas, relTermMeta{rel: o.RelName, rs: rs})
+		}
+		metas[j].occs = append(metas[j].occs, i)
+	}
+	return metas, nil
+}
+
+// checkTermSamples applies the shared empty-sample rule: an empty sample of
+// an empty relation contributes zero (ok=false, no error); an empty sample
+// of a non-empty relation has no defined scale-up.
+func checkTermSamples(metas []relTermMeta) (ok bool, err error) {
+	for _, m := range metas {
+		if m.rs.m == 0 {
+			if m.rs.N == 0 {
+				return false, nil
+			}
+			return false, fmt.Errorf("estimator: empty sample for non-empty relation %q", m.rel)
+		}
+	}
+	return true, nil
+}
+
+// termContrib describes the unweighted per-assignment contribution of a
+// term: 1 for COUNT, the output column's value for SUM. The zero value
+// (eval == nil) means "no contribution function available" and disables the
+// single-pass jackknife.
+type termContrib struct {
+	// eval returns the assignment's contribution; it must not retain rows.
+	eval func(t *algebra.Term, inst algebra.Instances, rows []int) float64
+	// outOcc returns the occurrence index the contribution reads from, or
+	// -1 when it is constant across occurrences (COUNT). Used to decide
+	// whether a folded (non-enumerated) occurrence affects the value.
+	outOcc func(t *algebra.Term) int
+}
+
+// countContrib is the COUNT contribution: every satisfying assignment
+// counts 1 and depends on no particular occurrence.
+var countContrib = termContrib{
+	eval:   func(*algebra.Term, algebra.Instances, []int) float64 { return 1 },
+	outOcc: func(*algebra.Term) int { return -1 },
+}
+
+// noContrib disables the single-pass jackknife (forces naive replication).
+var noContrib = termContrib{}
+
+// sumContrib returns the SUM contribution for output column position pos:
+// the assignment's value of that column, with nulls contributing zero.
+func sumContrib(pos int) termContrib {
+	return termContrib{
+		eval: func(t *algebra.Term, inst algebra.Instances, rows []int) float64 {
+			ref := t.Out[pos]
+			v := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+			if v.IsNull() {
+				return 0
+			}
+			return v.Float64()
+		},
+		outOcc: func(t *algebra.Term) int {
+			if pos >= len(t.Out) {
+				return -1 // rejected by the point estimate before variance runs
+			}
+			return t.Out[pos].Occ
+		},
+	}
+}
+
+// splitWorkers decides where a polynomial's parallelism goes: across terms
+// when there are several, inside the single term's partitions otherwise.
+// The choice never affects values (reductions are fixed either way), only
+// scheduling.
+func splitWorkers(numTerms, workers int) (outer, inner int) {
+	if numTerms <= 1 {
+		return 1, workers
+	}
+	return workers, 1
+}
+
+// ---------------------------------------------------------------------------
+// Single-pass jackknife.
+//
+// The naive delete-one jackknife re-evaluates the whole polynomial once per
+// sampling unit: O(Σ_R m_R × enum). When every term's weights are the
+// uniform per-relation factors (tuple or page design — the only designs the
+// jackknife supports) one enumeration pass suffices. Write the full-sample
+// estimate of term T as
+//
+//	Ŝ_T = Σ_A c(A)·w(A),   w(A) = ∏_{R∈T} f_R(d_R(A)),
+//
+// where c is the contribution (1 for COUNT, a column value for SUM),
+// f_R(d) = (N_R)_d/(n_R)_d is the falling-factorial pattern factor (which
+// collapses to M_R/m_R when R occurs once), and d_R(A) is the number of
+// distinct sample rows A uses from R. Deleting unit u of relation R keeps
+// exactly the assignments that avoid u's rows and rescales R's factor to
+// f′_R(d) — the same factor with m_R−1 (resp. n_R−1) units — so the
+// replicate estimate of T is
+//
+//	Ŝ_T(R,u) = Σ_{A ∌ u} c·w′_R(A),  w′_R(A) = w(A)·f′_R(d_R(A))/f_R(d_R(A))
+//	         = S′_{T,R} − a_{T,R,u},
+//
+// with S′_{T,R} = Σ_A c·w′_R(A) and a_{T,R,u} = Σ_{A using u at R} c·w′_R(A).
+// One enumeration accumulates S′ and the per-unit a totals for every
+// relation simultaneously, and every delete-one estimate is then a pair of
+// additions: O(enum + Σ m) total.
+//
+// The pass enumerates each term, with one exception: fully folded terms —
+// bare |R| or |R×S| terms whose plan enumerates nothing and counts by
+// multiplying instance sizes — get their S′ and per-unit totals in closed
+// form (every unit of R appears in (rows-in-unit)·∏_{other} n assignments,
+// all with the same weight), so set-operation polynomials stay on the
+// single-pass path. Partially folded terms (an unconstrained cross-product
+// tail behind constrained occurrences) fall back to naive replication: for
+// those, enumeration would visit the product space the counting shortcut
+// exists to avoid.
+// ---------------------------------------------------------------------------
+
+// singlePassEligible reports whether every term of the polynomial admits
+// the single-pass jackknife over the synopsis with the given contribution.
+func singlePassEligible(poly algebra.Polynomial, syn *Synopsis, eng *engine, contrib termContrib) (bool, error) {
+	for i := range poly.Terms {
+		t := &poly.Terms[i]
+		metas, err := termRelMetas(t, syn)
+		if err != nil {
+			return false, err
+		}
+		for _, m := range metas {
+			if !m.rs.uniformWeights() {
+				return false, nil // stratified: rejected upstream, defensive
+			}
+			if len(m.occs) > 1 && !m.rs.tupleDesign() {
+				return false, nil // pattern weights need tuple SRSWOR
+			}
+		}
+		inst, err := algebra.BindInstances(t, syn)
+		if err != nil {
+			return false, err
+		}
+		pt, err := eng.prepare(t, inst)
+		if err != nil {
+			return false, err
+		}
+		if !pt.FoldedTail() {
+			continue
+		}
+		// Folded tails: only the fully folded single-occurrence COUNT shape
+		// has a closed form; anything else re-evaluates naively.
+		if !pt.TailOnly() || contrib.outOcc(t) >= 0 {
+			return false, nil
+		}
+		for _, m := range metas {
+			if len(m.occs) > 1 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// foldedTermAcc fills one fully folded term's accumulators in closed form:
+// every assignment has weight w = ∏ f_j and contribution 1, there are
+// ∏ |cand_j| of them (cand_j the occurrence's candidate rows, i.e. sample
+// rows passing its local predicates), and unit u of relation R participates
+// in (candidate rows of u) · ∏_{j≠R} |cand_j| of them.
+func foldedTermAcc(pt *algebra.PreparedTerm, metas []relTermMeta) *jackTermAcc {
+	acc := newJackTermAcc(metas)
+	cands := make([][]int, len(metas))
+	w := 1.0
+	for j, m := range metas {
+		cands[j] = pt.Candidates(m.occs[0])
+		w *= m.rs.scale()
+	}
+	prod := 1.0
+	for j := range metas {
+		prod *= float64(len(cands[j]))
+	}
+	acc.s = prod * w
+	for j, m := range metas {
+		fDel := float64(m.rs.M) / float64(m.rs.m-1)
+		wp := w / m.rs.scale() * fDel
+		others := 1.0
+		for k := range metas {
+			if k != j {
+				others *= float64(len(cands[k]))
+			}
+		}
+		acc.rels[j].sPrime = float64(len(cands[j])) * others * wp
+		ru := m.rs.rowUnits()
+		for _, row := range cands[j] {
+			acc.rels[j].perUnit[ru[row]] += others * wp
+		}
+	}
+	return acc
+}
+
+// jackTermAcc accumulates one term's single-pass totals; rels is aligned
+// with the term's relTermMetas order.
+type jackTermAcc struct {
+	s    float64 // Σ c·w over all assignments
+	rels []jackRelAcc
+}
+
+type jackRelAcc struct {
+	sPrime  float64   // Σ c·w′_R
+	perUnit []float64 // a_{R,u}: Σ c·w′_R over assignments using unit u at R
+}
+
+func newJackTermAcc(metas []relTermMeta) *jackTermAcc {
+	acc := &jackTermAcc{rels: make([]jackRelAcc, len(metas))}
+	for j, m := range metas {
+		acc.rels[j].perUnit = make([]float64, m.rs.m)
+	}
+	return acc
+}
+
+func (acc *jackTermAcc) merge(other *jackTermAcc) {
+	acc.s += other.s
+	for j := range acc.rels {
+		acc.rels[j].sPrime += other.rels[j].sPrime
+		for u, v := range other.rels[j].perUnit {
+			acc.rels[j].perUnit[u] += v
+		}
+	}
+}
+
+// jackknifeSinglePass computes the delete-one jackknife variance in one
+// enumeration pass per term (see the derivation above). The per-relation
+// sample-size preconditions have already been checked by the caller.
+func jackknifeSinglePass(poly algebra.Polynomial, syn *Synopsis, eng *engine, contrib termContrib) (float64, error) {
+	rels := poly.RelationNames()
+	relIdx := make(map[string]int, len(rels))
+	for i, rel := range rels {
+		relIdx[rel] = i
+	}
+
+	// Per-term accumulation, fanned across terms or partitions.
+	accs := make([]*jackTermAcc, len(poly.Terms))
+	metasByTerm := make([][]relTermMeta, len(poly.Terms))
+	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
+	err := parallel.ForErr(len(poly.Terms), outer, func(ti int) error {
+		t := &poly.Terms[ti]
+		metas, err := termRelMetas(t, syn)
+		if err != nil {
+			return err
+		}
+		metasByTerm[ti] = metas
+		inst, err := algebra.BindInstances(t, syn)
+		if err != nil {
+			return err
+		}
+		pt, err := eng.prepare(t, inst)
+		if err != nil {
+			return err
+		}
+		if pt.TailOnly() {
+			accs[ti] = foldedTermAcc(pt, metas)
+			return nil
+		}
+		rowUnits := make([][]int, len(metas))
+		for j, m := range metas {
+			rowUnits[j] = m.rs.rowUnits()
+		}
+		parts := pt.Parts()
+		partAccs := make([]*jackTermAcc, parts)
+		parallel.For(parts, inner, func(part int) {
+			acc := newJackTermAcc(metas)
+			factor := make([]float64, len(metas))
+			factorDel := make([]float64, len(metas))
+			var distinctRows []int
+			pt.EnumeratePart(part, parts, func(rows []int) bool {
+				w := contrib.eval(t, inst, rows)
+				if w == 0 {
+					return true
+				}
+				for j := range metas {
+					m := &metas[j]
+					if len(m.occs) == 1 {
+						factor[j] = m.rs.scale()
+						factorDel[j] = float64(m.rs.M) / float64(m.rs.m-1)
+					} else {
+						// distinct sample rows among this relation's occurrences
+						distinctRows = distinctRows[:0]
+						for _, oi := range m.occs {
+							row := rows[oi]
+							seen := false
+							for _, r := range distinctRows {
+								if r == row {
+									seen = true
+									break
+								}
+							}
+							if !seen {
+								distinctRows = append(distinctRows, row)
+							}
+						}
+						d := len(distinctRows)
+						factor[j] = stats.FallingFactorialRatio(m.rs.N, m.rs.n, d)
+						factorDel[j] = stats.FallingFactorialRatio(m.rs.N, m.rs.n-1, d)
+					}
+					w *= factor[j]
+				}
+				acc.s += w
+				for j := range metas {
+					m := &metas[j]
+					wp := w / factor[j] * factorDel[j]
+					acc.rels[j].sPrime += wp
+					if len(m.occs) == 1 {
+						acc.rels[j].perUnit[rowUnits[j][rows[m.occs[0]]]] += wp
+						continue
+					}
+					// tuple design: units are rows; charge each distinct one.
+					distinctRows = distinctRows[:0]
+					for _, oi := range m.occs {
+						row := rows[oi]
+						seen := false
+						for _, r := range distinctRows {
+							if r == row {
+								seen = true
+								break
+							}
+						}
+						if !seen {
+							distinctRows = append(distinctRows, row)
+						}
+					}
+					for _, row := range distinctRows {
+						acc.rels[j].perUnit[rowUnits[j][row]] += wp
+					}
+				}
+				return true
+			})
+			partAccs[part] = acc
+		})
+		merged := newJackTermAcc(metas)
+		for _, pa := range partAccs {
+			merged.merge(pa)
+		}
+		accs[ti] = merged
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Merge terms (in term order) into per-relation replicate components:
+	// θ_(R,u) = base_R + sPrime_R − a_R[u].
+	type relGlobal struct {
+		rs     *relSynopsis
+		base   float64 // Σ_{T∌R} coef·Ŝ_T
+		sPrime float64 // Σ_{T∋R} coef·S′_{T,R}
+		a      []float64
+	}
+	globals := make([]relGlobal, len(rels))
+	for i, rel := range rels {
+		rs := syn.rels[rel]
+		globals[i] = relGlobal{rs: rs, a: make([]float64, rs.m)}
+	}
+	for ti := range poly.Terms {
+		coef := float64(poly.Terms[ti].Coef)
+		acc := accs[ti]
+		inTerm := make(map[int]bool, len(metasByTerm[ti]))
+		for j, m := range metasByTerm[ti] {
+			gi := relIdx[m.rel]
+			inTerm[gi] = true
+			globals[gi].sPrime += coef * acc.rels[j].sPrime
+			for u, v := range acc.rels[j].perUnit {
+				globals[gi].a[u] += coef * v
+			}
+		}
+		for gi := range globals {
+			if !inTerm[gi] {
+				globals[gi].base += coef * acc.s
+			}
+		}
+	}
+
+	total := 0.0
+	for gi := range globals {
+		g := &globals[gi]
+		m := g.rs.m
+		var reps stats.Welford
+		for u := 0; u < m; u++ {
+			reps.Add(g.base + g.sPrime - g.a[u])
+		}
+		sumSq := float64(reps.N()-1) * reps.Variance()
+		vr := float64(m-1) / float64(m) * sumSq
+		vr *= 1 - float64(m)/float64(g.rs.M)
+		total += vr
+	}
+	return total, nil
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"relest/internal/algebra"
+	"relest/internal/parallel"
 	"relest/internal/stats"
 )
 
@@ -93,6 +94,12 @@ type Options struct {
 	// VarSplitSample. Two estimates with the same Seed and synopsis use
 	// identical groupings.
 	Seed int64
+	// Workers bounds the evaluation parallelism: 0 uses the process default
+	// (GOMAXPROCS, or parallel.SetWorkers), 1 forces serial evaluation, and
+	// n > 1 allows up to n goroutines. Estimates are bit-identical for every
+	// setting: all parallel reductions run in a fixed order independent of
+	// the worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -131,7 +138,8 @@ func countPoly(poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, 
 	if err := checkSampleSizes(poly, syn); err != nil {
 		return Estimate{}, err
 	}
-	value, err := pointEstimate(poly, syn)
+	eng := newEngine(opts)
+	value, err := pointEstimate(poly, syn, eng)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -141,7 +149,7 @@ func countPoly(poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, 
 		Confidence: opts.Confidence,
 		Terms:      poly.NumTerms(),
 	}
-	variance, method, err := estimateVariance(poly, syn, opts)
+	variance, method, err := estimateVariance(poly, syn, opts, eng)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -191,16 +199,24 @@ func checkSampleSizes(poly algebra.Polynomial, syn *Synopsis) error {
 	return nil
 }
 
-// pointEstimate evaluates the polynomial estimator over the synopsis.
-func pointEstimate(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
+// pointEstimate evaluates the polynomial estimator over the synopsis,
+// fanning the terms (or, for a single term, its plan partitions) across the
+// engine's workers. Per-term values are reduced in term order, so the result
+// does not depend on the worker count.
+func pointEstimate(poly algebra.Polynomial, syn *Synopsis, eng *engine) (float64, error) {
+	vals := make([]float64, len(poly.Terms))
+	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
+	err := parallel.ForErr(len(poly.Terms), outer, func(i int) error {
+		v, err := estimateTerm(&poly.Terms[i], syn, eng, inner)
+		vals[i] = v
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
-	for i := range poly.Terms {
-		t := &poly.Terms[i]
-		v, err := estimateTerm(t, syn)
-		if err != nil {
-			return 0, err
-		}
-		total += float64(t.Coef) * v
+	for i := range vals {
+		total += float64(poly.Terms[i].Coef) * vals[i]
 	}
 	return total, nil
 }
@@ -216,48 +232,42 @@ func pointEstimate(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
 // weight each by ∏_R (N_R)_{d_R}/(n_R)_{d_R}, where d_R is the number of
 // distinct sample rows the assignment uses from relation R. See package doc
 // and DESIGN.md for the unbiasedness argument.
-func estimateTerm(t *algebra.Term, syn *Synopsis) (float64, error) {
+func estimateTerm(t *algebra.Term, syn *Synopsis, eng *engine, workers int) (float64, error) {
 	inst, err := algebra.BindInstances(t, syn)
 	if err != nil {
 		return 0, err
 	}
-	// Occurrence index → relation name; detect repeats.
-	byRel := map[string][]int{}
-	for i, o := range t.Occs {
-		byRel[o.RelName] = append(byRel[o.RelName], i)
+	// Relations in first-occurrence order; detect repeats and stratification.
+	metas, err := termRelMetas(t, syn)
+	if err != nil {
+		return 0, err
+	}
+	if ok, err := checkTermSamples(metas); !ok {
+		return 0, err
 	}
 	repeated := false
 	uniform := true
-	for rel, occs := range byRel {
-		rs := syn.rels[rel]
-		if rs.m == 0 {
-			// An empty sample of a (possibly non-empty) relation: the
-			// scale-up is undefined unless the population is empty too.
-			if rs.N == 0 {
-				return 0, nil
-			}
-			return 0, fmt.Errorf("estimator: empty sample for non-empty relation %q", rel)
-		}
-		if len(occs) > 1 {
+	for _, m := range metas {
+		if len(m.occs) > 1 {
 			repeated = true
 		}
-		if !rs.uniformWeights() {
+		if !m.rs.uniformWeights() {
 			uniform = false
 		}
+	}
+	pt, err := eng.prepare(t, inst)
+	if err != nil {
+		return 0, err
 	}
 	if !repeated && uniform {
 		// Single occurrence per relation with equal inclusion
 		// probabilities: every sampling unit (tuple or page) is included
 		// with probability m/M, so scaling by ∏ M/m is unbiased.
 		w := 1.0
-		for rel := range byRel {
-			w *= syn.rels[rel].scale()
+		for _, m := range metas {
+			w *= m.rs.scale()
 		}
-		c, err := t.CountAssignments(inst)
-		if err != nil {
-			return 0, err
-		}
-		return w * c, nil
+		return w * countTerm(pt, workers), nil
 	}
 	if !repeated {
 		// Single occurrence per relation, non-uniform weights (stratified
@@ -268,53 +278,36 @@ func estimateTerm(t *algebra.Term, syn *Synopsis) (float64, error) {
 		for i, o := range t.Occs {
 			weightOf[i] = syn.rels[o.RelName].rowWeightFn()
 		}
-		total := 0.0
-		err = t.EnumerateAssignments(inst, func(rows []int) bool {
+		return sumTerm(pt, workers, func() func(rows []int) float64 {
+			return func(rows []int) float64 {
+				w := 1.0
+				for i, row := range rows {
+					w *= weightOf[i](row)
+				}
+				return w
+			}
+		}), nil
+	}
+	// Pattern-weighted enumeration; the distinct-row scratch is allocated
+	// per partition so parts can run concurrently.
+	return sumTerm(pt, workers, func() func(rows []int) float64 {
+		distinct := make(map[int]struct{}, 4)
+		return func(rows []int) float64 {
 			w := 1.0
-			for i, row := range rows {
-				w *= weightOf[i](row)
+			for _, m := range metas {
+				if len(m.occs) == 1 {
+					w *= m.rs.scale()
+					continue
+				}
+				for k := range distinct {
+					delete(distinct, k)
+				}
+				for _, oi := range m.occs {
+					distinct[rows[oi]] = struct{}{}
+				}
+				w *= stats.FallingFactorialRatio(m.rs.N, m.rs.n, len(distinct))
 			}
-			total += w
-			return true
-		})
-		if err != nil {
-			return 0, err
+			return w
 		}
-		return total, nil
-	}
-	// Pattern-weighted enumeration.
-	type relMeta struct {
-		occs  []int
-		N, n  int
-		scale float64
-	}
-	metas := make([]relMeta, 0, len(byRel))
-	for rel, occs := range byRel {
-		rs := syn.rels[rel]
-		metas = append(metas, relMeta{occs: occs, N: rs.N, n: rs.n, scale: rs.scale()})
-	}
-	total := 0.0
-	distinct := make(map[int]struct{}, 4)
-	err = t.EnumerateAssignments(inst, func(rows []int) bool {
-		w := 1.0
-		for _, m := range metas {
-			if len(m.occs) == 1 {
-				w *= m.scale
-				continue
-			}
-			for k := range distinct {
-				delete(distinct, k)
-			}
-			for _, oi := range m.occs {
-				distinct[rows[oi]] = struct{}{}
-			}
-			w *= stats.FallingFactorialRatio(m.N, m.n, len(distinct))
-		}
-		total += w
-		return true
-	})
-	if err != nil {
-		return 0, err
-	}
-	return total, nil
+	}), nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"relest/internal/algebra"
+	"relest/internal/parallel"
 	"relest/internal/relation"
 	"relest/internal/stats"
 )
@@ -44,11 +45,28 @@ func GroupCount(e *algebra.Expr, col string, syn *Synopsis) ([]GroupEstimate, er
 	if err := checkSampleSizes(poly, syn); err != nil {
 		return nil, err
 	}
+	// Terms (or, for a single term, its plan partitions) fan out across
+	// workers; per-term group maps merge in term order so the counts are
+	// identical for every worker count.
+	eng := newEngine(Options{})
+	termAccs := make([]map[string]*GroupEstimate, len(poly.Terms))
+	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
+	err = parallel.ForErr(len(poly.Terms), outer, func(i int) error {
+		termAccs[i] = map[string]*GroupEstimate{}
+		return accumulateGroups(&poly.Terms[i], syn, pos, eng, inner, termAccs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := map[string]*GroupEstimate{}
-	for i := range poly.Terms {
-		t := &poly.Terms[i]
-		if err := accumulateGroups(t, syn, pos, acc); err != nil {
-			return nil, err
+	for _, ta := range termAccs {
+		for k, g := range ta {
+			dst, ok := acc[k]
+			if !ok {
+				acc[k] = g
+				continue
+			}
+			dst.Count += g.Count
 		}
 	}
 	out := make([]GroupEstimate, 0, len(acc))
@@ -64,8 +82,10 @@ func GroupCount(e *algebra.Expr, col string, syn *Synopsis) ([]GroupEstimate, er
 	return out, nil
 }
 
-// accumulateGroups adds one term's weighted per-group contributions.
-func accumulateGroups(t *algebra.Term, syn *Synopsis, pos int, acc map[string]*GroupEstimate) error {
+// accumulateGroups adds one term's weighted per-group contributions,
+// partitioning the enumeration across up to `workers` goroutines with
+// per-part group maps merged in part order.
+func accumulateGroups(t *algebra.Term, syn *Synopsis, pos int, eng *engine, workers int, acc map[string]*GroupEstimate) error {
 	if pos >= len(t.Out) {
 		return fmt.Errorf("estimator: output column %d outside term mapping of width %d", pos, len(t.Out))
 	}
@@ -74,69 +94,77 @@ func accumulateGroups(t *algebra.Term, syn *Synopsis, pos int, acc map[string]*G
 	if err != nil {
 		return err
 	}
-	byRel := map[string][]int{}
-	for i, o := range t.Occs {
-		byRel[o.RelName] = append(byRel[o.RelName], i)
+	metas, err := termRelMetas(t, syn)
+	if err != nil {
+		return err
 	}
-	type relMeta struct {
-		occs []int
-		N, n int
+	if ok, err := checkTermSamples(metas); !ok {
+		return err
 	}
-	metas := make([]relMeta, 0, len(byRel))
 	uniform := true
-	for rel, occs := range byRel {
-		rs := syn.rels[rel]
-		if rs.m == 0 {
-			if rs.N == 0 {
-				return nil
-			}
-			return fmt.Errorf("estimator: empty sample for non-empty relation %q", rel)
-		}
-		if !rs.uniformWeights() {
+	for _, m := range metas {
+		if !m.rs.uniformWeights() {
 			uniform = false
 		}
-		metas = append(metas, relMeta{occs: occs, N: rs.N, n: rs.n})
 	}
 	weightOf := make([]func(int) float64, len(t.Occs))
 	for i, o := range t.Occs {
 		weightOf[i] = syn.rels[o.RelName].rowWeightFn()
 	}
-	coef := float64(t.Coef)
-	distinct := make(map[int]struct{}, 4)
-	add := func(v relation.Value, w float64) {
-		k := relation.Tuple{v}.Key(nil)
-		g, ok := acc[k]
-		if !ok {
-			g = &GroupEstimate{Value: v}
-			acc[k] = g
-		}
-		g.Count += coef * w
+	pt, err := eng.prepare(t, inst)
+	if err != nil {
+		return err
 	}
-	return t.EnumerateAssignments(inst, func(rows []int) bool {
-		v := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
-		w := 1.0
-		if uniform {
-			for _, m := range metas {
-				if len(m.occs) == 1 {
-					w *= float64(m.N) / float64(m.n)
-					continue
+	coef := float64(t.Coef)
+	parts := pt.Parts()
+	partAccs := make([]map[string]*GroupEstimate, parts)
+	parallel.For(parts, workers, func(part int) {
+		local := map[string]*GroupEstimate{}
+		distinct := make(map[int]struct{}, 4)
+		pt.EnumeratePart(part, parts, func(rows []int) bool {
+			v := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+			w := 1.0
+			if uniform {
+				for _, m := range metas {
+					if len(m.occs) == 1 {
+						w *= float64(m.rs.N) / float64(m.rs.n)
+						continue
+					}
+					for k := range distinct {
+						delete(distinct, k)
+					}
+					for _, oi := range m.occs {
+						distinct[rows[oi]] = struct{}{}
+					}
+					w *= stats.FallingFactorialRatio(m.rs.N, m.rs.n, len(distinct))
 				}
-				for k := range distinct {
-					delete(distinct, k)
+			} else {
+				// Non-uniform designs: Horvitz–Thompson per-row weights
+				// (repeated relations already rejected by checkSampleSizes).
+				for i, row := range rows {
+					w *= weightOf[i](row)
 				}
-				for _, oi := range m.occs {
-					distinct[rows[oi]] = struct{}{}
-				}
-				w *= stats.FallingFactorialRatio(m.N, m.n, len(distinct))
 			}
-		} else {
-			// Non-uniform designs: Horvitz–Thompson per-row weights
-			// (repeated relations already rejected by checkSampleSizes).
-			for i, row := range rows {
-				w *= weightOf[i](row)
+			k := relation.Tuple{v}.Key(nil)
+			g, ok := local[k]
+			if !ok {
+				g = &GroupEstimate{Value: v}
+				local[k] = g
 			}
-		}
-		add(v, w)
-		return true
+			g.Count += coef * w
+			return true
+		})
+		partAccs[part] = local
 	})
+	for _, pa := range partAccs {
+		for k, g := range pa {
+			dst, ok := acc[k]
+			if !ok {
+				acc[k] = g
+				continue
+			}
+			dst.Count += g.Count
+		}
+	}
+	return nil
 }

@@ -109,6 +109,19 @@ func (rs *relSynopsis) tupleDesign() bool { return rs.pageSize == 0 }
 // the per-occurrence weight of the point estimator.
 func (rs *relSynopsis) scale() float64 { return float64(rs.M) / float64(rs.m) }
 
+// rowUnits returns the sampling-unit index of every sample row (the
+// identity for tuple designs, the owning page for page designs). Used by
+// the single-pass jackknife to charge assignments to deletable units.
+func (rs *relSynopsis) rowUnits() []int {
+	out := make([]int, rs.n)
+	for u, cluster := range rs.clusters {
+		for _, row := range cluster {
+			out[row] = u
+		}
+	}
+	return out
+}
+
 // singletonClusters builds the cluster list of a tuple-design sample.
 func singletonClusters(n int) [][]int {
 	cs := make([][]int, n)

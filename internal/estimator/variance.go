@@ -6,36 +6,37 @@ import (
 	"math/rand"
 
 	"relest/internal/algebra"
+	"relest/internal/parallel"
 	"relest/internal/stats"
 )
 
 // estimateVariance dispatches to the requested variance method and returns
 // the variance estimate together with the method actually used.
-func estimateVariance(poly algebra.Polynomial, syn *Synopsis, opts Options) (float64, VarianceMethod, error) {
+func estimateVariance(poly algebra.Polynomial, syn *Synopsis, opts Options, eng *engine) (float64, VarianceMethod, error) {
 	switch opts.Variance {
 	case VarNone:
 		return math.NaN(), VarNone, nil
 	case VarAnalytic:
-		if v, ok, err := analyticVariance(poly, syn); err != nil {
+		if v, ok, err := analyticVariance(poly, syn, eng); err != nil {
 			return 0, VarAnalytic, err
 		} else if ok {
 			return v, VarAnalytic, nil
 		}
 		return 0, VarAnalytic, fmt.Errorf("estimator: no closed-form variance for this expression shape; use split-sample or jackknife")
 	case VarSplitSample:
-		v, err := splitSampleVariance(poly, syn, opts, false)
+		v, err := splitSampleVariance(poly, syn, opts, false, eng)
 		return v, VarSplitSample, err
 	case VarJackknife:
-		v, err := jackknifeVariance(poly, syn)
+		v, err := jackknifeVariance(poly, syn, eng)
 		return v, VarJackknife, err
 	default: // VarAuto
-		if v, ok, err := analyticVariance(poly, syn); err == nil && ok {
+		if v, ok, err := analyticVariance(poly, syn, eng); err == nil && ok {
 			return v, VarAnalytic, nil
 		}
-		if v, err := splitSampleVariance(poly, syn, opts, true); err == nil {
+		if v, err := splitSampleVariance(poly, syn, opts, true, eng); err == nil {
 			return v, VarSplitSample, nil
 		}
-		if v, err := jackknifeVariance(poly, syn); err == nil {
+		if v, err := jackknifeVariance(poly, syn, eng); err == nil {
 			return v, VarJackknife, nil
 		}
 		return math.NaN(), VarNone, nil
@@ -54,16 +55,16 @@ func estimateVariance(poly algebra.Polynomial, syn *Synopsis, opts Options) (flo
 //     patterns (see below).
 //
 // The boolean result reports whether a closed form applied.
-func analyticVariance(poly algebra.Polynomial, syn *Synopsis) (float64, bool, error) {
+func analyticVariance(poly algebra.Polynomial, syn *Synopsis, eng *engine) (float64, bool, error) {
 	if len(poly.RelationNames()) == 1 && poly.MaxOccurrences() == 1 {
-		v, err := singleRelationVariance(poly, syn)
+		v, err := singleRelationVariance(poly, syn, eng)
 		return v, err == nil, err
 	}
 	if poly.NumTerms() == 1 && len(poly.Terms[0].Occs) == 2 &&
 		poly.Terms[0].Occs[0].RelName != poly.Terms[0].Occs[1].RelName &&
 		plainTupleSample(syn.rels[poly.Terms[0].Occs[0].RelName]) &&
 		plainTupleSample(syn.rels[poly.Terms[0].Occs[1].RelName]) {
-		v, err := twoRelationTermVariance(&poly.Terms[0], syn)
+		v, err := twoRelationTermVariance(&poly.Terms[0], syn, eng)
 		return v, err == nil, err
 	}
 	return 0, false, nil
@@ -82,7 +83,11 @@ func plainTupleSample(rs *relSynopsis) bool {
 // Var̂ = M²(1−m/M)s²_z/m (Cochran), which is unbiased for both the tuple
 // design (units are tuples) and the page design (units are pages — the
 // "ultimate cluster" variance).
-func singleRelationVariance(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
+//
+// Enumeration is serial (the score vector is shared across terms), but the
+// plans come from the engine cache, so this pass reuses the point
+// estimate's compiled indexes.
+func singleRelationVariance(poly algebra.Polynomial, syn *Synopsis, eng *engine) (float64, error) {
 	rel := poly.RelationNames()[0]
 	rs := syn.rels[rel]
 	if rs.m < 2 {
@@ -95,14 +100,15 @@ func singleRelationVariance(poly algebra.Polynomial, syn *Synopsis) (float64, er
 		if err != nil {
 			return 0, err
 		}
-		coef := float64(t.Coef)
-		err = t.EnumerateAssignments(inst, func(rows []int) bool {
-			y[rows[0]] += coef
-			return true
-		})
+		pt, err := eng.prepare(t, inst)
 		if err != nil {
 			return 0, err
 		}
+		coef := float64(t.Coef)
+		pt.Enumerate(func(rows []int) bool {
+			y[rows[0]] += coef
+			return true
+		})
 	}
 	if rs.stratified() {
 		// Stratified closed form: independent SRSWOR within each stratum,
@@ -160,7 +166,7 @@ func singleRelationVariance(poly algebra.Polynomial, syn *Synopsis) (float64, er
 //
 // is unbiased. It can be negative on unlucky samples, as unbiased variance
 // estimators are allowed to be.
-func twoRelationTermVariance(t *algebra.Term, syn *Synopsis) (float64, error) {
+func twoRelationTermVariance(t *algebra.Term, syn *Synopsis, eng *engine) (float64, error) {
 	rel1, rel2 := t.Occs[0].RelName, t.Occs[1].RelName
 	n1, _ := syn.SampleSize(rel1)
 	n2, _ := syn.SampleSize(rel2)
@@ -173,18 +179,19 @@ func twoRelationTermVariance(t *algebra.Term, syn *Synopsis) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	pt, err := eng.prepare(t, inst)
+	if err != nil {
+		return 0, err
+	}
 	alpha := make([]float64, n1)
 	beta := make([]float64, n2)
 	var T float64
-	err = t.EnumerateAssignments(inst, func(rows []int) bool {
+	pt.Enumerate(func(rows []int) bool {
 		alpha[rows[0]]++
 		beta[rows[1]]++
 		T++
 		return true
 	})
-	if err != nil {
-		return 0, err
-	}
 	var sumA2, sumB2 float64
 	for _, a := range alpha {
 		sumA2 += a * a
@@ -229,19 +236,19 @@ func twoRelationTermVariance(t *algebra.Term, syn *Synopsis) (float64, error) {
 // When shrink is true the group count is reduced as needed so that each
 // group keeps at least max-occurrences rows per relation (VarAuto mode);
 // otherwise too-small samples are an error.
-func splitSampleVariance(poly algebra.Polynomial, syn *Synopsis, opts Options, shrink bool) (float64, error) {
-	return splitSampleVarianceImpl(poly, syn, opts, shrink, func(sub *Synopsis) (float64, error) {
-		return pointEstimate(poly, sub)
+func splitSampleVariance(poly algebra.Polynomial, syn *Synopsis, opts Options, shrink bool, eng *engine) (float64, error) {
+	return splitSampleVarianceImpl(poly, syn, opts, shrink, eng, func(sub *Synopsis, sube *engine) (float64, error) {
+		return pointEstimate(poly, sub, sube)
 	})
 }
 
 // splitSampleVarianceFn is the split-sample method for an arbitrary
 // re-estimation function (SUM, page-sampling); group shrinking enabled.
-func splitSampleVarianceFn(poly algebra.Polynomial, syn *Synopsis, opts Options, estimate func(*Synopsis) (float64, error)) (float64, error) {
-	return splitSampleVarianceImpl(poly, syn, opts, true, estimate)
+func splitSampleVarianceFn(poly algebra.Polynomial, syn *Synopsis, opts Options, eng *engine, estimate func(*Synopsis, *engine) (float64, error)) (float64, error) {
+	return splitSampleVarianceImpl(poly, syn, opts, true, eng, estimate)
 }
 
-func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Options, shrink bool, estimate func(*Synopsis) (float64, error)) (float64, error) {
+func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Options, shrink bool, eng *engine, estimate func(*Synopsis, *engine) (float64, error)) (float64, error) {
 	need := poly.MaxOccurrences()
 	if need < 1 {
 		need = 1
@@ -280,22 +287,32 @@ func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Option
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed5eed))
 	// Partition each relation's sampling units into g groups; whole units
 	// move together (and strata split evenly) so every group is a valid
-	// smaller sample of the same design.
+	// smaller sample of the same design. The grouping depends only on the
+	// Seed, never on the worker count.
 	groupsByRel := map[string][][]int{}
 	for _, rel := range poly.RelationNames() {
 		groupsByRel[rel] = syn.rels[rel].splitUnits(rng, g)
 	}
-	var reps stats.Welford
-	for i := 0; i < g; i++ {
+	// Replicates are independent: fan them out and fold the values into the
+	// variance accumulator in replicate order. Replicate plans are
+	// throwaway (group sub-samples share no instances), so they run
+	// uncached.
+	vals := make([]float64, g)
+	err := parallel.ForErr(g, eng.workers, func(i int) error {
 		unitSel := map[string][]int{}
 		for rel, groups := range groupsByRel {
 			unitSel[rel] = groups[i]
 		}
 		sub := syn.subSynopsisUnits(unitSel)
-		v, err := estimate(sub)
-		if err != nil {
-			return 0, err
-		}
+		v, err := estimate(sub, subEngine(nil, nil))
+		vals[i] = v
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	var reps stats.Welford
+	for _, v := range vals {
 		reps.Add(v)
 	}
 	return reps.Variance() / float64(g), nil
@@ -306,19 +323,26 @@ func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Option
 // estimate is recomputed without that unit; the per-relation jackknife
 // variances (m−1)/m·Σ(θ₍ᵤ₎−θ̄)², each scaled by the finite-population
 // correction (1−m/M), add up across relations (the samples are
-// independent). Cost is Σ m_R full re-evaluations — use on small samples
-// or when no other method applies.
-func jackknifeVariance(poly algebra.Polynomial, syn *Synopsis) (float64, error) {
-	return jackknifeVarianceFn(poly, syn, func(sub *Synopsis) (float64, error) {
-		return pointEstimate(poly, sub)
-	})
+// independent).
+//
+// When every term admits it, the replicates are derived from a single
+// enumeration pass per term (see jackknifeSinglePass): O(enum + Σ m_R)
+// instead of the naive Σ m_R full re-evaluations. Terms with folded
+// cross-product tails fall back to the naive path, which fans replicates
+// across workers and shares full-sample plans between them.
+func jackknifeVariance(poly algebra.Polynomial, syn *Synopsis, eng *engine) (float64, error) {
+	return jackknifeVarianceFn(poly, syn, eng, func(sub *Synopsis, sube *engine) (float64, error) {
+		return pointEstimate(poly, sub, sube)
+	}, countContrib)
 }
 
 // jackknifeVarianceFn is the delete-one jackknife for an arbitrary
-// re-estimation function.
-func jackknifeVarianceFn(poly algebra.Polynomial, syn *Synopsis, estimate func(*Synopsis) (float64, error)) (float64, error) {
+// re-estimation function. contrib, when its eval is set, is the
+// per-assignment contribution underlying estimate (1 for COUNT, the output
+// column for SUM) and enables the single-pass computation; pass noContrib
+// to force naive replication.
+func jackknifeVarianceFn(poly algebra.Polynomial, syn *Synopsis, eng *engine, estimate func(*Synopsis, *engine) (float64, error), contrib termContrib) (float64, error) {
 	need := poly.MaxOccurrences()
-	total := 0.0
 	for _, rel := range poly.RelationNames() {
 		rs, ok := syn.rels[rel]
 		if !ok {
@@ -327,17 +351,48 @@ func jackknifeVarianceFn(poly algebra.Polynomial, syn *Synopsis, estimate func(*
 		if rs.stratified() {
 			return 0, fmt.Errorf("estimator: jackknife does not support the stratified sample of %q; use the analytic or split-sample variance", rel)
 		}
+		if rs.n-len(longestCluster(rs)) < need || rs.m < 2 {
+			return 0, fmt.Errorf("estimator: sample of %q too small for jackknife (m=%d units, need %d rows after deletion)", rel, rs.m, need)
+		}
+	}
+	if contrib.eval != nil {
+		ok, err := singlePassEligible(poly, syn, eng, contrib)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return jackknifeSinglePass(poly, syn, eng, contrib)
+		}
+	}
+	return jackknifeNaive(poly, syn, eng, estimate)
+}
+
+// jackknifeNaive runs the delete-one replicates by full re-estimation,
+// fanned across the engine's workers. Deleting a unit of relation R swaps
+// only R's instance, so every term not mentioning R evaluates over exactly
+// the full-sample instances; those plans are shared across all m replicates
+// through a per-relation cache, while plans touching R stay uncached (each
+// replicate's is used once).
+func jackknifeNaive(poly algebra.Polynomial, syn *Synopsis, eng *engine, estimate func(*Synopsis, *engine) (float64, error)) (float64, error) {
+	total := 0.0
+	for _, rel := range poly.RelationNames() {
+		rs := syn.rels[rel]
 		m := rs.m
-		if rs.n-len(longestCluster(rs)) < need || m < 2 {
-			return 0, fmt.Errorf("estimator: sample of %q too small for jackknife (m=%d units, need %d rows after deletion)", rel, m, need)
+		del := rel
+		relCache := algebra.NewPlanCache()
+		cacheIf := func(t *algebra.Term) bool { return !termUsesRel(t, del) }
+		vals := make([]float64, m)
+		err := parallel.ForErr(m, eng.workers, func(u int) error {
+			sub := syn.withoutUnit(del, u)
+			v, err := estimate(sub, subEngine(relCache, cacheIf))
+			vals[u] = v
+			return err
+		})
+		if err != nil {
+			return 0, err
 		}
 		var reps stats.Welford
-		for u := 0; u < m; u++ {
-			sub := syn.withoutUnit(rel, u)
-			v, err := estimate(sub)
-			if err != nil {
-				return 0, err
-			}
+		for _, v := range vals {
 			reps.Add(v)
 		}
 		// (m−1)/m · Σ(θ₍ᵤ₎−θ̄)², with Σ(θ−θ̄)² = (m−1)·s² from Welford.
@@ -347,6 +402,16 @@ func jackknifeVarianceFn(poly algebra.Polynomial, syn *Synopsis, estimate func(*
 		total += vr
 	}
 	return total, nil
+}
+
+// termUsesRel reports whether the term references the relation.
+func termUsesRel(t *algebra.Term, rel string) bool {
+	for _, o := range t.Occs {
+		if o.RelName == rel {
+			return true
+		}
+	}
+	return false
 }
 
 // longestCluster returns the largest sampled unit (for the jackknife's

@@ -1,0 +1,96 @@
+// Package parallel provides the worker-pool primitives behind the
+// estimation engine: bounded fan-out over an index space with deterministic
+// error selection.
+//
+// Determinism contract: these primitives schedule tasks in an arbitrary
+// order, so callers must write each task's result into an index-addressed
+// slot and reduce the slots in index order. Reductions structured that way
+// produce bit-identical floats for every worker count, which is what lets
+// Options.Workers vary without perturbing estimates.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the GOMAXPROCS default when positive.
+var defaultWorkers atomic.Int64
+
+// Workers returns the default worker count: the value set by SetWorkers, or
+// GOMAXPROCS when none is set.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the package default used when a caller requests 0
+// workers (the -workers CLI flag). Passing n <= 0 restores the GOMAXPROCS
+// default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve maps a requested worker count to an effective one: positive
+// requests are honored as-is, zero (and negative) requests resolve to the
+// package default.
+func Resolve(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return Workers()
+}
+
+// For runs fn(i) for every i in [0, n), using at most `workers` goroutines
+// (0 resolves to the package default). Tasks are claimed from a shared
+// counter, so completion order is arbitrary; see the package determinism
+// contract.
+func For(n, workers int, fn func(i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) like For and returns the error of
+// the lowest-indexed failing task, so the reported error does not depend on
+// scheduling. All tasks run even when an early one fails (errors are the
+// exceptional path; the common case needs every result anyway).
+func ForErr(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -61,6 +61,22 @@ func (t Tuple) Key(cols []int) string {
 	return string(buf)
 }
 
+// AppendKey appends the Key encoding of the given column positions to buf
+// and returns the extended buffer; nil cols keys the whole tuple. It is the
+// allocation-free companion of Key for hot probe loops that reuse a buffer.
+func (t Tuple) AppendKey(buf []byte, cols []int) []byte {
+	if cols == nil {
+		for _, v := range t {
+			buf = v.appendKey(buf)
+		}
+		return buf
+	}
+	for _, c := range cols {
+		buf = t[c].appendKey(buf)
+	}
+	return buf
+}
+
 // String renders the tuple as "(v1, v2, ...)".
 func (t Tuple) String() string {
 	var b strings.Builder

@@ -215,6 +215,12 @@ func (v Value) Hash() uint64 {
 	return h
 }
 
+// AppendKey appends a self-delimiting encoding of the value to dst such
+// that two values have identical encodings iff they are Equal. It lets hot
+// probe loops build composite hash keys into a reusable buffer instead of
+// allocating a string per lookup (Tuple.Key is the allocating form).
+func (v Value) AppendKey(dst []byte) []byte { return v.appendKey(dst) }
+
 // appendKey appends a self-delimiting encoding of the value to dst such
 // that two values have identical encodings iff they are Equal. Used to
 // build composite hash-join keys.
