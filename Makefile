@@ -1,9 +1,9 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench fuzz
 
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific invariants (determinism, RNG discipline, concurrency);
+# exits nonzero on any unsuppressed finding. See internal/lint and the
+# "Static analysis" section of DESIGN.md.
+lint:
+	$(GO) run ./cmd/relestlint
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing smoke: each fuzzer runs for a few seconds on top of its
+# committed seed corpus (testdata/fuzz). Crashers found locally land in
+# testdata/fuzz as regression inputs.
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzNormalize -fuzztime 3s ./internal/algebra
+	$(GO) test -run XXX -fuzz FuzzPredicate -fuzztime 3s ./internal/algebra
+	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 3s ./internal/query
 
 # Variance-engine benchmarks (see BENCH_1.json for recorded results).
 bench:

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -89,15 +90,24 @@ func run() error {
 	}
 
 	cat := algebra.MapCatalog{}
-	for name, path := range rels {
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := rels[name]
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
 		r, err := relation.ImportCSV(name, f, nil)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			return err
+		}
+		if cerr != nil {
+			return cerr
 		}
 		cat[name] = r
 		fmt.Printf("loaded %s: %d rows, schema %s\n", name, r.Len(), r.Schema())
@@ -122,7 +132,11 @@ func run() error {
 
 	rng := sampling.NewSource(*seed).Rand(0)
 	syn := estimator.NewSynopsis()
-	for _, r := range cat {
+	// Draw in sorted-name order: sampling consumes a shared stream, so
+	// map-order iteration would make the estimate depend on Go's
+	// randomized map walk rather than on -seed alone.
+	for _, name := range names {
+		r := cat[name]
 		n := int(*fraction * float64(r.Len()))
 		if n < *minSample {
 			n = *minSample

@@ -1,0 +1,90 @@
+// Command relestlint runs relest's repo-specific static analyzers: the
+// determinism, RNG-discipline, and concurrency invariants the estimation
+// engine depends on (see internal/lint). It type-checks the whole module
+// from source with the standard library only.
+//
+// Usage:
+//
+//	relestlint [-root dir] [-pkg substring] [-rules r1,r2] [-list]
+//
+// Findings print as "file:line:col: [rule] message" with paths relative
+// to the module root; the exit status is 1 when any unsuppressed finding
+// exists, 2 on load/usage errors. Suppress a finding site with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relest/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory inside the module to lint")
+	pkgFilter := flag.String("pkg", "", "only lint packages whose import path contains this substring")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		keep := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			keep[strings.TrimSpace(r)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for r := range keep {
+			fmt.Fprintf(os.Stderr, "relestlint: unknown rule %q (use -list)\n", r)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relestlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relestlint: %v\n", err)
+		os.Exit(2)
+	}
+	if *pkgFilter != "" {
+		var sel []*lint.Package
+		for _, p := range pkgs {
+			if strings.Contains(p.Path, *pkgFilter) {
+				sel = append(sel, p)
+			}
+		}
+		pkgs = sel
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	lint.Relativize(findings, loader.ModuleRoot())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "relestlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

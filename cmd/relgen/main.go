@@ -83,7 +83,7 @@ func run() error {
 			return err
 		}
 		if err := relation.ExportCSV(r, f); err != nil {
-			f.Close()
+			_ = f.Close() // the export error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,202 @@
+package algebra
+
+import (
+	"fmt"
+	"testing"
+
+	"relest/internal/relation"
+)
+
+// The fuzzers below drive the predicate-binding and normalization paths
+// with machine-built inputs: a byte string is decoded into an expression
+// (or predicate) tree, then normalized and exactly evaluated. The
+// properties checked are the ones the estimator engine depends on:
+// no panics on any tree shape, structurally well-formed polynomials
+// (occurrence references in range, nonzero coefficients), and — this
+// repo's core invariant — bit-identical results when the same input is
+// normalized twice.
+
+// fuzzCatalog returns two tiny joinable relations plus one with a
+// different schema, so set-op schema checks exercise both branches.
+func fuzzCatalog() MapCatalog {
+	ab := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "b", Kind: relation.KindInt},
+	)
+	r := relation.New("R", ab)
+	for _, p := range [][2]int64{{1, 10}, {2, 20}, {3, 30}, {3, 31}} {
+		r.MustAppend(relation.Tuple{relation.Int(p[0]), relation.Int(p[1])})
+	}
+	s := relation.New("S", ab)
+	for _, p := range [][2]int64{{2, 20}, {3, 30}, {5, 50}} {
+		s.MustAppend(relation.Tuple{relation.Int(p[0]), relation.Int(p[1])})
+	}
+	t := relation.New("T", relation.MustSchema(
+		relation.Column{Name: "x", Kind: relation.KindFloat},
+	))
+	t.MustAppend(relation.Tuple{relation.Float(0.5)})
+	return MapCatalog{"R": r, "S": s, "T": t}
+}
+
+// exprReader decodes fuzz bytes into algebra expressions. Every decode
+// consumes input left to right; constructor errors (schema mismatches,
+// unknown columns) make the op a no-op, so any byte string decodes to
+// some well-formed expression.
+type exprReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *exprReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// pred decodes a predicate tree of bounded depth.
+func (r *exprReader) pred(depth int) Predicate {
+	cols := []string{"a", "b", "x", "nope"}
+	op := CmpOp(r.byte() % 6)
+	if depth <= 0 {
+		return Cmp{Col: cols[int(r.byte())%len(cols)], Op: op, Val: relation.Int(int64(r.byte()) % 8)}
+	}
+	switch r.byte() % 5 {
+	case 0:
+		return Cmp{Col: cols[int(r.byte())%len(cols)], Op: op, Val: relation.Int(int64(r.byte()) % 8)}
+	case 1:
+		return ColCmp{A: cols[int(r.byte())%len(cols)], Op: op, B: cols[int(r.byte())%len(cols)]}
+	case 2:
+		return And{r.pred(depth - 1), r.pred(depth - 1)}
+	case 3:
+		return Or{r.pred(depth - 1), r.pred(depth - 1)}
+	default:
+		return Not{P: r.pred(depth - 1)}
+	}
+}
+
+// expr decodes an expression tree of bounded depth over the fuzz catalog.
+func (r *exprReader) expr(cat MapCatalog, depth int) *Expr {
+	if depth <= 0 || r.byte()%4 == 0 {
+		names := []string{"R", "S", "T"}
+		name := names[int(r.byte())%len(names)]
+		rel, _ := cat.Relation(name)
+		return Base(name, rel.Schema())
+	}
+	left := r.expr(cat, depth-1)
+	switch r.byte() % 7 {
+	case 0:
+		if e, err := Select(left, r.pred(2)); err == nil {
+			return e
+		}
+	case 1:
+		cols := left.Schema().Columns()
+		if e, err := Project(left, cols[int(r.byte())%len(cols)].Name); err == nil {
+			return e
+		}
+	case 2:
+		if e, err := Product(left, r.expr(cat, depth-1), fmt.Sprintf("p%d_", r.pos)); err == nil {
+			return e
+		}
+	case 3:
+		if e, err := Join(left, r.expr(cat, depth-1), []On{{Left: "a", Right: "a"}}, nil, fmt.Sprintf("j%d_", r.pos)); err == nil {
+			return e
+		}
+	case 4:
+		if e, err := Union(left, r.expr(cat, depth-1)); err == nil {
+			return e
+		}
+	case 5:
+		if e, err := Intersect(left, r.expr(cat, depth-1)); err == nil {
+			return e
+		}
+	default:
+		if e, err := Diff(left, r.expr(cat, depth-1)); err == nil {
+			return e
+		}
+	}
+	return left
+}
+
+// FuzzNormalize decodes an expression, normalizes it, and checks the
+// polynomial invariants plus normalize-twice determinism and agreement
+// of exact evaluation across both calls.
+func FuzzNormalize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 1, 2, 0, 3})
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5})
+	f.Add([]byte{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5, 2, 3})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			return // bound tree size; depth is already capped
+		}
+		cat := fuzzCatalog()
+		e := (&exprReader{data: data}).expr(cat, 4)
+		p1, err1 := Normalize(e)
+		p2, err2 := Normalize(e)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("normalize determinism: err1=%v err2=%v", err1, err2)
+		}
+		if err1 != nil {
+			return // rejection is allowed; panics and flip-flops are not
+		}
+		if p1.NumTerms() != p2.NumTerms() {
+			t.Fatalf("normalize determinism: %d terms then %d", p1.NumTerms(), p2.NumTerms())
+		}
+		for i := range p1.Terms {
+			term := &p1.Terms[i]
+			if term.Coef == 0 {
+				t.Fatalf("term %d has zero coefficient", i)
+			}
+			for _, ref := range term.Out {
+				if ref.Occ < 0 || ref.Occ >= len(term.Occs) {
+					t.Fatalf("term %d output ref occurrence %d out of range [0,%d)", i, ref.Occ, len(term.Occs))
+				}
+			}
+		}
+		if got, err := Count(e, cat); err == nil {
+			if again, err2 := Count(e, cat); err2 != nil || again != got {
+				t.Fatalf("exact count not reproducible: %d (err %v) vs %d", again, err2, got)
+			}
+		}
+	})
+}
+
+// FuzzPredicate decodes a predicate tree, binds it through Select against
+// each catalog schema, and evaluates the selection exactly: binding may
+// reject unknown columns but must never panic, and accepted predicates
+// must evaluate to the same count twice.
+func FuzzPredicate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{2, 0, 1, 3, 1, 2, 4, 0, 0, 2, 2, 2})
+	f.Add([]byte{4, 4, 4, 4, 1, 0, 3, 2, 1, 0, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 128 {
+			return
+		}
+		cat := fuzzCatalog()
+		p := (&exprReader{data: data}).pred(4)
+		for _, name := range []string{"R", "T"} {
+			rel, _ := cat.Relation(name)
+			sel, err := Select(Base(name, rel.Schema()), p)
+			if err != nil {
+				continue // unknown column; rejection is the contract
+			}
+			n1, err1 := Count(sel, cat)
+			n2, err2 := Count(sel, cat)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("bound predicate failed to evaluate: %v / %v", err1, err2)
+			}
+			if n1 != n2 {
+				t.Fatalf("selection count not reproducible: %d vs %d", n1, n2)
+			}
+			if n1 < 0 || n1 > int64(rel.Len()) {
+				t.Fatalf("selection count %d outside [0,%d]", n1, rel.Len())
+			}
+		}
+	})
+}

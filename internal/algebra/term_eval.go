@@ -381,6 +381,7 @@ func (pt *PreparedTerm) Count() float64 {
 // lies in chunk `part` of `parts` (see Parts).
 func (pt *PreparedTerm) CountPart(part, parts int) float64 {
 	p := pt.p
+	//lint:ignore floateq exact sentinel: a zero tail factor means an empty folded tail, so the term contributes nothing
 	if p.tailFactor == 0 {
 		return 0
 	}

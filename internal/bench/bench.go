@@ -89,6 +89,7 @@ type ErrorStats struct {
 // Observe records one trial.
 func (e *ErrorStats) Observe(est, actual float64) {
 	e.abs.Add(stats.RelativeError(est, actual))
+	//lint:ignore floateq division guard: only an exactly-zero actual makes the signed error undefined
 	if actual != 0 {
 		e.sign.Add((est - actual) / actual)
 	}
@@ -136,10 +137,12 @@ func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
 // Num formats a float compactly.
 func Num(v float64) string {
 	switch {
+	//lint:ignore floateq formatting dispatch: exactly-zero prints as "0", nothing numerical branches on this
 	case v == 0:
 		return "0"
 	case v >= 1e6 || v <= -1e6:
 		return fmt.Sprintf("%.3g", v)
+	//lint:ignore floateq integrality test: exact round-trip through int64 is the intended check
 	case v == float64(int64(v)):
 		return fmt.Sprintf("%d", int64(v))
 	default:

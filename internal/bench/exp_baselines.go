@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"relest/internal/estimator"
 	"relest/internal/histogram"
@@ -89,7 +88,7 @@ func T6Baselines(seed int64, scale Scale) *Table {
 		for _, budget := range budgets {
 			var sampARE, skARE, ewARE, edARE ErrorStats
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(17000 + tr)))
+				rng := src.Rand(17000 + tr)
 				// Sampling.
 				syn := estimator.NewSynopsis()
 				if err := syn.AddDrawn(col1, budget, rng); err != nil {

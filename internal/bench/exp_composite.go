@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
@@ -85,7 +84,7 @@ func F1Composite(seed int64, scale Scale) *Table {
 		var es ErrorStats
 		sum := 0.0
 		for tr := 0; tr < trials; tr++ {
-			rng := rand.New(rand.NewSource(src.StreamSeed(19000 + tr)))
+			rng := src.Rand(19000 + tr)
 			syn := estimator.NewSynopsis()
 			for _, r := range []*relation.Relation{r1, r2, r3} {
 				if err := syn.AddDrawn(r, int(f*float64(r.Len())), rng); err != nil {

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"relest/internal/algebra"
@@ -69,7 +68,7 @@ func A1Stratified(seed int64, scale Scale) *Table {
 			var es ErrorStats
 			var points stats.Welford
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(27000 + tr)))
+				rng := src.Rand(27000 + tr)
 				syn := estimator.NewSynopsis()
 				var err error
 				if design == "srswor" {
@@ -157,7 +156,7 @@ func A2PageSampling(seed int64, scale Scale) *Table {
 		for _, design := range []string{"tuple", "page"} {
 			var es ErrorStats
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(29000 + tr)))
+				rng := src.Rand(29000 + tr)
 				syn := estimator.NewSynopsis()
 				var err error
 				if design == "tuple" {

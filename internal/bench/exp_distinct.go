@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"relest/internal/estimator"
 	"relest/internal/sampling"
@@ -54,7 +53,7 @@ func T4Distinct(seed int64, scale Scale) *Table {
 			ares := make([]ErrorStats, len(methods))
 			n := int(f * float64(N))
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(13000 + tr)))
+				rng := src.Rand(13000 + tr)
 				syn := estimator.NewSynopsis()
 				if err := syn.AddDrawn(rel, n, rng); err != nil {
 					panic(err)

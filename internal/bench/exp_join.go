@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
@@ -47,7 +46,7 @@ func T2Join(seed int64, scale Scale) *Table {
 			for _, f := range fractions {
 				var es ErrorStats
 				for tr := 0; tr < trials; tr++ {
-					rng := rand.New(rand.NewSource(src.StreamSeed(7000 + tr)))
+					rng := src.Rand(7000 + tr)
 					syn := estimator.NewSynopsis()
 					if err := syn.AddDrawn(r1, int(f*float64(N)), rng); err != nil {
 						panic(err)
@@ -112,7 +111,7 @@ func T7SelfJoin(seed int64, scale Scale) *Table {
 			var weighted, naive ErrorStats
 			n := int(f * float64(N))
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(9000 + tr)))
+				rng := src.Rand(9000 + tr)
 				syn := estimator.NewSynopsis()
 				if err := syn.AddDrawn(r, n, rng); err != nil {
 					panic(err)

@@ -48,7 +48,7 @@ func A3Planner(seed int64, scale Scale) *Table {
 	results := map[string]*agg{"sampling": {}, "catalog": {}, "exact": {}}
 
 	for tr := 0; tr < trials; tr++ {
-		rng := rand.New(rand.NewSource(src.StreamSeed(31000 + tr)))
+		rng := src.Rand(31000 + tr)
 		cat, q := correlatedStar(rng, nA)
 
 		// Optimal true cost from the exact oracle.

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
@@ -52,7 +51,7 @@ func T1Selection(seed int64, scale Scale) *Table {
 			var es ErrorStats
 			var cov Coverage
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(1000 + tr)))
+				rng := src.Rand(1000 + tr)
 				syn := estimator.NewSynopsis()
 				n := int(f * float64(N))
 				if err := syn.AddDrawn(rel, n, rng); err != nil {
@@ -119,7 +118,7 @@ func F2Coverage(seed int64, scale Scale) *Table {
 			for _, lvl := range levels {
 				var cov Coverage
 				for tr := 0; tr < trials; tr++ {
-					rng := rand.New(rand.NewSource(src.StreamSeed(5000 + tr)))
+					rng := src.Rand(5000 + tr)
 					syn := estimator.NewSynopsis()
 					if err := syn.AddDrawn(r1, int(f*float64(r1.Len())), rng); err != nil {
 						panic(err)

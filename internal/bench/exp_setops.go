@@ -74,7 +74,7 @@ func T3SetOps(seed int64, scale Scale) *Table {
 			}
 			var paper, naive ErrorStats
 			for tr := 0; tr < trials; tr++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(11000 + tr)))
+				rng := src.Rand(11000 + tr)
 				syn := estimator.NewSynopsis()
 				if err := syn.AddDrawn(r1, n, rng); err != nil {
 					panic(err)

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"relest/internal/algebra"
@@ -52,7 +51,7 @@ func F4Incremental(seed int64, scale Scale) *Table {
 	var totalDur time.Duration
 
 	for tr := 0; tr < trials; tr++ {
-		rng := rand.New(rand.NewSource(src.StreamSeed(25000 + tr)))
+		rng := src.Rand(25000 + tr)
 		streamR := workload.Stream(rng, workload.StreamSpec{Rel: "R", Ops: ops / 2, DeleteFrac: deleteFrac, Z: 0.8, Domain: domain})
 		streamS := workload.Stream(rng, workload.StreamSpec{Rel: "S", Ops: ops / 2, DeleteFrac: deleteFrac, Z: 0.8, Domain: domain})
 		inc := estimator.NewIncremental(capacity, rng)

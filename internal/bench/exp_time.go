@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"relest/internal/algebra"
@@ -47,7 +46,7 @@ func F3Deadline(seed int64, scale Scale) *Table {
 		var es ErrorStats
 		var finalN, rounds stats.Welford
 		for tr := 0; tr < trials; tr++ {
-			rng := rand.New(rand.NewSource(src.StreamSeed(21000 + tr)))
+			rng := src.Rand(21000 + tr)
 			syn := estimator.NewSynopsis()
 			if err := syn.AddDrawn(r1, 20, rng); err != nil {
 				panic(err)
@@ -76,7 +75,7 @@ func F3Deadline(seed int64, scale Scale) *Table {
 		var finalN stats.Welford
 		met := 0
 		for tr := 0; tr < trials; tr++ {
-			rng := rand.New(rand.NewSource(src.StreamSeed(23000 + tr)))
+			rng := src.Rand(23000 + tr)
 			syn := estimator.NewSynopsis()
 			if err := syn.AddDrawn(r1, 50, rng); err != nil {
 				panic(err)
@@ -107,7 +106,7 @@ func F3Deadline(seed int64, scale Scale) *Table {
 	}
 	// Throughput note: how fast one estimation round runs at f=5%.
 	{
-		rng := rand.New(rand.NewSource(src.StreamSeed(24999)))
+		rng := src.Rand(24999)
 		syn := estimator.NewSynopsis()
 		if err := syn.AddDrawn(r1, N/20, rng); err != nil {
 			panic(err)

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
@@ -58,7 +57,7 @@ func T5Variance(seed int64, scale Scale) *Table {
 			var points stats.Welford
 			var vars stats.Welford
 			for i := 0; i < trials; i++ {
-				rng := rand.New(rand.NewSource(src.StreamSeed(15000 + i)))
+				rng := src.Rand(15000 + i)
 				syn := estimator.NewSynopsis()
 				if err := syn.AddDrawn(r1, int(fraction*float64(N)), rng); err != nil {
 					panic(err)

@@ -117,6 +117,7 @@ func Avg(e *algebra.Expr, col string, syn *Synopsis, opts Options) (AvgResult, e
 		return AvgResult{}, err
 	}
 	out := AvgResult{Sum: sum, Count: cnt, Avg: math.NaN()}
+	//lint:ignore floateq division guard: only an exactly-zero count estimate leaves Avg undefined (NaN)
 	if cnt.Value != 0 {
 		out.Avg = sum.Value / cnt.Value
 	}

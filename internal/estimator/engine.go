@@ -381,6 +381,7 @@ func jackknifeSinglePass(poly algebra.Polynomial, syn *Synopsis, eng *engine, co
 			var distinctRows []int
 			pt.EnumeratePart(part, parts, func(rows []int) bool {
 				w := contrib.eval(t, inst, rows)
+				//lint:ignore floateq exactly-zero contributions add nothing to any replicate; skipping them is order-independent
 				if w == 0 {
 					return true
 				}

@@ -60,26 +60,47 @@ func GroupCount(e *algebra.Expr, col string, syn *Synopsis) ([]GroupEstimate, er
 	}
 	acc := map[string]*GroupEstimate{}
 	for _, ta := range termAccs {
-		for k, g := range ta {
-			dst, ok := acc[k]
-			if !ok {
-				acc[k] = g
-				continue
-			}
-			dst.Count += g.Count
-		}
+		mergeGroups(acc, ta)
 	}
 	out := make([]GroupEstimate, 0, len(acc))
-	for _, g := range acc {
-		out = append(out, *g)
+	for _, k := range sortedGroupKeys(acc) {
+		out = append(out, *acc[k])
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+		if out[i].Count > out[j].Count {
+			return true
+		}
+		if out[i].Count < out[j].Count {
+			return false
 		}
 		return out[i].Value.Compare(out[j].Value) < 0
 	})
 	return out, nil
+}
+
+// mergeGroups folds src into dst by group key, iterating src's keys in
+// sorted order so each dst.Count accumulates in a reproducible sequence
+// regardless of map layout (the maprange-float determinism contract).
+func mergeGroups(dst, src map[string]*GroupEstimate) {
+	for _, k := range sortedGroupKeys(src) {
+		g := src[k]
+		d, ok := dst[k]
+		if !ok {
+			dst[k] = g
+			continue
+		}
+		d.Count += g.Count
+	}
+}
+
+// sortedGroupKeys returns m's keys in sorted order.
+func sortedGroupKeys(m map[string]*GroupEstimate) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // accumulateGroups adds one term's weighted per-group contributions,
@@ -157,14 +178,7 @@ func accumulateGroups(t *algebra.Term, syn *Synopsis, pos int, eng *engine, work
 		partAccs[part] = local
 	})
 	for _, pa := range partAccs {
-		for k, g := range pa {
-			dst, ok := acc[k]
-			if !ok {
-				acc[k] = g
-				continue
-			}
-			dst.Count += g.Count
-		}
+		mergeGroups(acc, pa)
 	}
 	return nil
 }

@@ -108,6 +108,7 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 	// Phase two: grow the samples so that z·σ ≤ e·|J|. With σ² ∝ 1/φ when
 	// all sample sizes grow by φ: φ = (z·σ̂ / (e·|Ĵ|))².
 	z := stats.NormalQuantile(1 - (1-opts.Confidence)/2)
+	//lint:ignore floateq division guard: a relative-error target is meaningless against an exactly-zero pilot estimate
 	if pilot.StdErr > 0 && pilot.Value != 0 {
 		phi := math.Pow(z*pilot.StdErr/(opts.TargetRelErr*math.Abs(pilot.Value)), 2)
 		if phi > 1 {
@@ -139,6 +140,7 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 		n, _ := syn.SampleSize(rel)
 		res.SampleSizes[rel] = n
 	}
+	//lint:ignore floateq division guard: the relative-error stopping rule is undefined at an exactly-zero estimate
 	if final.Value != 0 && final.StdErr >= 0 {
 		res.TargetMet = z*final.StdErr <= opts.TargetRelErr*math.Abs(final.Value)*1.0000001
 	}

@@ -3,10 +3,10 @@ package estimator
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"relest/internal/algebra"
 	"relest/internal/parallel"
+	"relest/internal/sampling"
 	"relest/internal/stats"
 )
 
@@ -284,7 +284,7 @@ func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Option
 	if g < 2 {
 		return 0, fmt.Errorf("estimator: samples too small for split-sample variance (min sample %d units, need %d per group)", minM, need)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed5eed))
+	rng := sampling.Seeded(opts.Seed ^ 0x5eed5eed)
 	// Partition each relation's sampling units into g groups; whole units
 	// move together (and strata split evenly) so every group is a valid
 	// smaller sample of the same design. The grouping depends only on the
@@ -300,8 +300,8 @@ func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Option
 	vals := make([]float64, g)
 	err := parallel.ForErr(g, eng.workers, func(i int) error {
 		unitSel := map[string][]int{}
-		for rel, groups := range groupsByRel {
-			unitSel[rel] = groups[i]
+		for _, rel := range poly.RelationNames() {
+			unitSel[rel] = groupsByRel[rel][i]
 		}
 		sub := syn.subSynopsisUnits(unitSel)
 		v, err := estimate(sub, subEngine(nil, nil))

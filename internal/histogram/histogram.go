@@ -166,6 +166,7 @@ func (h *Histogram) EstimateRange(lo, hi int64) float64 {
 func (h *Histogram) EstimateEqual(v int64) float64 {
 	for _, b := range h.buckets {
 		if v >= b.Lo && v <= b.Hi {
+			//lint:ignore floateq division guard: an exactly-empty bucket has no per-value frequency
 			if b.Distinct == 0 {
 				return 0
 			}

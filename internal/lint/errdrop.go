@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags calls whose error result is silently discarded: a call
+// used as a statement (plain, deferred, or go'd) where the function's
+// last result is an error. In an estimator library a swallowed error
+// usually means an estimate built from a partially-loaded or
+// partially-written dataset. Explicit discards (`_ = f()`) remain legal —
+// they are visible in review — and the fmt print family plus the
+// never-failing strings.Builder/bytes.Buffer writers are exempt.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error returns must be handled or explicitly discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(p, call) || errExempt(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "result of %s contains an error that is dropped; handle it or discard explicitly with _ =", calleeLabel(p, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		return tup.Len() > 0 && isErrorType(tup.At(tup.Len()-1).Type())
+	}
+	return isErrorType(t)
+}
+
+// errExempt reports whether the callee is on the always-allowed list:
+// fmt's print family and the error-for-interface-only writers of
+// strings.Builder and bytes.Buffer.
+func errExempt(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	case "strings", "bytes":
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			name := recvTypeName(recv.Type())
+			if name == "Builder" || name == "Buffer" {
+				return strings.HasPrefix(fn.Name(), "Write")
+			}
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the named type a method receiver points at.
+func recvTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// calleeLabel renders the callee for a finding message.
+func calleeLabel(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return "(" + recv.Type().String() + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	return types.ExprString(call.Fun)
+}

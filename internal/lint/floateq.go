@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between float-typed operands. Exact float
+// equality is brittle in an estimator codebase: two mathematically equal
+// quantities compare unequal after any change in accumulation order, and
+// "equal" branches silently change behaviour. Comparisons should go
+// through an epsilon helper or be restructured (<, >, three-way compare).
+// The x != x NaN idiom is recognized and allowed; deliberate exact
+// comparisons (sentinels, exact-zero checks proven safe) are suppressed
+// with //lint:ignore floateq <reason>.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact float equality is order-sensitive; use epsilon comparisons",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) || !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			// x != x (or x == x) is the standard NaN check: exact by design.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			p.Reportf(be.Pos(), "%s compares floats exactly; use an epsilon comparison or restructure the branch (suppress with //lint:ignore floateq <reason> if exactness is deliberate)", types.ExprString(be))
+			return true
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureAnalyzers maps each golden-fixture package under testdata/src to
+// the analyzers that must reproduce its want.txt exactly.
+var fixtureAnalyzers = map[string][]*Analyzer{
+	"maprangefloat": {MapRangeFloat},
+	"maprangerand":  {MapRangeRand},
+	"rawrand":       {RawRand},
+	"rawgo":         {RawGo},
+	"floateq":       {FloatEq},
+	"errdrop":       {ErrDrop},
+	"badignore":     {ErrDrop},
+}
+
+// TestFixtures loads every deliberately-broken package under testdata/src
+// and checks that its analyzer reports exactly the findings in want.txt —
+// no more (false positives on the legal shapes), no fewer (missed bugs),
+// and none at suppressed sites.
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != len(fixtureAnalyzers) {
+		t.Errorf("testdata/src has %d fixture dirs, fixtureAnalyzers lists %d; keep them in sync", len(dirs), len(fixtureAnalyzers))
+	}
+	for _, d := range dirs {
+		name := d.Name()
+		t.Run(name, func(t *testing.T) {
+			analyzers, ok := fixtureAnalyzers[name]
+			if !ok {
+				t.Fatalf("no analyzer registered for fixture %q", name)
+			}
+			dir := filepath.Join("testdata", "src", name)
+			pkgs, err := loader.LoadDir("fixture/"+name, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := formatFindings(Run(pkgs, analyzers))
+			want := readWant(t, filepath.Join(dir, "want.txt"))
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("findings mismatch\n got:\n  %s\nwant:\n  %s",
+					strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+			}
+		})
+	}
+}
+
+// formatFindings renders findings as "basename:line: rule" for comparison
+// against want.txt.
+func formatFindings(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = fmt.Sprintf("%s:%d: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readWant parses a want.txt: one "file:line: rule" per line.
+func readWant(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestRepoClean type-checks the entire module and asserts that every
+// analyzer is clean: the invariants the rules encode hold on the real
+// tree (with suppressions only at sites whose comments justify them).
+// This is the regression test that keeps `make lint` green.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("LoadAll found only %d packages; the module walk is broken", len(pkgs))
+	}
+	findings := Run(pkgs, All())
+	Relativize(findings, loader.ModuleRoot())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestAnalyzerSet pins the shipped rule set: six analyzers, stable
+// names, non-empty docs.
+func TestAnalyzerSet(t *testing.T) {
+	want := []string{"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q must have a doc line and a Run func", a.Name)
+		}
+	}
+}
+
+// TestSuppression covers the directive grammar directly.
+func TestSuppression(t *testing.T) {
+	cases := []struct {
+		d    ignoreDirective
+		rule string
+		line int
+		want bool
+	}{
+		{ignoreDirective{rules: []string{"floateq"}, line: 10}, "floateq", 10, true},  // same line
+		{ignoreDirective{rules: []string{"floateq"}, line: 10}, "floateq", 11, true},  // line below
+		{ignoreDirective{rules: []string{"floateq"}, line: 10}, "floateq", 12, false}, // too far
+		{ignoreDirective{rules: []string{"floateq"}, line: 10}, "rawgo", 11, false},   // wrong rule
+		{ignoreDirective{rules: []string{"floateq", "rawgo"}, line: 10}, "rawgo", 11, true},
+	}
+	for i, c := range cases {
+		if got := c.d.suppresses(c.rule, c.line); got != c.want {
+			t.Errorf("case %d: suppresses(%q, %d) = %v, want %v", i, c.rule, c.line, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRangeFloat flags `for range` over a map whose body accumulates into
+// floating-point state or appends to a float-bearing slice. Go randomizes
+// map iteration order, and float addition is not associative, so such
+// loops produce run-dependent estimates — the exact bug class PR 1 fixed
+// in the estimator engine. Order-insensitive sites (e.g. a per-key merge
+// where each destination key receives exactly one contribution per source
+// map) are suppressed with //lint:ignore maprange-float <reason>.
+var MapRangeFloat = &Analyzer{
+	Name: "maprange-float",
+	Doc:  "float accumulation inside randomized map iteration breaks bit-reproducibility",
+	Run:  runMapRangeFloat,
+}
+
+func runMapRangeFloat(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if desc := floatAccumulation(p, rs.Body); desc != "" {
+				p.Reportf(rs.Pos(), "map iteration order is randomized but the loop body %s; iterate keys in sorted order (or suppress with //lint:ignore maprange-float <why order-insensitive>)", desc)
+			}
+			return true
+		})
+	}
+}
+
+// floatAccumulation describes the first order-sensitive float operation in
+// a map-range body, or "" when there is none. It looks for compound
+// arithmetic assignment to a float lvalue, the explicit x = x + ... form,
+// and append onto a slice whose elements carry floats.
+func floatAccumulation(p *Pass, body *ast.BlockStmt) string {
+	desc := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloat(p.TypeOf(lhs)) {
+					desc = "accumulates into float state " + types.ExprString(lhs)
+					return false
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				if i < len(as.Lhs) && as.Tok == token.ASSIGN && selfReferentialFloat(p, as.Lhs[i], rhs) {
+					desc = "reassigns float state " + types.ExprString(as.Lhs[i]) + " from itself"
+					return false
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(p, call) {
+					if sl, ok := p.TypeOf(call).Underlying().(*types.Slice); ok && carriesFloat(sl.Elem()) {
+						desc = "appends to the float-carrying slice " + types.ExprString(as.Lhs[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// selfReferentialFloat reports whether lhs is float-typed and rhs reads
+// the same object (x = x + w style accumulation).
+func selfReferentialFloat(p *Pass, lhs, rhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || !isFloat(p.TypeOf(lhs)) {
+		return false
+	}
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if rid, ok := n.(*ast.Ident); ok && p.ObjectOf(rid) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether call invokes the append built-in.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeRand flags `for range` over a map whose body consumes a stateful
+// random stream (*rand.Rand, rand.Source, rand.Zipf). Map iteration order
+// is randomized, so draws taken inside such a loop land on different keys
+// each run and every downstream estimate inherits that wobble — the same
+// order-dependence bug class as maprange-float, but through the RNG
+// rather than float addition. Iterate keys in sorted order, or give each
+// key its own substream (sampling.Source.Rand(i) is per-index state and
+// safe in any order).
+var MapRangeRand = &Analyzer{
+	Name: "maprange-rand",
+	Doc:  "consuming a shared random stream inside randomized map iteration makes draws order-dependent",
+	Run:  runMapRangeRand,
+}
+
+func runMapRangeRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if use := randStreamUse(p, rs.Body); use != "" {
+				p.Reportf(rs.Pos(), "map iteration order is randomized but the loop body consumes the random stream %s; iterate keys in sorted order or use a per-key substream (or suppress with //lint:ignore maprange-rand <why order-insensitive>)", use)
+			}
+			return true
+		})
+	}
+}
+
+// randStreamUse returns the expression text of the first use of a stateful
+// math/rand stream inside body, or "" when there is none. Idents and field
+// selectors are enough: any draw, and any hand-off of the stream into a
+// callee, names the stream through one of those forms.
+func randStreamUse(p *Pass, body *ast.BlockStmt) string {
+	use := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if use != "" {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if isRandStream(p.TypeOf(n.(ast.Expr))) {
+			use = types.ExprString(n.(ast.Expr))
+			return false
+		}
+		return true
+	})
+	return use
+}
+
+// isRandStream reports whether t is (a pointer to) a stateful stream type
+// from math/rand or math/rand/v2.
+func isRandStream(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return false
+	}
+	switch obj.Name() {
+	case "Rand", "Source", "Source64", "Zipf", "ChaCha8", "PCG":
+		return true
+	}
+	return false
+}

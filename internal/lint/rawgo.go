@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RawGo flags `go` statements everywhere except the internal/parallel
+// package. The estimation engine's determinism contract (bit-identical
+// estimates for every -workers setting) holds because all fan-out runs
+// through parallel.For/ForErr, whose callers write results into
+// index-addressed slots and reduce them in index order. Ad-hoc goroutines
+// bypass that contract.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "concurrency must flow through the internal/parallel worker pool",
+	Run:  runRawGo,
+}
+
+// goAllowedPkg is the package suffix allowed to spawn goroutines.
+const goAllowedPkg = "internal/parallel"
+
+func runRawGo(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, goAllowedPkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "go statement outside %s; use parallel.For/ForErr so results reduce in index order and estimates stay bit-identical across worker counts", goAllowedPkg)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// RawRand keeps all randomness flowing through the seeded substream
+// derivation in internal/sampling/rng.go so every experiment is
+// replayable from one root seed. It flags, anywhere else in the tree:
+//
+//   - calls to math/rand package-level draw functions (rand.Intn,
+//     rand.Float64, rand.Perm, rand.Seed, ...), which use the shared
+//     process-global source and make results depend on call interleaving;
+//   - calls to rand.New / rand.NewSource, which mint generators outside
+//     the Source substream discipline (time-based seeding included).
+//
+// Code that needs randomness takes a *rand.Rand parameter or derives one
+// via sampling.Source.Rand / sampling.Seeded.
+var RawRand = &Analyzer{
+	Name: "rawrand",
+	Doc:  "randomness must derive from the seeded generators in internal/sampling",
+	Run:  runRawRand,
+}
+
+// rngFile is the one file allowed to construct math/rand generators.
+const rngFile = "internal/sampling/rng.go"
+
+func runRawRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on *rand.Rand etc. are how callers should draw
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewChaCha8", "NewPCG":
+				file := filepath.ToSlash(p.Fset.Position(call.Pos()).Filename)
+				if !strings.HasSuffix(file, rngFile) {
+					p.Reportf(call.Pos(), "constructs a math/rand generator outside %s; derive a substream via sampling.Source.Rand or sampling.Seeded so experiments replay from one root seed", rngFile)
+				}
+			case "NewZipf":
+				// takes an already-seeded *rand.Rand; fine anywhere
+			default:
+				p.Reportf(call.Pos(), "calls math/rand global %s, which draws from the shared process-global source; take a *rand.Rand from sampling.Source instead", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+// Package badignore checks that a malformed //lint:ignore (missing the
+// mandatory reason) suppresses nothing and is itself reported.
+package badignore
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func f() {
+	//lint:ignore errdrop
+	fail()
+}

@@ -1,0 +1,37 @@
+// Package errdrop is a deliberately-broken fixture for the errdrop
+// analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error            { return errors.New("boom") }
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+// drops discards errors in statement position: findings.
+func drops() {
+	fail()
+	failPair()
+	defer fail()
+}
+
+// handled covers the legal shapes: no findings.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = fail() // explicit discard is visible in review
+	fmt.Println("print family is exempt")
+	var sb strings.Builder
+	sb.WriteString("Builder writers never fail")
+	return nil
+}
+
+// suppressed carries a reasoned ignore directive: no finding.
+func suppressed() {
+	//lint:ignore errdrop fixture: exercising the suppression path
+	fail()
+}

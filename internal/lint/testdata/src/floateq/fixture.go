@@ -1,0 +1,40 @@
+// Package floateq is a deliberately-broken fixture for the floateq
+// analyzer.
+package floateq
+
+// weight is a named float type; comparisons through it are still flagged.
+type weight float64
+
+// eq compares float64 exactly: finding.
+func eq(a, b float64) bool { return a == b }
+
+// neq compares float32 exactly: finding.
+func neq(a, b float32) bool { return a != b }
+
+// namedEq compares a named float type exactly: finding.
+func namedEq(a, b weight) bool { return a == b }
+
+// zeroCmp compares against an untyped zero constant: finding (deliberate
+// sentinels are suppressed, not silently allowed).
+func zeroCmp(x float64) bool { return x == 0 }
+
+// isNaN uses the x != x idiom: exact by design, no finding.
+func isNaN(x float64) bool { return x != x }
+
+// ints compares integers: no finding.
+func ints(a, b int) bool { return a == b }
+
+// epsilon is how float comparisons should look: no finding.
+func epsilon(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// suppressed carries a reasoned ignore directive: no finding.
+func suppressed(x float64) bool {
+	//lint:ignore floateq fixture: exercising the suppression path
+	return x == 1
+}

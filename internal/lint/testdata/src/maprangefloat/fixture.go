@@ -1,0 +1,65 @@
+// Package maprangefloat is a deliberately-broken fixture for the
+// maprange-float analyzer. The want.txt next to it lists the findings the
+// analyzer must report.
+package maprangefloat
+
+// Estimate mimics a float-carrying result record.
+type Estimate struct {
+	Name  string
+	Value float64
+}
+
+// sumValues accumulates a float total in map order: finding.
+func sumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// buildEstimates appends to a float-carrying slice in map order: finding.
+func buildEstimates(m map[string]float64) []Estimate {
+	var out []Estimate
+	for k, v := range m {
+		out = append(out, Estimate{Name: k, Value: v})
+	}
+	return out
+}
+
+// selfAssign accumulates via x = x + v instead of +=: finding.
+func selfAssign(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t = t + v
+	}
+	return t
+}
+
+// countKeys accumulates an int: order-insensitive, no finding.
+func countKeys(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// collectKeys builds a non-float slice: no finding.
+func collectKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// suppressed carries a reasoned ignore directive: no finding.
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	//lint:ignore maprange-float fixture: exercising the suppression path
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// Package maprangerand is a deliberately-broken fixture for the
+// maprange-rand analyzer. The want.txt next to it lists the findings the
+// analyzer must report.
+package maprangerand
+
+import "math/rand"
+
+// drawPerKey draws from a shared stream in map order: finding.
+func drawPerKey(m map[string]int, rng *rand.Rand) int {
+	total := 0
+	for range m {
+		total += rng.Intn(10)
+	}
+	return total
+}
+
+// sampler mimics a synopsis that draws through a held stream.
+type sampler struct {
+	rng *rand.Rand
+}
+
+func (s *sampler) draw(n int) int { return s.rng.Intn(n) }
+
+// handOff passes the stream to a callee in map order: finding (the
+// stream is named as an argument even though the draw happens inside).
+func handOff(m map[string]int, rng *rand.Rand) int {
+	total := 0
+	s := &sampler{}
+	for _, v := range m {
+		s.rng = rng
+		total += s.draw(v + 1)
+	}
+	return total
+}
+
+// sourceDraw consumes a raw Source in map order: finding.
+func sourceDraw(m map[string]int, src rand.Source) int64 {
+	var total int64
+	for range m {
+		total ^= src.Int63()
+	}
+	return total
+}
+
+// sliceDraw draws inside a slice range: order is fixed, no finding.
+func sliceDraw(keys []string, rng *rand.Rand) int {
+	total := 0
+	for range keys {
+		total += rng.Intn(10)
+	}
+	return total
+}
+
+// sortedDraw iterates a map without touching any stream: no finding.
+func sortedDraw(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// suppressed carries a reasoned ignore directive: no finding.
+func suppressed(m map[string]int, rng *rand.Rand) int {
+	total := 0
+	//lint:ignore maprange-rand fixture: exercising the suppression path
+	for range m {
+		total += rng.Intn(10)
+	}
+	return total
+}

@@ -1,0 +1,16 @@
+// Package rawgo is a deliberately-broken fixture for the rawgo analyzer.
+package rawgo
+
+// spawn starts ad-hoc goroutines outside internal/parallel: findings.
+func spawn(ch chan int) {
+	go func() { ch <- 1 }()
+	go send(ch)
+}
+
+func send(ch chan int) { ch <- 2 }
+
+// suppressed carries a reasoned ignore directive: no finding.
+func suppressed(done chan struct{}) {
+	//lint:ignore rawgo fixture: exercising the suppression path
+	go close(done)
+}

@@ -1,0 +1,41 @@
+// Package rawrand is a deliberately-broken fixture for the rawrand
+// analyzer.
+package rawrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw uses the process-global source: finding.
+func globalDraw() int {
+	return rand.Intn(10)
+}
+
+// globalShuffle uses the process-global source: finding.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// timeSeeded constructs a generator outside the rng file, seeded from the
+// wall clock: two findings (rand.New and rand.NewSource).
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// methodDraw draws from an injected generator: no finding.
+func methodDraw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// zipf builds a derived distribution from an injected generator: no
+// finding (rand.NewZipf takes an already-seeded *rand.Rand).
+func zipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.5, 1, 100)
+}
+
+// suppressed carries a reasoned ignore directive: no finding.
+func suppressed() int64 {
+	//lint:ignore rawrand fixture: exercising the suppression path
+	return rand.NewSource(42).Int63()
+}

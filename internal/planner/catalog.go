@@ -46,8 +46,7 @@ func NewCatalog(q Query, cat algebra.Catalog) (*Catalog, error) {
 	}
 	for i, name := range q.Relations {
 		c.idx[name] = i
-		r, ok := cat.Relation(name)
-		if !ok {
+		if _, ok := cat.Relation(name); !ok {
 			return nil, fmt.Errorf("planner: no relation %q in catalog", name)
 		}
 		e := algebra.Base(name, q.Schemas[name])
@@ -64,7 +63,6 @@ func NewCatalog(q Query, cat algebra.Catalog) (*Catalog, error) {
 		}
 		c.baseCard[i] = float64(card)
 		c.distinct[name] = map[string]float64{}
-		_ = r
 	}
 	// Distinct counts for every join column (on the unfiltered relation,
 	// as a real catalog would store).
@@ -92,10 +90,9 @@ func NewCatalog(q Query, cat algebra.Catalog) (*Catalog, error) {
 // SubsetCardinality implements SubsetOracle with the AVI formula.
 func (c *Catalog) SubsetCardinality(mask uint32) (float64, error) {
 	card := 1.0
-	for i, name := range c.q.Relations {
+	for i := range c.q.Relations {
 		if mask&(1<<i) != 0 {
 			card *= c.baseCard[i]
-			_ = name
 		}
 	}
 	for _, e := range c.q.Edges {

@@ -1,0 +1,66 @@
+package query
+
+import "testing"
+
+// FuzzParse drives the lexer and parser with arbitrary strings against
+// the fixed test catalog. Malformed queries must be rejected with an
+// error — never a panic — and accepted queries must produce a
+// well-formed, reparse-stable statement.
+func FuzzParse(f *testing.F) {
+	f.Add("count(R)")
+	f.Add("count(R join S on a)")
+	f.Add("sum(b, R where a >= 2)")
+	f.Add("avg(x, T)")
+	f.Add("group(R, a)")
+	f.Add("count((R union S) minus (R intersect S))")
+	f.Add("count(R x S where R.a = S.a)")
+	f.Add("distinct(R.a, b)")
+	f.Add("count(R where a = 1 and (b > 10 or not b < 5))")
+	f.Add("count(")
+	f.Add("count(R where )")
+	f.Add("distinct(R.)")
+	f.Add("count(R join S on )\x00\xff")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1024 {
+			return // bound parser work per exec
+		}
+		cat := testCatalog()
+		st, err := Parse(input, CatalogSchemas{Cat: cat})
+		if err != nil {
+			return // rejection is the contract for malformed input
+		}
+		if st == nil {
+			t.Fatal("Parse returned nil statement and nil error")
+		}
+		if st.IsDistinct() {
+			if st.DistinctRel == "" || len(st.DistinctCols) == 0 {
+				t.Fatalf("distinct statement missing relation/columns: %+v", st)
+			}
+		} else {
+			switch st.Agg {
+			case "count", "sum", "avg", "group":
+			default:
+				t.Fatalf("aggregate statement has unknown Agg %q", st.Agg)
+			}
+			if st.Expr == nil {
+				t.Fatal("aggregate statement has nil Expr")
+			}
+			if st.Agg != "count" && st.AggCol == "" {
+				t.Fatalf("%s statement has empty AggCol", st.Agg)
+			}
+		}
+		// Reparse determinism: the same input must bind to the same
+		// statement shape (the engine caches plans by expression
+		// identity, so parse output may not wobble).
+		st2, err2 := Parse(input, CatalogSchemas{Cat: cat})
+		if err2 != nil {
+			t.Fatalf("reparse of accepted input failed: %v", err2)
+		}
+		if st.IsDistinct() != st2.IsDistinct() || st.Agg != st2.Agg || st.AggCol != st2.AggCol {
+			t.Fatalf("reparse mismatch: %+v vs %+v", st, st2)
+		}
+		if !st.IsDistinct() && st.Expr.String() != st2.Expr.String() {
+			t.Fatalf("reparse expression mismatch: %s vs %s", st.Expr, st2.Expr)
+		}
+	})
+}

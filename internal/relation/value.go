@@ -198,6 +198,7 @@ func (v Value) Hash() uint64 {
 		// Hash the numeric value through its float64 bits so that Int(k)
 		// and Float(k) collide, as Equal demands. Fold -0 into +0.
 		f := v.Float64()
+		//lint:ignore floateq -0 folding: ==0 is exactly true for both IEEE zeros, rewriting -0 to +0 before hashing
 		if f == 0 {
 			f = 0
 		}
@@ -230,6 +231,7 @@ func (v Value) appendKey(dst []byte) []byte {
 		return append(dst, 0)
 	case KindInt, KindFloat:
 		f := v.Float64()
+		//lint:ignore floateq -0 folding: ==0 is exactly true for both IEEE zeros, rewriting -0 to +0 before encoding
 		if f == 0 {
 			f = 0 // fold -0
 		}

@@ -43,3 +43,12 @@ func (s *Source) StreamSeed(i int) int64 {
 func (s *Source) Rand(i int) *rand.Rand {
 	return rand.New(rand.NewSource(s.StreamSeed(i)))
 }
+
+// Seeded returns a deterministic *rand.Rand for an explicit seed. It is
+// the one blessed constructor for callers that carry a seed directly
+// (CLI flags, option structs) rather than deriving substreams from a
+// Source; relestlint's rawrand rule forbids raw rand.New/rand.NewSource
+// calls everywhere outside this file.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -198,12 +198,14 @@ func (b Binomial) PMF(k int) float64 {
 	if k < 0 || k > b.N {
 		return 0
 	}
+	//lint:ignore floateq degenerate-distribution branch: P is a caller-supplied parameter, exactly 0 means point mass at 0
 	if b.P == 0 {
 		if k == 0 {
 			return 1
 		}
 		return 0
 	}
+	//lint:ignore floateq degenerate-distribution branch: exactly 1 means point mass at N
 	if b.P == 1 {
 		if k == b.N {
 			return 1

@@ -145,7 +145,9 @@ func ProportionTotalVariance(populationSize, sampleSize, hits int) float64 {
 // returns 0 if est is also 0 and +Inf otherwise, which keeps aggregate
 // error metrics well defined on degenerate workloads.
 func RelativeError(est, actual float64) float64 {
+	//lint:ignore floateq division guard: only an exactly-zero actual needs the degenerate branches below
 	if actual == 0 {
+		//lint:ignore floateq exact agreement with an exactly-zero actual is the one zero-error case
 		if est == 0 {
 			return 0
 		}

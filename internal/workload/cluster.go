@@ -38,9 +38,11 @@ func (s ClusterSpec) withDefaults() ClusterSpec {
 	if s.WidthHi < s.WidthLo {
 		s.WidthHi = max(s.WidthLo, s.Domain/16)
 	}
+	//lint:ignore floateq unset-option sentinel: the zero value marks "use the default", exact by construction
 	if s.ZInter == 0 {
 		s.ZInter = 1.0
 	}
+	//lint:ignore floateq unset-option sentinel: the zero value marks "use the default", exact by construction
 	if s.Perturb == 0 {
 		s.Perturb = 0.5
 	}

@@ -44,6 +44,7 @@ import (
 	"relest/internal/estimator"
 	"relest/internal/planner"
 	"relest/internal/relation"
+	"relest/internal/sampling"
 	"relest/internal/workload"
 )
 
@@ -412,7 +413,7 @@ func JoinSchema() *Schema { return workload.JoinSchema() }
 
 // Seeded returns a deterministic *rand.Rand. Sampling, estimation options
 // and generators all take explicit RNGs so entire runs are reproducible.
-func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func Seeded(seed int64) *rand.Rand { return sampling.Seeded(seed) }
 
 // Deadline is shorthand for a DeadlineOptions with the given budget.
 func Deadline(budget time.Duration) DeadlineOptions { return DeadlineOptions{Budget: budget} }
