@@ -1,9 +1,9 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet lint test race bench fuzz
+.PHONY: check build vet lint test race cover bench fuzz
 
-check: build vet lint test race
+check: build vet lint test race cover
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage: report every package, enforce a floor where the contract is
+# "instrumentation must be fully exercised" (internal/obs). Other packages
+# are report-only — their floors are the statistical tests themselves.
+cover:
+	$(GO) test -cover ./... | grep -v '\[no test files\]'
+	@pct=$$($(GO) test -cover ./internal/obs | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/obs coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
+		printf "internal/obs coverage %.1f%% (floor 70%%)\n", p }'
 
 # Short fuzzing smoke: each fuzzer runs for a few seconds on top of its
 # committed seed corpus (testdata/fuzz). Crashers found locally land in

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,6 +44,11 @@ func run() error {
 		}
 	}
 	scale := bench.Scale{Quick: !*full}
+	type timing struct {
+		id      string
+		elapsed time.Duration
+	}
+	var timings []timing
 	for _, id := range ids {
 		e, err := bench.Lookup(id)
 		if err != nil {
@@ -51,12 +57,25 @@ func run() error {
 		start := time.Now()
 		tab := e.Run(*seed, scale)
 		elapsed := time.Since(start).Round(10 * time.Millisecond)
+		timings = append(timings, timing{id: id, elapsed: elapsed})
 		if *markdown {
 			fmt.Println(tab.Markdown())
 		} else {
 			fmt.Println(tab.Plain())
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %s]\n\n", id, elapsed)
+	}
+	// Per-table timing summary: where the suite's time went, worst first.
+	if len(timings) > 1 {
+		sorted := append([]timing(nil), timings...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].elapsed > sorted[j].elapsed })
+		total := time.Duration(0)
+		fmt.Fprintln(os.Stderr, "timing summary:")
+		for _, tm := range sorted {
+			total += tm.elapsed
+			fmt.Fprintf(os.Stderr, "  %-4s %10s\n", tm.id, tm.elapsed)
+		}
+		fmt.Fprintf(os.Stderr, "  %-4s %10s\n", "all", total.Round(10*time.Millisecond))
 	}
 	return nil
 }

@@ -22,11 +22,18 @@
 // time-budgeted answer. Sampling designs: -page-size 100 samples whole
 // pages (cluster sampling), -stratify rel=column draws a stratified sample
 // of that relation.
+//
+// Observability: -metrics PATH writes the run's metrics on exit as
+// Prometheus text followed by a JSON snapshot ("-" = stderr); -trace PATH
+// writes the span tree (what took how long, nested). Neither flag changes
+// the estimate: instrumentation is passive and the engine is bit-identical
+// with it on or off.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -34,6 +41,7 @@ import (
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
+	"relest/internal/obs"
 	"relest/internal/parallel"
 	"relest/internal/query"
 	"relest/internal/relation"
@@ -58,29 +66,53 @@ func (r relFlags) Set(v string) error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "relest:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("relest", flag.ContinueOnError)
 	rels := relFlags{}
-	flag.Var(rels, "rel", "relation as name=path.csv (repeatable)")
-	queryText := flag.String("query", "", "query, e.g. count(join(R, S, on a = a))")
-	fraction := flag.Float64("fraction", 0.05, "sampling fraction per relation")
-	minSample := flag.Int("min-sample", 50, "minimum sample size per relation")
-	seed := flag.Int64("seed", 1, "random seed (estimates are reproducible per seed)")
-	confidence := flag.Float64("confidence", 0.95, "confidence level for the interval")
-	exact := flag.Bool("exact", false, "also compute the exact answer for comparison")
-	target := flag.Float64("target", 0, "double sampling: target relative error (e.g. 0.05); 0 disables")
-	deadline := flag.Duration("deadline", 0, "deadline mode: grow samples until this budget expires; 0 disables")
-	method := flag.String("method", "jackknife", "distinct estimator: goodman|scale-up|sample-d|jackknife|gee")
-	pageSize := flag.Int("page-size", 0, "page-level sampling: rows per page (0 = tuple-level SRSWOR)")
-	stratify := flag.String("stratify", "", "stratified sampling as rel=column (proportional allocation by column value)")
-	workers := flag.Int("workers", 0, "evaluation goroutines (0 = all CPUs, 1 = serial); estimates are identical for every setting")
-	flag.Parse()
+	fs.Var(rels, "rel", "relation as name=path.csv (repeatable)")
+	queryText := fs.String("query", "", "query, e.g. count(join(R, S, on a = a))")
+	fraction := fs.Float64("fraction", 0.05, "sampling fraction per relation")
+	minSample := fs.Int("min-sample", 50, "minimum sample size per relation")
+	seed := fs.Int64("seed", 1, "random seed (estimates are reproducible per seed)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level for the interval")
+	exact := fs.Bool("exact", false, "also compute the exact answer for comparison")
+	target := fs.Float64("target", 0, "double sampling: target relative error (e.g. 0.05); 0 disables")
+	deadline := fs.Duration("deadline", 0, "deadline mode: grow samples until this budget expires; 0 disables")
+	method := fs.String("method", "jackknife", "distinct estimator: goodman|scale-up|sample-d|jackknife|gee")
+	pageSize := fs.Int("page-size", 0, "page-level sampling: rows per page (0 = tuple-level SRSWOR)")
+	stratify := fs.String("stratify", "", "stratified sampling as rel=column (proportional allocation by column value)")
+	workers := fs.Int("workers", 0, "evaluation goroutines (0 = all CPUs, 1 = serial); estimates are identical for every setting")
+	metricsOut := fs.String("metrics", "", `write metrics on exit (Prometheus text + JSON snapshot) to this file; "-" = stderr`)
+	traceOut := fs.String("trace", "", `write the span trace on exit to this file; "-" = stderr`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	parallel.SetWorkers(*workers)
+
+	// Observability is opt-in: the recorder stays nil (a no-op in the
+	// engine) unless -metrics or -trace asks for output.
+	var collector *obs.Collector
+	var rec obs.Recorder
+	if *metricsOut != "" || *traceOut != "" {
+		collector = obs.NewCollector()
+		if *traceOut != "" {
+			collector.EnableTrace()
+		}
+		rec = collector
+		sampling.SetRecorder(collector)
+		defer sampling.SetRecorder(nil)
+	}
+	defer func() {
+		if ferr := flushObs(collector, *metricsOut, *traceOut); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	if len(rels) == 0 {
 		return fmt.Errorf("no relations; pass at least one -rel name=path.csv")
@@ -110,7 +142,7 @@ func run() error {
 			return cerr
 		}
 		cat[name] = r
-		fmt.Printf("loaded %s: %d rows, schema %s\n", name, r.Len(), r.Schema())
+		fmt.Fprintf(stdout, "loaded %s: %d rows, schema %s\n", name, r.Len(), r.Schema())
 	}
 
 	st, err := query.Parse(*queryText, query.CatalogSchemas{Cat: cat})
@@ -156,7 +188,7 @@ func run() error {
 				return err
 			}
 			got, _ := syn.SampleSize(r.Name())
-			fmt.Printf("sampled %s: %d of %d rows (stratified by %s)\n", r.Name(), got, r.Len(), stratCol)
+			fmt.Fprintf(stdout, "sampled %s: %d of %d rows (stratified by %s)\n", r.Name(), got, r.Len(), stratCol)
 		case *pageSize > 0:
 			pages := (n + *pageSize - 1) / *pageSize
 			maxPages := (r.Len() + *pageSize - 1) / *pageSize
@@ -167,12 +199,12 @@ func run() error {
 				return err
 			}
 			got, _ := syn.SampleSize(r.Name())
-			fmt.Printf("sampled %s: %d rows in %d pages of %d\n", r.Name(), got, pages, *pageSize)
+			fmt.Fprintf(stdout, "sampled %s: %d rows in %d pages of %d\n", r.Name(), got, pages, *pageSize)
 		default:
 			if err := syn.AddDrawn(r, n, rng); err != nil {
 				return err
 			}
-			fmt.Printf("sampled %s: %d of %d rows\n", r.Name(), n, r.Len())
+			fmt.Fprintf(stdout, "sampled %s: %d of %d rows\n", r.Name(), n, r.Len())
 		}
 	}
 
@@ -185,7 +217,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\ndistinct estimate (%s): %.1f\n", m, got)
+		fmt.Fprintf(stdout, "\ndistinct estimate (%s): %.1f\n", m, got)
 		if *exact {
 			e, err := algebra.Project(algebra.BaseOf(cat[st.DistinctRel]), st.DistinctCols...)
 			if err != nil {
@@ -195,25 +227,25 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("exact distinct:          %d\n", actual)
+			fmt.Fprintf(stdout, "exact distinct:          %d\n", actual)
 		}
 		return nil
 	}
 
-	opts := estimator.Options{Confidence: *confidence, Workers: *workers}
+	opts := estimator.Options{Confidence: *confidence, Workers: *workers, Recorder: rec}
 	if st.Agg == "group" {
 		groups, err := estimator.GroupCount(st.Expr, st.AggCol, syn)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\ntop groups by estimated COUNT(*) GROUP BY %s:\n", st.AggCol)
+		fmt.Fprintf(stdout, "\ntop groups by estimated COUNT(*) GROUP BY %s:\n", st.AggCol)
 		limit := 15
 		for i, g := range groups {
 			if i >= limit {
-				fmt.Printf("  ... and %d more groups\n", len(groups)-limit)
+				fmt.Fprintf(stdout, "  ... and %d more groups\n", len(groups)-limit)
 				break
 			}
-			fmt.Printf("  %-12v %12.1f\n", g.Value, g.Count)
+			fmt.Fprintf(stdout, "  %-12v %12.1f\n", g.Value, g.Count)
 		}
 		return nil
 	}
@@ -227,14 +259,14 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("\nSUM(%s) estimate: %.1f\n", st.AggCol, est.Value)
-			printCI(est)
+			fmt.Fprintf(stdout, "\nSUM(%s) estimate: %.1f\n", st.AggCol, est.Value)
+			printCI(stdout, est)
 		case "avg":
 			res, err := estimator.Avg(st.Expr, st.AggCol, syn, opts)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("\nAVG(%s) estimate: %.3f (SUM %.1f / COUNT %.1f)\n",
+			fmt.Fprintf(stdout, "\nAVG(%s) estimate: %.3f (SUM %.1f / COUNT %.1f)\n",
 				st.AggCol, res.Avg, res.Sum.Value, res.Count.Value)
 		}
 		if *exact {
@@ -252,9 +284,9 @@ func run() error {
 				return true
 			})
 			if st.Agg == "sum" {
-				fmt.Printf("exact SUM: %.1f\n", sum)
+				fmt.Fprintf(stdout, "exact SUM: %.1f\n", sum)
 			} else if cnt > 0 {
-				fmt.Printf("exact AVG: %.3f\n", sum/float64(res.Len()))
+				fmt.Fprintf(stdout, "exact AVG: %.3f\n", sum/float64(res.Len()))
 			}
 		}
 		return nil
@@ -268,8 +300,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\ndeadline estimate after %d rounds: %.1f\n", len(history), est.Value)
-		printCI(est)
+		fmt.Fprintf(stdout, "\ndeadline estimate after %d rounds: %.1f\n", len(history), est.Value)
+		printCI(stdout, est)
 	case *target > 0:
 		res, err := estimator.SequentialCount(st.Expr, syn, rng, estimator.SequentialOptions{
 			TargetRelErr: *target,
@@ -279,18 +311,18 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\npilot estimate:  %.1f (±%.1f)\n", res.Pilot.Value, res.Pilot.StdErr)
-		fmt.Printf("growth factor:   %.2f, final samples %v\n", res.GrowthFactor, res.SampleSizes)
-		fmt.Printf("final estimate:  %.1f\n", res.Final.Value)
-		printCI(res.Final)
-		fmt.Printf("target met:      %v\n", res.TargetMet)
+		fmt.Fprintf(stdout, "\npilot estimate:  %.1f (±%.1f)\n", res.Pilot.Value, res.Pilot.StdErr)
+		fmt.Fprintf(stdout, "growth factor:   %.2f, final samples %v\n", res.GrowthFactor, res.SampleSizes)
+		fmt.Fprintf(stdout, "final estimate:  %.1f\n", res.Final.Value)
+		printCI(stdout, res.Final)
+		fmt.Fprintf(stdout, "target met:      %v\n", res.TargetMet)
 	default:
 		est, err := estimator.CountWithOptions(st.Expr, syn, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nestimate: %.1f\n", est.Value)
-		printCI(est)
+		fmt.Fprintf(stdout, "\nestimate: %.1f\n", est.Value)
+		printCI(stdout, est)
 	}
 
 	if *exact {
@@ -299,15 +331,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("exact:    %d (computed in %s)\n", actual, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "exact:    %d (computed in %s)\n", actual, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }
 
-func printCI(est estimator.Estimate) {
+func printCI(stdout io.Writer, est estimator.Estimate) {
 	if est.StdErr > 0 {
-		fmt.Printf("stderr:   %.1f (variance via %s)\n", est.StdErr, est.VarianceMethod)
-		fmt.Printf("%.0f%% CI:   [%.1f, %.1f]\n", 100*est.Confidence, est.Lo, est.Hi)
+		fmt.Fprintf(stdout, "stderr:   %.1f (variance via %s)\n", est.StdErr, est.VarianceMethod)
+		fmt.Fprintf(stdout, "%.0f%% CI:   [%.1f, %.1f]\n", 100*est.Confidence, est.Lo, est.Hi)
 	}
 }
 
@@ -326,4 +358,55 @@ func distinctMethod(name string) (estimator.DistinctMethod, error) {
 	default:
 		return 0, fmt.Errorf("unknown distinct method %q", name)
 	}
+}
+
+// flushObs writes the collected metrics and trace to their destinations on
+// exit ("-" = stderr). A nil collector (observability off) is a no-op.
+func flushObs(c *obs.Collector, metricsPath, tracePath string) error {
+	if c == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		w, done, err := openOut(metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := c.Metrics().WritePrometheus(w)
+		if werr == nil {
+			werr = c.Metrics().WriteJSON(w)
+		}
+		if cerr := done(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing -metrics: %w", werr)
+		}
+	}
+	if tracePath != "" {
+		w, done, err := openOut(tracePath)
+		if err != nil {
+			return err
+		}
+		werr := c.Trace().WriteText(w)
+		if cerr := done(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing -trace: %w", werr)
+		}
+	}
+	return nil
+}
+
+// openOut resolves an output destination: "-" is stderr (never closed),
+// anything else is created as a file whose Close the caller must run.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stderr, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"relest/internal/obs"
 	"relest/internal/relation"
 )
 
@@ -472,6 +473,7 @@ func (pt *PreparedTerm) EnumeratePart(part, parts int, visit func(rows []int) bo
 type PlanCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	rec     obs.Recorder
 }
 
 type cacheEntry struct {
@@ -480,9 +482,23 @@ type cacheEntry struct {
 	err  error
 }
 
+// Plan-compilation metrics: a Prepare that finds no entry compiles a plan
+// (built); one that finds an entry shares it (hit). The hit rate is the
+// direct measure of what the cache buys a replication-heavy call.
+const (
+	mPlanBuilt = "relest_plan_built_total"
+	mPlanHit   = "relest_plan_cache_hit_total"
+)
+
 // NewPlanCache creates an empty plan cache.
 func NewPlanCache() *PlanCache {
-	return &PlanCache{entries: make(map[string]*cacheEntry)}
+	return NewPlanCacheRec(nil)
+}
+
+// NewPlanCacheRec creates an empty plan cache reporting compilations and
+// hits to the recorder (nil = no reporting).
+func NewPlanCacheRec(rec obs.Recorder) *PlanCache {
+	return &PlanCache{entries: make(map[string]*cacheEntry), rec: obs.Or(rec)}
 }
 
 // planCacheKey identifies a (term, instances) pair by pointer identity.
@@ -505,6 +521,11 @@ func (c *PlanCache) Prepare(t *Term, inst Instances) (*PreparedTerm, error) {
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		c.rec.Add(mPlanHit, 1)
+	} else {
+		c.rec.Add(mPlanBuilt, 1)
+	}
 	e.once.Do(func() { e.pt, e.err = Prepare(t, inst) })
 	return e.pt, e.err
 }

@@ -52,6 +52,9 @@ func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (E
 		return Estimate{}, err
 	}
 	eng := newEngine(opts)
+	eng.span = eng.rec.Span(sEstimate)
+	defer eng.span.End()
+	recordSynopsis(eng.rec, poly, syn)
 	value, err := sumEstimate(poly, syn, pos, eng)
 	if err != nil {
 		return Estimate{}, err
@@ -70,9 +73,11 @@ func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (E
 		method = VarSplitSample
 	}
 	if method != VarNone {
+		vspan := eng.span.Child(sVariance)
 		v, err := replicateVariance(method, poly, syn, opts, eng, func(sub *Synopsis, sube *engine) (float64, error) {
 			return sumEstimate(poly, sub, pos, sube)
 		}, sumContrib(pos))
+		vspan.End()
 		if err != nil {
 			if opts.Variance == VarSplitSample || opts.Variance == VarJackknife {
 				return Estimate{}, err
@@ -92,6 +97,7 @@ func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (E
 			est.Hi = value + z*est.StdErr
 		}
 	}
+	eng.rec.Add(varianceMethodMetric(method), 1)
 	est.VarianceMethod = method
 	return est, nil
 }
@@ -130,8 +136,10 @@ func Avg(e *algebra.Expr, col string, syn *Synopsis, opts Options) (AvgResult, e
 func sumEstimate(poly algebra.Polynomial, syn *Synopsis, pos int, eng *engine) (float64, error) {
 	vals := make([]float64, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
-	err := parallel.ForErr(len(poly.Terms), outer, func(i int) error {
+	err := parallel.ForErrRec(len(poly.Terms), outer, eng.rec, func(i int) error {
+		ts := eng.span.Child(sTerm)
 		v, err := estimateTermSum(&poly.Terms[i], syn, pos, eng, inner)
+		ts.End()
 		vals[i] = v
 		return err
 	})

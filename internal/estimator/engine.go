@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relest/internal/algebra"
+	"relest/internal/obs"
 	"relest/internal/parallel"
 	"relest/internal/stats"
 )
@@ -27,18 +28,32 @@ type engine struct {
 	// fallback uses it to share full-sample plans across replicates without
 	// retaining one throwaway plan per deleted unit.
 	cacheIf func(t *algebra.Term) bool
+	// rec receives the call's metrics (never nil — obs.Nop when disabled),
+	// and span is the call's root span for per-term/per-replicate children
+	// (zero value when tracing is off; zero spans are inert). Recording is
+	// passive: it never consumes randomness or reorders reductions, so
+	// estimates are bit-identical with or without a live recorder.
+	rec  obs.Recorder
+	span obs.Span
 }
 
 // newEngine builds the engine for one top-level estimation call.
 func newEngine(opts Options) *engine {
-	return &engine{workers: parallel.Resolve(opts.Workers), plans: algebra.NewPlanCache()}
+	rec := obs.Or(opts.Recorder)
+	return &engine{
+		workers: parallel.Resolve(opts.Workers),
+		plans:   algebra.NewPlanCacheRec(rec),
+		rec:     rec,
+	}
 }
 
 // subEngine is the serial engine replicate re-estimations run under (the
 // replicates themselves are already fanned out); plans may be nil for
-// throwaway evaluation.
+// throwaway evaluation. Sub-engines do not record: replicate-internal
+// term spans and counters would swamp the top-level signal, and the
+// replicate fan-out itself is already timed by the caller's recorder.
 func subEngine(plans *algebra.PlanCache, cacheIf func(t *algebra.Term) bool) *engine {
-	return &engine{workers: 1, plans: plans, cacheIf: cacheIf}
+	return &engine{workers: 1, plans: plans, cacheIf: cacheIf, rec: obs.Nop}
 }
 
 // prepare returns the (cached, when eligible) compiled plan for the term
@@ -349,7 +364,7 @@ func jackknifeSinglePass(poly algebra.Polynomial, syn *Synopsis, eng *engine, co
 	accs := make([]*jackTermAcc, len(poly.Terms))
 	metasByTerm := make([][]relTermMeta, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
-	err := parallel.ForErr(len(poly.Terms), outer, func(ti int) error {
+	err := parallel.ForErrRec(len(poly.Terms), outer, eng.rec, func(ti int) error {
 		t := &poly.Terms[ti]
 		metas, err := termRelMetas(t, syn)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"relest/internal/algebra"
+	"relest/internal/obs"
 	"relest/internal/parallel"
 	"relest/internal/stats"
 )
@@ -100,6 +101,11 @@ type Options struct {
 	// setting: all parallel reductions run in a fixed order independent of
 	// the worker count.
 	Workers int
+	// Recorder receives the call's metrics and spans (see internal/obs);
+	// nil disables recording at near-zero cost. Recording is passive — it
+	// never consumes randomness or changes evaluation order — so estimates
+	// are bit-identical with or without it.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -139,6 +145,9 @@ func countPoly(poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, 
 		return Estimate{}, err
 	}
 	eng := newEngine(opts)
+	eng.span = eng.rec.Span(sEstimate)
+	defer eng.span.End()
+	recordSynopsis(eng.rec, poly, syn)
 	value, err := pointEstimate(poly, syn, eng)
 	if err != nil {
 		return Estimate{}, err
@@ -149,10 +158,13 @@ func countPoly(poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, 
 		Confidence: opts.Confidence,
 		Terms:      poly.NumTerms(),
 	}
+	vspan := eng.span.Child(sVariance)
 	variance, method, err := estimateVariance(poly, syn, opts, eng)
+	vspan.End()
 	if err != nil {
 		return Estimate{}, err
 	}
+	eng.rec.Add(varianceMethodMetric(method), 1)
 	est.VarianceMethod = method
 	if method != VarNone {
 		est.Variance = variance
@@ -186,7 +198,9 @@ func checkSampleSizes(poly algebra.Polynomial, syn *Synopsis) error {
 			if !ok {
 				return fmt.Errorf("estimator: no sample for relation %q in synopsis", rel)
 			}
-			if rs.n < occs {
+			if rs.n < occs && rs.N > 0 {
+				// An empty population is exempt: its census sample is empty
+				// too, and checkTermSamples makes the term contribute zero.
 				return fmt.Errorf("estimator: sample of %q has %d rows but the expression uses it %d times in one term; need n ≥ %d for unbiasedness",
 					rel, rs.n, occs, occs)
 			}
@@ -206,8 +220,10 @@ func checkSampleSizes(poly algebra.Polynomial, syn *Synopsis) error {
 func pointEstimate(poly algebra.Polynomial, syn *Synopsis, eng *engine) (float64, error) {
 	vals := make([]float64, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
-	err := parallel.ForErr(len(poly.Terms), outer, func(i int) error {
+	err := parallel.ForErrRec(len(poly.Terms), outer, eng.rec, func(i int) error {
+		ts := eng.span.Child(sTerm)
 		v, err := estimateTerm(&poly.Terms[i], syn, eng, inner)
+		ts.End()
 		vals[i] = v
 		return err
 	})

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"relest/internal/algebra"
+	"relest/internal/obs"
 	"relest/internal/stats"
 )
 
@@ -74,6 +76,9 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 		opts.MaxFraction = 1
 	}
 	opts.Estimate.Confidence = opts.Confidence
+	rec := obs.Or(opts.Estimate.Recorder)
+	span := rec.Span(sSequential)
+	defer span.End()
 
 	poly, err := algebra.Normalize(e)
 	if err != nil {
@@ -108,6 +113,7 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 	// Phase two: grow the samples so that z·σ ≤ e·|J|. With σ² ∝ 1/φ when
 	// all sample sizes grow by φ: φ = (z·σ̂ / (e·|Ĵ|))².
 	z := stats.NormalQuantile(1 - (1-opts.Confidence)/2)
+	recordSeqPhase(rec, "pilot", z, pilot, rels, syn)
 	//lint:ignore floateq division guard: a relative-error target is meaningless against an exactly-zero pilot estimate
 	if pilot.StdErr > 0 && pilot.Value != 0 {
 		phi := math.Pow(z*pilot.StdErr/(opts.TargetRelErr*math.Abs(pilot.Value)), 2)
@@ -116,13 +122,7 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 			for _, rel := range rels {
 				n, _ := syn.SampleSize(rel)
 				N, _ := syn.PopulationSize(rel)
-				target := int(math.Ceil(float64(n) * phi))
-				if lim := int(opts.MaxFraction * float64(N)); target > lim {
-					target = lim
-				}
-				if target > N {
-					target = N
-				}
+				target := growTarget(n, phi, opts.MaxFraction, N)
 				if target > n {
 					if err := syn.ExtendSample(rel, target-n, rng); err != nil {
 						return SequentialResult{}, err
@@ -140,11 +140,50 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 		n, _ := syn.SampleSize(rel)
 		res.SampleSizes[rel] = n
 	}
+	recordSeqPhase(rec, "final", z, final, rels, syn)
+	rec.Set(mSeqGrowth, res.GrowthFactor)
+	// The stopping verdict needs an actual variance estimate: a run whose
+	// variance method degraded to VarNone has StdErr 0 by construction, and
+	// claiming the precision target met on that basis would be vacuous.
 	//lint:ignore floateq division guard: the relative-error stopping rule is undefined at an exactly-zero estimate
-	if final.Value != 0 && final.StdErr >= 0 {
+	if final.Value != 0 && final.VarianceMethod != VarNone {
 		res.TargetMet = z*final.StdErr <= opts.TargetRelErr*math.Abs(final.Value)*1.0000001
 	}
 	return res, nil
+}
+
+// growTarget is the phase-two sample-size target for one relation:
+// ceil(n·φ) clamped to the MaxFraction cap and the population size. The
+// clamping happens in float space BEFORE any int conversion: φ is a squared
+// ratio with no upper bound, n·φ routinely exceeds the int range on noisy
+// pilots, and Go's float→int conversion is implementation-defined out of
+// range (it produced negative targets, silently skipping phase two).
+func growTarget(n int, phi, maxFraction float64, N int) int {
+	t := math.Ceil(float64(n) * phi)
+	if lim := math.Floor(maxFraction * float64(N)); t > lim {
+		t = lim
+	}
+	if t >= float64(N) {
+		return N
+	}
+	if t < float64(n) {
+		return n
+	}
+	return int(t)
+}
+
+// recordSeqPhase reports one double-sampling phase's CI half-width and
+// per-relation sample sizes — the width-vs-n trajectory. Skipped entirely
+// for a no-op recorder (label construction allocates).
+func recordSeqPhase(rec obs.Recorder, phase string, z float64, est Estimate, rels []string, syn *Synopsis) {
+	if !obs.Live(rec) {
+		return
+	}
+	rec.Set(obs.L(mSeqHalfwidth, "phase", phase), z*est.StdErr)
+	for _, rel := range rels {
+		n, _ := syn.SampleSize(rel)
+		rec.Set(obs.L(mSeqSampleRows, "phase", phase, "rel", rel), float64(n))
+	}
 }
 
 // DeadlineOptions configures deadline-bounded estimation.
@@ -185,12 +224,15 @@ func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Deadline
 		return Estimate{}, nil, err
 	}
 	rels := poly.RelationNames()
+	rec := obs.Or(opts.Estimate.Recorder)
 	start := time.Now()
 	deadline := start.Add(opts.Budget)
 
 	var history []DeadlineStep
 	target := opts.InitialSize
+	maxN := 0
 	for {
+		rspan := rec.Span(sDeadlineRound)
 		exhausted := true
 		for _, rel := range rels {
 			n, ok := syn.SampleSize(rel)
@@ -198,6 +240,9 @@ func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Deadline
 				return Estimate{}, nil, fmt.Errorf("estimator: no sample for %q in synopsis", rel)
 			}
 			N, _ := syn.PopulationSize(rel)
+			if N > maxN {
+				maxN = N
+			}
 			want := target
 			if want > N {
 				want = N
@@ -225,9 +270,35 @@ func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Deadline
 			Estimate:    est,
 			Elapsed:     time.Since(start),
 		})
+		rspan.End()
+		rec.Add(mDeadlineRounds, 1)
+		recordDeadlineRound(rec, len(history), est, rels, sizes)
 		if exhausted || !time.Now().Before(deadline) {
 			return est, history, nil
 		}
-		target = int(math.Ceil(float64(target) * opts.Growth))
+		// Grow in float space and clamp to the largest population: the
+		// geometric target can overflow int long before the deadline when
+		// Growth is large, and an out-of-range float→int conversion is
+		// implementation-defined (a negative target stalls growth forever).
+		next := math.Ceil(float64(target) * opts.Growth)
+		if next >= float64(maxN) {
+			target = maxN
+		} else {
+			target = int(next)
+		}
+	}
+}
+
+// recordDeadlineRound reports one deadline round's CI half-width and sample
+// sizes — the width-vs-n trajectory, labeled by 1-based round. Skipped for
+// a no-op recorder (label construction allocates).
+func recordDeadlineRound(rec obs.Recorder, round int, est Estimate, rels []string, sizes map[string]int) {
+	if !obs.Live(rec) {
+		return
+	}
+	r := strconv.Itoa(round)
+	rec.Set(obs.L(mDeadHalfwidth, "round", r), (est.Hi-est.Lo)/2)
+	for _, rel := range rels {
+		rec.Set(obs.L(mDeadSampleRows, "round", r, "rel", rel), float64(sizes[rel]))
 	}
 }

@@ -297,8 +297,11 @@ func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Option
 	// variance accumulator in replicate order. Replicate plans are
 	// throwaway (group sub-samples share no instances), so they run
 	// uncached.
+	eng.rec.Add(mRepSplit, float64(g))
 	vals := make([]float64, g)
-	err := parallel.ForErr(g, eng.workers, func(i int) error {
+	err := parallel.ForErrRec(g, eng.workers, eng.rec, func(i int) error {
+		rs := eng.span.Child(sReplicate)
+		defer rs.End()
 		unitSel := map[string][]int{}
 		for _, rel := range poly.RelationNames() {
 			unitSel[rel] = groupsByRel[rel][i]
@@ -379,10 +382,15 @@ func jackknifeNaive(poly algebra.Polynomial, syn *Synopsis, eng *engine, estimat
 		rs := syn.rels[rel]
 		m := rs.m
 		del := rel
-		relCache := algebra.NewPlanCache()
+		relCache := algebra.NewPlanCacheRec(eng.rec)
 		cacheIf := func(t *algebra.Term) bool { return !termUsesRel(t, del) }
+		// One counter bump per replicate, but no per-replicate spans: a
+		// jackknife runs one replicate per sampling unit, and thousands of
+		// spans would drown the trace (the pool task histogram already
+		// carries replicate latency).
+		eng.rec.Add(mRepJackknife, float64(m))
 		vals := make([]float64, m)
-		err := parallel.ForErr(m, eng.workers, func(u int) error {
+		err := parallel.ForErrRec(m, eng.workers, eng.rec, func(u int) error {
 			sub := syn.withoutUnit(del, u)
 			v, err := estimate(sub, subEngine(relCache, cacheIf))
 			vals[u] = v

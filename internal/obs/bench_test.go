@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// BenchmarkRecorderNoop measures the disabled instrumentation path: one
+// counter add, one histogram observation, and a span start/end against
+// the Nop recorder. This is the per-event cost the engine pays when
+// observability is off — it must stay in the nanoseconds and allocate
+// nothing (see TestNopRecorderZeroAllocs).
+func BenchmarkRecorderNoop(b *testing.B) {
+	rec := Or(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Add("relest_terms_total", 1)
+		rec.Observe("relest_term_seconds", 0.001)
+		s := rec.Span("relest_estimate")
+		s.End()
+	}
+}
+
+// BenchmarkRecorderCollector is the same event batch against a live
+// Collector without tracing — the steady-state metrics cost.
+func BenchmarkRecorderCollector(b *testing.B) {
+	rec := NewCollector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Add("relest_terms_total", 1)
+		rec.Observe("relest_term_seconds", 0.001)
+		s := rec.Span("relest_estimate")
+		s.End()
+	}
+}
+
+// BenchmarkRecorderCollectorTraced adds span trace bookkeeping.
+func BenchmarkRecorderCollectorTraced(b *testing.B) {
+	rec := NewCollector()
+	rec.EnableTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := rec.Span("relest_estimate")
+		s.Child("relest_term").End()
+		s.End()
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// L renders a metric name with inline labels: L("x_total", "rel", "R")
+// is `x_total{rel="R"}`. Labels become part of the registry key and pass
+// through to the Prometheus exposition verbatim; pairs are emitted in the
+// order given, so call sites should use one canonical order per metric.
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// family splits an inline-labeled name into its metric family and the
+// label block (without braces); names without labels return ("name", "").
+func family(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format, families sorted by name, one `# TYPE` header per
+// family. Histograms emit cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count`.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.RLock()
+	type inst struct {
+		name string
+		kind string // "counter" | "gauge" | "histogram"
+	}
+	var all []inst
+	for name := range m.counters {
+		all = append(all, inst{name, "counter"})
+	}
+	for name := range m.gauges {
+		all = append(all, inst{name, "gauge"})
+	}
+	for name := range m.hists {
+		all = append(all, inst{name, "histogram"})
+	}
+	m.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		fi, _ := family(all[i].name)
+		fj, _ := family(all[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return all[i].name < all[j].name
+	})
+	lastFamily := ""
+	for _, it := range all {
+		fam, labels := family(it.name)
+		if fam != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, it.kind); err != nil {
+				return err
+			}
+			lastFamily = fam
+		}
+		switch it.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %s\n", it.name, formatFloat(m.Counter(it.name).Value())); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s %s\n", it.name, formatFloat(m.Gauge(it.name).Value())); err != nil {
+				return err
+			}
+		case "histogram":
+			h := m.Histogram(it.name, nil)
+			if err := writePromHistogram(w, fam, labels, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, fam, labels string, h *Histogram) error {
+	withLe := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`%s_bucket{le="%s"}`, fam, le)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, fam, labels, le)
+	}
+	suffixed := func(suffix string) string {
+		if labels == "" {
+			return fam + suffix
+		}
+		return fam + suffix + "{" + labels + "}"
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLe(formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", suffixed("_sum"), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), h.Count())
+	return err
+}
+
+// HistogramSnapshot is one histogram's state in a Snapshot. Buckets are
+// per-bucket (non-cumulative) counts aligned with Bounds; the final extra
+// slot is the +Inf bucket.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, JSON-encodable.
+// Map keys carry any inline labels; encoding/json sorts keys, so output
+// is reproducible.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current instrument values.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snap := Snapshot{
+		Counters:   make(map[string]float64, len(m.counters)),
+		Gauges:     make(map[string]float64, len(m.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(m.hists)),
+	}
+	for name, c := range m.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		hs := HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+		}
+		for i := range h.counts {
+			hs.Buckets = append(hs.Buckets, h.counts[i].Load())
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as one JSON document.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}

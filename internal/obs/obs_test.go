@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("relest_x_total")
+	c.Add(1)
+	c.Add(2.5)
+	if got := c.Value(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if m.Counter("relest_x_total") != c {
+		t.Fatal("counter not reused by name")
+	}
+	g := m.Gauge("relest_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	h := m.Histogram("relest_lat_seconds", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.65) > 1e-9 {
+		t.Fatalf("hist sum = %v, want 5.65", got)
+	}
+	// 0.05 and 0.1 land in le=0.1 (le is inclusive); 0.5 in le=1; 2,3 in +Inf.
+	want := []uint64{2, 1, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAreLossless(t *testing.T) {
+	m := NewMetrics()
+	const workers, each = 8, 10_000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.Counter("c_total").Add(1)
+				m.Histogram("h", nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c_total").Value(); math.Abs(got-workers*each) > 0.5 {
+		t.Fatalf("counter = %v, want %d", got, workers*each)
+	}
+	if got := m.Histogram("h", nil).Count(); got != workers*each {
+		t.Fatalf("hist count = %d, want %d", got, workers*each)
+	}
+}
+
+// fakeClock steps a fixed amount per read, making span durations exact.
+func fakeClock(step time.Duration) Clock {
+	var now time.Duration
+	var mu sync.Mutex
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		now += step
+		return now
+	}
+}
+
+func TestSpansRecordDurationsAndParents(t *testing.T) {
+	c := NewCollectorClock(fakeClock(time.Millisecond))
+	tr := c.EnableTrace()
+	root := c.Span("relest_estimate")  // t=1ms
+	child := root.Child("relest_term") // t=2ms
+	child.End()                        // t=3ms → 1ms duration
+	root.End()                         // t=4ms → 3ms duration
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "relest_estimate" || spans[0].Parent != 0 {
+		t.Fatalf("root span = %+v", spans[0])
+	}
+	if spans[1].Name != "relest_term" || spans[1].Parent != spans[0].ID {
+		t.Fatalf("child span = %+v", spans[1])
+	}
+	if d := spans[1].Duration(); d != time.Millisecond {
+		t.Fatalf("child duration = %v, want 1ms", d)
+	}
+	if d := spans[0].Duration(); d != 3*time.Millisecond {
+		t.Fatalf("root duration = %v, want 3ms", d)
+	}
+	// Span durations also land in histograms.
+	if got := c.Metrics().Histogram("relest_term_seconds", nil).Count(); got != 1 {
+		t.Fatalf("term histogram count = %d, want 1", got)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "relest_estimate 3ms\n  relest_term 1ms\n"
+	if b.String() != want {
+		t.Fatalf("trace text:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestZeroSpanIsInert(t *testing.T) {
+	var s Span
+	s.End()
+	if c := s.Child("x"); c != (Span{}) {
+		t.Fatalf("child of zero span = %+v, want zero", c)
+	}
+	s = Nop.Span("anything")
+	s.End() // must not panic or allocate
+}
+
+func TestLabels(t *testing.T) {
+	if got := L("x_total"); got != "x_total" {
+		t.Fatalf("L no labels = %q", got)
+	}
+	if got := L("x_total", "rel", "R"); got != `x_total{rel="R"}` {
+		t.Fatalf("L = %q", got)
+	}
+	if got := L("x", "a", "1", "b", `q"uo`); got != `x{a="1",b="q\"uo"}` {
+		t.Fatalf("L escape = %q", got)
+	}
+	fam, labels := family(`x_total{rel="R"}`)
+	if fam != "x_total" || labels != `rel="R"` {
+		t.Fatalf("family = %q, %q", fam, labels)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(L("relest_plans_total", "kind", "built")).Add(3)
+	m.Counter(L("relest_plans_total", "kind", "hit")).Add(9)
+	m.Gauge("relest_workers").Set(4)
+	h := m.Histogram("relest_term_seconds", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE relest_plans_total counter
+relest_plans_total{kind="built"} 3
+relest_plans_total{kind="hit"} 9
+# TYPE relest_term_seconds histogram
+relest_term_seconds_bucket{le="0.001"} 1
+relest_term_seconds_bucket{le="0.1"} 2
+relest_term_seconds_bucket{le="+Inf"} 3
+relest_term_seconds_sum 7.0505
+relest_term_seconds_count 3
+# TYPE relest_workers gauge
+relest_workers 4
+`
+	if b.String() != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("c_total").Add(2)
+	m.Gauge("g").Set(-1)
+	m.Histogram("h", []float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, b.String())
+	}
+	if math.Abs(snap.Counters["c_total"]-2) > 1e-12 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if math.Abs(snap.Gauges["g"]+1) > 1e-12 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 1 || len(hs.Buckets) != 2 || hs.Buckets[0] != 1 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestOrAndLive(t *testing.T) {
+	if Or(nil) != Nop {
+		t.Fatal("Or(nil) != Nop")
+	}
+	c := NewCollector()
+	if Or(c) != Recorder(c) {
+		t.Fatal("Or(c) != c")
+	}
+	if Live(nil) || Live(Nop) {
+		t.Fatal("nil/Nop must not be live")
+	}
+	if !Live(c) {
+		t.Fatal("collector must be live")
+	}
+}
+
+// TestNopRecorderZeroAllocs is the overhead contract: the disabled
+// recorder allocates nothing per event, so instrumentation can stay
+// unconditional in the engine.
+func TestNopRecorderZeroAllocs(t *testing.T) {
+	rec := Or(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Add("relest_terms_total", 1)
+		rec.Set("relest_depth", 3)
+		rec.Observe("relest_term_seconds", 0.001)
+		s := rec.Span("relest_estimate")
+		s.Child("relest_term").End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op recorder allocates %v per event batch, want 0", allocs)
+	}
+}

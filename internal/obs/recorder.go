@@ -1,0 +1,119 @@
+package obs
+
+import "time"
+
+// Recorder is the sink instrumented code reports into. Implementations
+// must be safe for concurrent use and must not influence computation:
+// recording an event may not consume randomness, reorder reductions, or
+// fail. The two implementations are Nop (the default; free) and
+// *Collector (metrics + optional trace).
+//
+// Metric-name conventions are documented in DESIGN.md §8; use L to attach
+// labels.
+type Recorder interface {
+	// Add increments the named counter.
+	Add(name string, delta float64)
+	// Set stores the named gauge.
+	Set(name string, v float64)
+	// Observe records a value into the named histogram (DefBuckets).
+	Observe(name string, v float64)
+	// Span starts a root span; close it with End. The span's duration is
+	// observed into the `<name>_seconds` histogram.
+	Span(name string) Span
+}
+
+// nop is the disabled recorder: every method is empty and allocation-free,
+// and Span returns the inert zero Span, so no clock is read either.
+type nop struct{}
+
+func (nop) Add(string, float64)     {}
+func (nop) Set(string, float64)     {}
+func (nop) Observe(string, float64) {}
+func (nop) Span(string) Span        { return Span{} }
+
+// Nop is the no-op recorder, the default everywhere a Recorder is
+// accepted.
+var Nop Recorder = nop{}
+
+// Or maps nil to Nop so call sites can hold a Recorder unconditionally.
+func Or(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Live reports whether r actually records (non-nil and not Nop). Hot
+// loops may branch on it to skip per-item clock reads; event-frequency
+// call sites should just record unconditionally.
+func Live(r Recorder) bool {
+	return r != nil && r != Nop
+}
+
+// Collector is the live Recorder: a metrics registry plus an optional
+// span trace, sharing one monotonic clock.
+type Collector struct {
+	metrics *Metrics
+	trace   *Trace
+	clock   Clock
+}
+
+// NewCollector creates a Collector with a fresh registry, no trace, and
+// the runtime monotonic clock.
+func NewCollector() *Collector {
+	return &Collector{metrics: NewMetrics(), clock: monotonicClock()}
+}
+
+// NewCollectorClock creates a Collector driven by the given clock
+// (deterministic tests; replay).
+func NewCollectorClock(clock Clock) *Collector {
+	return &Collector{metrics: NewMetrics(), clock: clock}
+}
+
+// EnableTrace attaches (and returns) a span trace. Call before recording.
+func (c *Collector) EnableTrace() *Trace {
+	c.trace = &Trace{}
+	return c.trace
+}
+
+// Metrics returns the collector's registry for exposition.
+func (c *Collector) Metrics() *Metrics { return c.metrics }
+
+// Trace returns the attached trace, or nil.
+func (c *Collector) Trace() *Trace { return c.trace }
+
+// Add implements Recorder.
+func (c *Collector) Add(name string, delta float64) { c.metrics.Counter(name).Add(delta) }
+
+// Set implements Recorder.
+func (c *Collector) Set(name string, v float64) { c.metrics.Gauge(name).Set(v) }
+
+// Observe implements Recorder.
+func (c *Collector) Observe(name string, v float64) { c.metrics.Histogram(name, nil).Observe(v) }
+
+// Span implements Recorder.
+func (c *Collector) Span(name string) Span { return c.startSpan(name, 0) }
+
+func (c *Collector) startSpan(name string, parent int64) Span {
+	s := Span{rec: c, name: name, start: c.clock()}
+	if c.trace != nil {
+		s.id = c.trace.add(name, parent, s.start)
+	}
+	return s
+}
+
+func (c *Collector) endSpan(s Span) {
+	end := c.clock()
+	if c.trace != nil && s.id != 0 {
+		c.trace.setEnd(s.id, end)
+	}
+	d := end - s.start
+	if d < 0 {
+		d = 0
+	}
+	c.metrics.Histogram(s.name+"_seconds", nil).Observe(d.Seconds())
+}
+
+// Elapsed returns the collector clock's current offset — handy for
+// wall-time deltas that should use the same clock as the spans.
+func (c *Collector) Elapsed() time.Duration { return c.clock() }

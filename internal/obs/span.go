@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock yields monotonically non-decreasing offsets from an arbitrary
+// epoch. The default clock wraps the runtime monotonic clock; tests
+// inject a fake so span durations are deterministic.
+type Clock func() time.Duration
+
+// monotonicClock returns a Clock reading the runtime monotonic clock,
+// anchored at the moment of creation.
+func monotonicClock() Clock {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// SpanRecord is one finished (or still-open) span in a trace. IDs are
+// 1-based; Parent 0 means a root span. End is zero while the span is
+// open.
+type SpanRecord struct {
+	ID     int64         `json:"id"`
+	Parent int64         `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_ns"`
+	End    time.Duration `json:"end_ns,omitempty"`
+}
+
+// Duration returns End−Start, or 0 for an open span.
+func (s SpanRecord) Duration() time.Duration {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Trace collects spans. It is safe for concurrent use; span starts and
+// ends from parallel workers interleave under one mutex, which is fine at
+// per-term/per-replicate frequency.
+type Trace struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// add registers a new span and returns its 1-based id.
+func (t *Trace) add(name string, parent int64, start time.Duration) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := int64(len(t.spans)) + 1
+	t.spans = append(t.spans, SpanRecord{ID: id, Parent: parent, Name: name, Start: start})
+	return id
+}
+
+// setEnd closes the span with the given id.
+func (t *Trace) setEnd(id int64, end time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id >= 1 && id <= int64(len(t.spans)) {
+		t.spans[id-1].End = end
+	}
+}
+
+// Spans returns a copy of the recorded spans in start order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// WriteText renders the trace as an indented tree, children under their
+// parents in start order. Durations are exact; reading a trace top-down
+// follows the engine's call structure (estimate → terms → variance →
+// replicates).
+func (t *Trace) WriteText(w io.Writer) error {
+	spans := t.Spans()
+	children := map[int64][]SpanRecord{}
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	byStart := func(xs []SpanRecord) {
+		sort.SliceStable(xs, func(i, j int) bool { return xs[i].Start < xs[j].Start })
+	}
+	byStart(roots)
+	var write func(s SpanRecord, depth int) error
+	write = func(s SpanRecord, depth int) error {
+		for i := 0; i < depth; i++ {
+			if _, err := io.WriteString(w, "  "); err != nil {
+				return err
+			}
+		}
+		state := ""
+		if s.End == 0 {
+			state = " (open)"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s%s\n", s.Name, s.Duration(), state); err != nil {
+			return err
+		}
+		cs := children[s.ID]
+		byStart(cs)
+		for _, c := range cs {
+			if err := write(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := write(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is a live timing handle. The zero value (from the Nop recorder) is
+// inert: End and Child are no-ops and read no clock, so instrumented code
+// never branches on whether observability is enabled.
+type Span struct {
+	rec   *Collector
+	name  string
+	id    int64
+	start time.Duration
+}
+
+// End closes the span: its duration lands in the `<name>_seconds`
+// histogram, and the trace record (when tracing is enabled) is closed.
+func (s Span) End() {
+	if s.rec != nil {
+		s.rec.endSpan(s)
+	}
+}
+
+// Child starts a span parented to s. Safe to call from parallel workers.
+func (s Span) Child(name string) Span {
+	if s.rec == nil {
+		return Span{}
+	}
+	return s.rec.startSpan(name, s.id)
+}

@@ -24,7 +24,16 @@ import (
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
+	"relest/internal/obs"
 	"relest/internal/relation"
+)
+
+// Planner metric and span names (see internal/obs). Recording is passive
+// and never changes the chosen plan.
+const (
+	sPlan           = "relest_plan"
+	mOracleCalls    = "relest_planner_oracle_calls_total"
+	mPlannerSubsets = "relest_planner_subsets_total"
 )
 
 // Edge is one equi-join condition between two base relations of a query.
@@ -41,6 +50,10 @@ type Query struct {
 	Schemas   map[string]*relation.Schema
 	Edges     []Edge
 	Filters   map[string]algebra.Predicate
+	// Rec receives the optimizer's metrics and spans (oracle calls, DP
+	// subsets solved); nil disables recording. Recording never changes the
+	// chosen plan.
+	Rec obs.Recorder
 }
 
 // validate checks structural well-formedness.
@@ -107,6 +120,9 @@ func Optimize(q Query, oracle CardinalityEstimator) (*Plan, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(q.Rec)
+	span := rec.Span(sPlan)
+	defer span.End()
 	n := len(q.Relations)
 	idx := map[string]int{}
 	for i, r := range q.Relations {
@@ -136,6 +152,7 @@ func Optimize(q Query, oracle CardinalityEstimator) (*Plan, error) {
 
 	subsetOracle, bySubset := oracle.(SubsetOracle)
 	cardOf := func(mask uint32, e *algebra.Expr) (float64, error) {
+		rec.Add(mOracleCalls, 1)
 		if bySubset {
 			return subsetOracle.SubsetCardinality(mask)
 		}
@@ -213,6 +230,7 @@ func Optimize(q Query, oracle CardinalityEstimator) (*Plan, error) {
 			return nil, fmt.Errorf("planner: no valid extension for subset %b", mask)
 		}
 		states[mask] = best
+		rec.Add(mPlannerSubsets, 1)
 	}
 
 	full := uint32(1<<n) - 1
@@ -339,14 +357,17 @@ func TrueCost(q Query, order []string, cat algebra.Catalog) (float64, error) {
 
 // Oracles -----------------------------------------------------------------
 
-// Sampling is the paper's oracle: COUNT estimates from a synopsis.
+// Sampling is the paper's oracle: COUNT estimates from a synopsis. Rec,
+// when set, is threaded into each estimation call (per-term timing,
+// samples consumed).
 type Sampling struct {
 	Syn *estimator.Synopsis
+	Rec obs.Recorder
 }
 
 // Cardinality implements CardinalityEstimator.
 func (s Sampling) Cardinality(e *algebra.Expr) (float64, error) {
-	est, err := estimator.CountWithOptions(e, s.Syn, estimator.Options{Variance: estimator.VarNone})
+	est, err := estimator.CountWithOptions(e, s.Syn, estimator.Options{Variance: estimator.VarNone, Recorder: s.Rec})
 	if err != nil {
 		return 0, err
 	}

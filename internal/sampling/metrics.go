@@ -1,0 +1,51 @@
+package sampling
+
+import (
+	"sync/atomic"
+
+	"relest/internal/obs"
+)
+
+// Sampling instrumentation reports through a process-wide recorder, set
+// once at startup (mirroring SetWorkers in internal/parallel): the draw
+// primitives are called from deep inside synopsis construction, where no
+// per-call recorder is in scope. The default is the no-op recorder, so
+// uninstrumented processes pay one atomic load per draw call.
+//
+// Recording never consumes randomness — every metric observes counts the
+// sampler computed anyway — so estimates are bit-identical with any
+// recorder installed (enforced by test in internal/estimator).
+
+// Metric names.
+const (
+	mDrawsTotal         = "relest_sampling_draws_total"
+	mUnitsDrawnTotal    = "relest_sampling_units_drawn_total"
+	mReservoirDisplaced = "relest_sampling_reservoir_displaced_total"
+)
+
+// recBox keeps atomic.Value's concrete type fixed while the Recorder
+// implementation varies.
+type recBox struct{ r obs.Recorder }
+
+var globalRec atomic.Value // recBox
+
+// SetRecorder installs the process-wide sampling recorder (nil restores
+// the no-op default).
+func SetRecorder(r obs.Recorder) {
+	globalRec.Store(recBox{obs.Or(r)})
+}
+
+// recorder returns the installed recorder, defaulting to obs.Nop.
+func recorder() obs.Recorder {
+	if v := globalRec.Load(); v != nil {
+		return v.(recBox).r
+	}
+	return obs.Nop
+}
+
+// countDraw reports one draw primitive call yielding n sampling units.
+func countDraw(n int) {
+	rec := recorder()
+	rec.Add(mDrawsTotal, 1)
+	rec.Add(mUnitsDrawnTotal, float64(n))
+}

@@ -16,11 +16,12 @@ import (
 // amortized time, the number of stream items to skip before the next
 // replacement, instead of flipping a coin per item.
 type Reservoir[T any] struct {
-	rng   *rand.Rand
-	cap   int
-	seen  int64
-	items []T
-	skip  int64 // items still to pass over before the next replacement
+	rng       *rand.Rand
+	cap       int
+	seen      int64
+	items     []T
+	skip      int64 // items still to pass over before the next replacement
+	displaced int64 // sample items overwritten by later stream items
 }
 
 // NewReservoir creates a reservoir with the given capacity.
@@ -48,6 +49,8 @@ func (r *Reservoir[T]) Add(item T) {
 	}
 	// This item replaces a uniformly chosen slot.
 	r.items[r.rng.Intn(r.cap)] = item
+	r.displaced++
+	recorder().Add(mReservoirDisplaced, 1)
 	r.skip = r.drawSkip()
 }
 
@@ -82,6 +85,10 @@ func (r *Reservoir[T]) Items() []T { return r.items }
 // Seen returns the number of items offered so far.
 func (r *Reservoir[T]) Seen() int64 { return r.seen }
 
+// Displaced returns how many sample items have been overwritten by later
+// stream items — a measure of how much the sample has churned.
+func (r *Reservoir[T]) Displaced() int64 { return r.displaced }
+
 // Cap returns the reservoir capacity.
 func (r *Reservoir[T]) Cap() int { return r.cap }
 
@@ -107,6 +114,8 @@ type PairedReservoir[T any] struct {
 	// item, c2 deletions that did not. While c1+c2 > 0, insertions
 	// compensate them instead of running the plain reservoir step.
 	c1, c2 int64
+
+	displaced int64 // sample items overwritten by later insertions
 }
 
 // NewPairedReservoir creates a random-pairing reservoir with the given
@@ -180,6 +189,8 @@ func (p *PairedReservoir[T]) place(item T) {
 
 // replace overwrites the item at slot with a new item.
 func (p *PairedReservoir[T]) replace(slot int, item T) {
+	p.displaced++
+	recorder().Add(mReservoirDisplaced, 1)
 	p.unindex(slot)
 	p.items[slot] = item
 	k := p.key(item)
@@ -228,6 +239,10 @@ func (p *PairedReservoir[T]) PopulationSize() int64 { return p.size }
 // capacity after bursts of deletions; random pairing refills it as
 // insertions arrive.
 func (p *PairedReservoir[T]) SampleSize() int { return len(p.items) }
+
+// Displaced returns how many sample items have been overwritten by later
+// insertions.
+func (p *PairedReservoir[T]) Displaced() int64 { return p.displaced }
 
 // Allocation strategies for stratified sampling.
 

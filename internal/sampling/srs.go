@@ -52,6 +52,7 @@ func WithoutReplacement(rng *rand.Rand, N, n int) []int {
 		out = perm[:n:n]
 	}
 	sort.Ints(out)
+	countDraw(n)
 	return out
 }
 
@@ -104,6 +105,7 @@ func Extend(rng *rand.Rand, N int, existing []int, m int) []int {
 		out = append(out, i)
 	}
 	sort.Ints(out)
+	countDraw(m)
 	return out
 }
 
@@ -118,6 +120,7 @@ func WithReplacement(rng *rand.Rand, N, n int) []int {
 	for i := range out {
 		out[i] = rng.Intn(N)
 	}
+	countDraw(n)
 	return out
 }
 
@@ -138,6 +141,7 @@ func Bernoulli(rng *rand.Rand, N int, p float64) []int {
 	if out == nil {
 		out = []int{}
 	}
+	countDraw(len(out))
 	return out
 }
 

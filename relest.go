@@ -42,6 +42,7 @@ import (
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
+	"relest/internal/obs"
 	"relest/internal/planner"
 	"relest/internal/relation"
 	"relest/internal/sampling"
@@ -216,6 +217,24 @@ type (
 	// FreqOfFreq is the sample summary distinct estimators consume.
 	FreqOfFreq = estimator.FreqOfFreq
 )
+
+// Observability, re-exported from the metrics layer. Recording is passive:
+// attaching a Recorder leaves every estimate bit-identical to the
+// unrecorded run (see DESIGN.md §8).
+type (
+	// Recorder receives counters, gauges, histograms and spans from a
+	// running estimation; pass one as Options.Recorder. A nil Recorder
+	// costs nothing.
+	Recorder = obs.Recorder
+	// Collector is the standard Recorder: lock-free metrics plus optional
+	// span capture, exposable as Prometheus text or JSON via its Metrics()
+	// registry and Trace().
+	Collector = obs.Collector
+)
+
+// NewCollector returns a live metrics Collector to pass as
+// Options.Recorder; call EnableTrace on it to also capture spans.
+func NewCollector() *Collector { return obs.NewCollector() }
 
 // Variance methods.
 const (
