@@ -1,7 +1,7 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet lint test race cover bench fuzz
+.PHONY: check build vet lint test race cover bench fuzz smoke
 
 check: build vet lint test race cover
 
@@ -24,13 +24,24 @@ race:
 	$(GO) test -race ./...
 
 # Coverage: report every package, enforce a floor where the contract is
-# "instrumentation must be fully exercised" (internal/obs). Other packages
-# are report-only — their floors are the statistical tests themselves.
+# "instrumentation must be fully exercised" (internal/obs) or "every
+# admission/shutdown path must be driven" (internal/server). Other
+# packages are report-only — their floors are the statistical tests
+# themselves.
 cover:
 	$(GO) test -cover ./... | grep -v '\[no test files\]'
 	@pct=$$($(GO) test -cover ./internal/obs | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/obs coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
 		printf "internal/obs coverage %.1f%% (floor 70%%)\n", p }'
+	@pct=$$($(GO) test -cover ./internal/server | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/server coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
+		printf "internal/server coverage %.1f%% (floor 70%%)\n", p }'
+
+# Service smoke test: build the daemon, walk the whole lifecycle against
+# the real binary (start, register, estimate, scrape /metrics, SIGTERM,
+# clean drain). This is the executable form of the README quick-start.
+smoke:
+	$(GO) test -run TestDaemonSmoke -count=1 -v ./cmd/relestd
 
 # Short fuzzing smoke: each fuzzer runs for a few seconds on top of its
 # committed seed corpus (testdata/fuzz). Crashers found locally land in

@@ -22,18 +22,25 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (T1..T7, F1..F4) or 'all'")
-	full := flag.Bool("full", false, "full scale (EXPERIMENTS.md sizes; takes minutes)")
-	markdown := flag.Bool("markdown", false, "render markdown instead of plain tables")
-	seed := flag.Int64("seed", 42, "root random seed")
-	flag.Parse()
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "comma-separated experiment ids (T1..T7, F1..F4) or 'all'")
+	full := fs.Bool("full", false, "full scale (EXPERIMENTS.md sizes; takes minutes)")
+	markdown := fs.Bool("markdown", false, "render markdown instead of plain tables")
+	seed := fs.Int64("seed", 42, "root random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	var ids []string
 	if *exp == "all" {

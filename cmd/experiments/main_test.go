@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestFlagValidation pins the CLI contract: unknown flags and stray
+// positional arguments fail with a usage error instead of being
+// silently ignored (a mistyped `-exp T2 T6` used to run everything).
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"stray arg", []string{"T2"}},
+		{"flag then stray arg", []string{"-exp", "T2", "T6"}},
+		{"stray after bool flag", []string{"-markdown", "tables"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Fatalf("run(%v) succeeded; want a usage error", tc.args)
+			}
+		})
+	}
+}

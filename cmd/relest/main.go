@@ -93,6 +93,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected argument %q (all inputs are flags)", fs.Arg(0))
+	}
 	parallel.SetWorkers(*workers)
 
 	// Observability is opt-in: the recorder stays nil (a no-op in the

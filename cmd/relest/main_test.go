@@ -151,3 +151,25 @@ func TestMetricsOutput(t *testing.T) {
 		t.Errorf("trace missing estimate/term spans:\n%s", tr)
 	}
 }
+
+// TestFlagValidation pins the CLI contract: unknown flags and stray
+// positional arguments fail with a usage error instead of being
+// silently ignored (all inputs are flags; a stray word is a typo).
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"stray arg", []string{"estimate"}},
+		{"flag then stray arg", []string{"-seed", "42", "extra"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("run(%v) succeeded; want a usage error", tc.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+// Command relestd runs the estimation daemon: an HTTP service that
+// registers relations (CSV upload or synthetic generation), maintains
+// named synopses — one-shot static draws and incrementally-maintained
+// samples fed by an insert/delete stream — and answers estimation
+// requests from them.
+//
+// Usage:
+//
+//	relestd -addr 127.0.0.1:7878 -concurrency 8 -queue 64 -timeout 30s
+//
+// The daemon prints "relestd listening on ADDR" once the listener is
+// bound, serves until SIGINT/SIGTERM, then drains: new estimates are
+// refused while every admitted request still gets its answer.
+//
+// Endpoints (all request/response bodies are JSON unless noted):
+//
+//	POST /v1/relations/{name}        register the CSV request body
+//	POST /v1/generate                synthesize a dataset (relgen kinds)
+//	GET  /v1/relations               list registered relations
+//	POST /v1/synopses/{name}         create a static or incremental synopsis
+//	POST /v1/synopses/{name}/stream  feed one insert/delete event
+//	GET  /v1/synopses                list synopses
+//	POST /v1/estimate                estimate count/sum/avg from a synopsis
+//	GET  /metrics                    Prometheus text metrics
+//	GET  /healthz                    liveness and drain state
+//
+// Estimates are deterministic for a pinned seed: the response bytes
+// match a direct library call, for every concurrency setting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relest/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relestd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relestd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7878", "listen address (port 0 picks a free port)")
+	concurrency := fs.Int("concurrency", 0, "estimation workers (0 = all CPUs)")
+	queue := fs.Int("queue", 64, "admission queue depth; excess requests are shed with 429")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request wall-clock cap")
+	workers := fs.Int("workers", 0, "per-estimate evaluation parallelism (0 = library default); estimates are identical for every setting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if narg := fs.NArg(); narg > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	srv := server.New(server.Config{
+		Addr:             *addr,
+		Concurrency:      *concurrency,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		EstimatorWorkers: *workers,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "relestd listening on %s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintln(stdout, "relestd draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "relestd stopped")
+	return nil
+}

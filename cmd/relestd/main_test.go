@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFlagValidation pins the CLI contract: bad flags and stray
+// positional arguments fail with a usage error instead of being
+// silently ignored.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"stray arg", []string{"serve"}},
+		{"flag then stray arg", []string{"-queue", "8", "extra"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("run(%v) succeeded; want a usage error", tc.args)
+			}
+		})
+	}
+}
+
+// TestDaemonSmoke builds the real binary and walks the whole service
+// lifecycle: start, register data, estimate, scrape metrics, SIGTERM,
+// clean exit. Everything runs sequentially off the daemon's stdout — the
+// first line carries the bound address, the drain messages follow the
+// signal.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "relestd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-queue", "8")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatalf("no startup line: %v", scanner.Err())
+	}
+	first := scanner.Text()
+	addr, ok := strings.CutPrefix(first, "relestd listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", first)
+	}
+	base := "http://" + addr
+
+	post := func(path string, body any) (int, []byte) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if status, out := post("/v1/generate", map[string]any{
+		"kind": "zipf-pair", "n": 2000, "domain": 200, "seed": 7,
+	}); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, out)
+	}
+	if status, out := post("/v1/synopses/main", map[string]any{
+		"kind": "static", "relations": map[string]int{"R1": 200, "R2": 200}, "seed": 9,
+	}); status != http.StatusCreated {
+		t.Fatalf("synopsis: %d %s", status, out)
+	}
+	status, out := post("/v1/estimate", map[string]any{
+		"query": "count(join(R1, R2, on a = a))", "synopsis": "main", "seed": 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("estimate: %d %s", status, out)
+	}
+	var resp struct {
+		Estimate struct {
+			Value float64 `json:"value"`
+		} `json:"estimate"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if resp.Estimate.Value <= 0 {
+		t.Fatalf("estimate value = %v", resp.Estimate.Value)
+	}
+
+	metricsResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(metricsResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metricsResp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "relestd_requests_total") {
+		t.Errorf("/metrics lacks the request counter:\n%s", metrics)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	deadline := time.Now().Add(30 * time.Second)
+	for scanner.Scan() {
+		tail = append(tail, scanner.Text())
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not finish draining; output so far: %v", tail)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v (output %v)", err, tail)
+	}
+	joined := strings.Join(tail, "\n")
+	if !strings.Contains(joined, "relestd draining") || !strings.Contains(joined, "relestd stopped") {
+		t.Errorf("drain messages missing from shutdown output: %v", tail)
+	}
+}

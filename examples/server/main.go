@@ -1,0 +1,116 @@
+// Server: the estimation service driven end to end from Go — start an
+// in-process relestd, register a generated dataset, build a synopsis,
+// run a plain and a deadline-bounded estimate over HTTP, scrape the
+// merged metrics page, and drain. The same lifecycle `make smoke`
+// exercises against the real binary.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"relest/internal/server"
+)
+
+func post(base, path string, body any) ([]byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+func main() {
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", QueueDepth: 8})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	fmt.Println("serving on", srv.Addr())
+
+	// Two Zipfian relations sharing a join column, then a static synopsis:
+	// a seeded 500-row SRSWOR draw per relation, made once at creation.
+	if _, err := post(base, "/v1/generate", map[string]any{
+		"kind": "zipf-pair", "n": 20000, "domain": 1000, "seed": 7,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := post(base, "/v1/synopses/main", map[string]any{
+		"kind": "static", "relations": map[string]int{"R1": 500, "R2": 500}, "seed": 9,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A plain estimate: one evaluation over the registered sample. The
+	// response is byte-identical to calling the library with the same seed.
+	out, err := post(base, "/v1/estimate", map[string]any{
+		"query": "count(join(R1, R2, on a = a))", "synopsis": "main", "seed": 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain:    %s", out)
+
+	// A deadline-bounded estimate: the server clones the synopsis and
+	// grows the sample until the budget runs out; the answer is the
+	// estimate and CI of the last completed round.
+	out, err = post(base, "/v1/estimate", map[string]any{
+		"query": "count(join(R1, R2, on a = a))", "synopsis": "main",
+		"mode": "deadline", "budget_ms": 50, "seed": 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deadline: %s", out)
+
+	// One scrape carries both the HTTP families (relestd_*) and the
+	// estimator families (relest_*) for the work just done.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "relestd_requests_total") ||
+			strings.HasPrefix(line, "relestd_queue_depth") ||
+			strings.HasPrefix(line, "relest_samples_rows_total") {
+			fmt.Println("metric:  ", line)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,6 +35,14 @@ func Sum(e *algebra.Expr, col string, syn *Synopsis) (Estimate, error) {
 // numeric column of e's output schema; null values contribute zero (SQL
 // SUM semantics over non-null values).
 func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
+	return SumContext(context.Background(), e, col, syn, opts)
+}
+
+// SumContext is SumWithOptions with cancellation, under the same contract
+// as CountContext: the context is polled between terms and between
+// variance replicates, cancellation yields a non-nil error and no partial
+// estimate, and a never-cancelled context changes nothing.
+func SumContext(ctx context.Context, e *algebra.Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
 	opts = opts.withDefaults()
 	pos := e.Schema().ColumnIndex(col)
 	if pos < 0 {
@@ -51,7 +60,7 @@ func SumWithOptions(e *algebra.Expr, col string, syn *Synopsis, opts Options) (E
 	if err := checkSampleSizes(poly, syn); err != nil {
 		return Estimate{}, err
 	}
-	eng := newEngine(opts)
+	eng := newEngine(ctx, opts)
 	eng.span = eng.rec.Span(sEstimate)
 	defer eng.span.End()
 	recordSynopsis(eng.rec, poly, syn)
@@ -114,11 +123,17 @@ type AvgResult struct {
 // estimators — biased O(1/n) but consistent (the classical ratio
 // estimator).
 func Avg(e *algebra.Expr, col string, syn *Synopsis, opts Options) (AvgResult, error) {
-	sum, err := SumWithOptions(e, col, syn, opts)
+	return AvgContext(context.Background(), e, col, syn, opts)
+}
+
+// AvgContext is Avg with cancellation, inherited from the underlying
+// SumContext and CountContext calls.
+func AvgContext(ctx context.Context, e *algebra.Expr, col string, syn *Synopsis, opts Options) (AvgResult, error) {
+	sum, err := SumContext(ctx, e, col, syn, opts)
 	if err != nil {
 		return AvgResult{}, err
 	}
-	cnt, err := CountWithOptions(e, syn, opts)
+	cnt, err := CountContext(ctx, e, syn, opts)
 	if err != nil {
 		return AvgResult{}, err
 	}
@@ -137,6 +152,9 @@ func sumEstimate(poly algebra.Polynomial, syn *Synopsis, pos int, eng *engine) (
 	vals := make([]float64, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
 	err := parallel.ForErrRec(len(poly.Terms), outer, eng.rec, func(i int) error {
+		if err := eng.cancelled(); err != nil {
+			return err
+		}
 		ts := eng.span.Child(sTerm)
 		v, err := estimateTermSum(&poly.Terms[i], syn, pos, eng, inner)
 		ts.End()

@@ -1,0 +1,240 @@
+package estimator
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+	"relest/internal/sampling"
+	"relest/internal/workload"
+)
+
+// ctxFixture builds two modest Zipf relations and a drawn synopsis, plus
+// the join expression over them. Fresh per call so mutation (extension)
+// never leaks between tests.
+func ctxFixture(t *testing.T, n, sample int) (*algebra.Expr, *Synopsis) {
+	t.Helper()
+	rng := sampling.Seeded(11)
+	r1 := workload.ZipfRelation(rng, "R1", 0.5, 200, n, workload.MapRandom)
+	r2 := workload.ZipfRelation(rng, "R2", 1.0, 200, n, workload.MapRandom)
+	syn := NewSynopsis()
+	if err := syn.AddDrawn(r1, sample, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.AddDrawn(r2, sample, rng); err != nil {
+		t.Fatal(err)
+	}
+	e := algebra.Must(algebra.Join(algebra.BaseOf(r1), algebra.BaseOf(r2),
+		[]algebra.On{{Left: "a", Right: "a"}}, nil, "r2_"))
+	return e, syn
+}
+
+// TestCountContextBackgroundIdentity: with a background context the
+// context-aware entry points are bit-identical to the classic ones, for
+// every variance method and worker count — the polling changes nothing.
+func TestCountContextBackgroundIdentity(t *testing.T) {
+	for _, method := range []VarianceMethod{VarAuto, VarSplitSample, VarJackknife} {
+		for _, workers := range []int{1, 4} {
+			e, syn := ctxFixture(t, 2000, 200)
+			opts := Options{Variance: method, Workers: workers, Seed: 3}
+			want, err := CountWithOptions(e, syn, opts)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", method, workers, err)
+			}
+			got, err := CountContext(context.Background(), e, syn, opts)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", method, workers, err)
+			}
+			if math.Float64bits(got.Value) != math.Float64bits(want.Value) ||
+				math.Float64bits(got.StdErr) != math.Float64bits(want.StdErr) {
+				t.Errorf("%v/%d: CountContext %v ± %v != CountWithOptions %v ± %v",
+					method, workers, got.Value, got.StdErr, want.Value, want.StdErr)
+			}
+		}
+	}
+}
+
+// TestContextCancelledUpFront: an already-cancelled context fails every
+// context-aware entry point with an error carrying context.Canceled, and
+// the zero result — never a partial estimate.
+func TestContextCancelledUpFront(t *testing.T) {
+	e, syn := ctxFixture(t, 500, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if est, err := CountContext(ctx, e, syn, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountContext: want context.Canceled, got %v", err)
+	} else if est != (Estimate{}) {
+		t.Errorf("CountContext: partial estimate %+v alongside error", est)
+	}
+	if _, err := SumContext(ctx, e, "id", syn, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SumContext: want context.Canceled, got %v", err)
+	}
+	if _, err := AvgContext(ctx, e, "id", syn, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("AvgContext: want context.Canceled, got %v", err)
+	}
+	if _, err := SequentialCountContext(ctx, e, syn, SequentialOptions{TargetRelErr: 0.1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SequentialCountContext: want context.Canceled, got %v", err)
+	}
+	if est, _, err := DeadlineCountContext(ctx, e, syn, DeadlineOptions{Budget: time.Second}); !errors.Is(err, context.Canceled) {
+		t.Errorf("DeadlineCountContext: want context.Canceled, got %v", err)
+	} else if est != (Estimate{}) {
+		t.Errorf("DeadlineCountContext: partial estimate %+v alongside error", est)
+	}
+}
+
+// TestDeadlineContextCancelMidRun: a context that expires while rounds are
+// still growing aborts the run between rounds (or between terms) with a
+// DeadlineExceeded cause, well before the estimator's own generous budget.
+// The θ-join below has no index path, so later rounds enumerate a growing
+// m² space and the run cannot finish before the context fires.
+func TestDeadlineContextCancelMidRun(t *testing.T) {
+	rng := sampling.Seeded(5)
+	r1 := workload.ZipfRelation(rng, "R1", 0.5, 500, 4000, workload.MapRandom)
+	r2 := workload.ZipfRelation(rng, "R2", 0.5, 500, 4000, workload.MapRandom)
+	syn := NewSynopsis()
+	if err := syn.AddDrawn(r1, 20, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.AddDrawn(r2, 20, rng); err != nil {
+		t.Fatal(err)
+	}
+	prod := algebra.Must(algebra.Product(algebra.BaseOf(r1), algebra.BaseOf(r2), "r2_"))
+	e := algebra.Must(algebra.Select(prod, algebra.ColCmp{A: "a", Op: algebra.LT, B: "r2_.a"}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	est, steps, err := DeadlineCountContext(ctx, e, syn, DeadlineOptions{
+		Budget:      time.Hour, // the context, not the budget, must end this run
+		InitialSize: 20,
+		Estimate:    Options{Variance: VarNone},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v (after %v)", err, time.Since(start))
+	}
+	if est != (Estimate{}) || steps != nil {
+		t.Errorf("cancelled run leaked a partial result: %+v, %d steps", est, len(steps))
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v; the between-rounds poll is not being honoured", elapsed)
+	}
+}
+
+// TestSequentialOptionsRNGFold: the deprecated (expr, syn, rng, opts)
+// signature and the options-folded context signature produce identical
+// results for the same seed, and Seed alone reproduces runs without an
+// explicit RNG.
+func TestSequentialOptionsRNGFold(t *testing.T) {
+	opts := SequentialOptions{TargetRelErr: 0.10, PilotSize: 150}
+
+	e1, syn1 := ctxFixture(t, 2000, 50)
+	oldRes, err := SequentialCount(e1, syn1, sampling.Seeded(7), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, syn2 := ctxFixture(t, 2000, 50)
+	o2 := opts
+	o2.RNG = sampling.Seeded(7)
+	newRes, err := SequentialCountContext(context.Background(), e2, syn2, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(oldRes.Final.Value) != math.Float64bits(newRes.Final.Value) ||
+		math.Float64bits(oldRes.Final.StdErr) != math.Float64bits(newRes.Final.StdErr) {
+		t.Errorf("RNG fold changed the run: old %v ± %v, new %v ± %v",
+			oldRes.Final.Value, oldRes.Final.StdErr, newRes.Final.Value, newRes.Final.StdErr)
+	}
+
+	// Seed-only reproducibility.
+	e3, syn3 := ctxFixture(t, 2000, 50)
+	o3 := opts
+	o3.Seed = 99
+	a, err := SequentialCountContext(context.Background(), e3, syn3, o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, syn4 := ctxFixture(t, 2000, 50)
+	b, err := SequentialCountContext(context.Background(), e4, syn4, o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.Final.Value) != math.Float64bits(b.Final.Value) {
+		t.Errorf("same Seed, different runs: %v vs %v", a.Final.Value, b.Final.Value)
+	}
+}
+
+// TestDeadlineOptionsRNGFold: same for deadline mode, on a fixture small
+// enough that both runs exhaust their samples deterministically.
+func TestDeadlineOptionsRNGFold(t *testing.T) {
+	run := func(useOld bool) (Estimate, int) {
+		e, syn := ctxFixture(t, 400, 40)
+		opts := DeadlineOptions{Budget: time.Minute, InitialSize: 50, Estimate: Options{Variance: VarSplitSample}}
+		if useOld {
+			est, steps, err := DeadlineCount(e, syn, sampling.Seeded(13), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est, len(steps)
+		}
+		opts.RNG = sampling.Seeded(13)
+		est, steps, err := DeadlineCountContext(context.Background(), e, syn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est, len(steps)
+	}
+	oldEst, oldSteps := run(true)
+	newEst, newSteps := run(false)
+	if math.Float64bits(oldEst.Value) != math.Float64bits(newEst.Value) || oldSteps != newSteps {
+		t.Errorf("RNG fold changed the run: old %v after %d rounds, new %v after %d rounds",
+			oldEst.Value, oldSteps, newEst.Value, newSteps)
+	}
+}
+
+// TestIncrementalOptionsSeed: NewIncrementalWithOptions with a Seed is
+// reproducible, and the deprecated constructor remains equivalent to an
+// explicit-RNG options call.
+func TestIncrementalOptionsSeed(t *testing.T) {
+	build := func(inc *Incremental) float64 {
+		t.Helper()
+		rng := sampling.Seeded(3)
+		r := workload.ZipfRelation(rng, "S", 0.8, 100, 3000, workload.MapRandom)
+		if err := inc.Track("S", r.Schema()); err != nil {
+			t.Fatal(err)
+		}
+		var ferr error
+		r.Each(func(i int, tup relation.Tuple) bool {
+			if err := inc.Insert("S", tup); err != nil {
+				ferr = err
+				return false
+			}
+			return true
+		})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		syn, err := inc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Count(algebra.Base("S", r.Schema()), syn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Value
+	}
+	a := build(NewIncrementalWithOptions(IncrementalOptions{Capacity: 200, Seed: 21}))
+	b := build(NewIncrementalWithOptions(IncrementalOptions{Capacity: 200, Seed: 21}))
+	c := build(NewIncremental(200, sampling.Seeded(21)))
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Errorf("same Seed, different snapshots: %v vs %v", a, b)
+	}
+	if math.Float64bits(a) != math.Float64bits(c) {
+		t.Errorf("deprecated constructor diverged: options %v vs wrapper %v", a, c)
+	}
+}

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 
 	"relest/internal/algebra"
@@ -35,16 +36,45 @@ type engine struct {
 	// estimates are bit-identical with or without a live recorder.
 	rec  obs.Recorder
 	span obs.Span
+	// ctx carries the call's cancellation signal (nil = never cancelled).
+	// It is polled between terms and between variance replicates, never
+	// inside an enumeration, so honoring it cannot reorder reductions.
+	ctx context.Context
 }
 
-// newEngine builds the engine for one top-level estimation call.
-func newEngine(opts Options) *engine {
+// newEngine builds the engine for one top-level estimation call. ctx may
+// be nil (no cancellation), which is what the non-context entry points
+// pass.
+func newEngine(ctx context.Context, opts Options) *engine {
 	rec := obs.Or(opts.Recorder)
 	return &engine{
 		workers: parallel.Resolve(opts.Workers),
 		plans:   algebra.NewPlanCacheRec(rec),
 		rec:     rec,
+		ctx:     ctx,
 	}
+}
+
+// cancelled returns a non-nil error once the engine's context is done.
+// Cancellation is all-or-nothing: any code path that observes it abandons
+// the whole estimate, so a partial value can never leak out with a nil
+// error.
+func (eng *engine) cancelled() error {
+	if eng.ctx == nil {
+		return nil
+	}
+	return ctxErr(eng.ctx)
+}
+
+// ctxErr wraps a context's error in this package's abort error. The
+// wrapped cause stays reachable through errors.Is (context.Canceled /
+// context.DeadlineExceeded), which is how servers distinguish "client
+// went away" from "budget elapsed".
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("estimator: estimation aborted: %w", err)
+	}
+	return nil
 }
 
 // subEngine is the serial engine replicate re-estimations run under (the
@@ -365,6 +395,9 @@ func jackknifeSinglePass(poly algebra.Polynomial, syn *Synopsis, eng *engine, co
 	metasByTerm := make([][]relTermMeta, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
 	err := parallel.ForErrRec(len(poly.Terms), outer, eng.rec, func(ti int) error {
+		if err := eng.cancelled(); err != nil {
+			return err
+		}
 		t := &poly.Terms[ti]
 		metas, err := termRelMetas(t, syn)
 		if err != nil {

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -132,19 +133,29 @@ func Count(e *algebra.Expr, syn *Synopsis) (Estimate, error) {
 // maximum number of occurrences in any polynomial term (it returns an error
 // below that).
 func CountWithOptions(e *algebra.Expr, syn *Synopsis, opts Options) (Estimate, error) {
+	return CountContext(context.Background(), e, syn, opts)
+}
+
+// CountContext is CountWithOptions with cancellation: the context is
+// polled between polynomial terms and between variance replicates, and a
+// cancelled call returns a non-nil error, never a partial estimate. With a
+// background (or never-cancelled) context the returned estimate is
+// bit-identical to CountWithOptions — the polling consumes no randomness
+// and reorders nothing.
+func CountContext(ctx context.Context, e *algebra.Expr, syn *Synopsis, opts Options) (Estimate, error) {
 	poly, err := algebra.Normalize(e)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return countPoly(poly, syn, opts)
+	return countPoly(ctx, poly, syn, opts)
 }
 
-func countPoly(poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, error) {
+func countPoly(ctx context.Context, poly algebra.Polynomial, syn *Synopsis, opts Options) (Estimate, error) {
 	opts = opts.withDefaults()
 	if err := checkSampleSizes(poly, syn); err != nil {
 		return Estimate{}, err
 	}
-	eng := newEngine(opts)
+	eng := newEngine(ctx, opts)
 	eng.span = eng.rec.Span(sEstimate)
 	defer eng.span.End()
 	recordSynopsis(eng.rec, poly, syn)
@@ -221,6 +232,9 @@ func pointEstimate(poly algebra.Polynomial, syn *Synopsis, eng *engine) (float64
 	vals := make([]float64, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
 	err := parallel.ForErrRec(len(poly.Terms), outer, eng.rec, func(i int) error {
+		if err := eng.cancelled(); err != nil {
+			return err
+		}
 		ts := eng.span.Child(sTerm)
 		v, err := estimateTerm(&poly.Terms[i], syn, eng, inner)
 		ts.End()

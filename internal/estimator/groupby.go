@@ -48,7 +48,7 @@ func GroupCount(e *algebra.Expr, col string, syn *Synopsis) ([]GroupEstimate, er
 	// Terms (or, for a single term, its plan partitions) fan out across
 	// workers; per-term group maps merge in term order so the counts are
 	// identical for every worker count.
-	eng := newEngine(Options{})
+	eng := newEngine(nil, Options{})
 	termAccs := make([]map[string]*GroupEstimate, len(poly.Terms))
 	outer, inner := splitWorkers(len(poly.Terms), eng.workers)
 	err = parallel.ForErr(len(poly.Terms), outer, func(i int) error {

@@ -40,14 +40,41 @@ type incRel struct {
 	reservoir *sampling.PairedReservoir[relation.Tuple]
 }
 
+// IncrementalOptions configures an incremental synopsis.
+type IncrementalOptions struct {
+	// Capacity is the maximum number of sampled tuples per relation
+	// (required, ≥ 1).
+	Capacity int
+	// RNG drives all sampling decisions. When nil, a deterministic
+	// generator seeded with Seed is used.
+	RNG *rand.Rand
+	// Seed seeds the sampling RNG when RNG is nil.
+	Seed int64
+}
+
 // NewIncremental creates an incremental synopsis holding up to capacity
 // sampled tuples per relation. The RNG drives all sampling decisions; use a
 // seeded generator for reproducible runs.
+//
+// Deprecated: use NewIncrementalWithOptions, which takes the RNG through
+// IncrementalOptions (RNG/Seed) like every other estimation entry point.
+// This wrapper forwards rng via opts.RNG and behaves identically.
 func NewIncremental(capacity int, rng *rand.Rand) *Incremental {
-	if capacity < 1 {
-		panic(fmt.Sprintf("estimator: incremental synopsis capacity %d < 1", capacity))
+	return NewIncrementalWithOptions(IncrementalOptions{Capacity: capacity, RNG: rng})
+}
+
+// NewIncrementalWithOptions creates an incremental synopsis from options.
+// It panics when Capacity < 1 (a programming error, like a negative slice
+// capacity).
+func NewIncrementalWithOptions(opts IncrementalOptions) *Incremental {
+	if opts.Capacity < 1 {
+		panic(fmt.Sprintf("estimator: incremental synopsis capacity %d < 1", opts.Capacity))
 	}
-	return &Incremental{capacity: capacity, rng: rng, rels: map[string]*incRel{}}
+	rng := opts.RNG
+	if rng == nil {
+		rng = sampling.Seeded(opts.Seed)
+	}
+	return &Incremental{capacity: opts.Capacity, rng: rng, rels: map[string]*incRel{}}
 }
 
 // Track registers a relation (by name and schema) for maintenance.

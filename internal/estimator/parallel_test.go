@@ -102,7 +102,7 @@ func TestWorkersDeterminismSum(t *testing.T) {
 // eligibility for the former.
 func jackknifeBothWays(t *testing.T, poly algebra.Polynomial, syn *Synopsis) (single, naive float64) {
 	t.Helper()
-	eng := newEngine(Options{Workers: 1})
+	eng := newEngine(nil, Options{Workers: 1})
 	ok, err := singlePassEligible(poly, syn, eng, countContrib)
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +211,7 @@ func TestSinglePassJackknifeSum(t *testing.T) {
 	if pos < 0 {
 		t.Fatal("no column b")
 	}
-	eng := newEngine(Options{Workers: 1})
+	eng := newEngine(nil, Options{Workers: 1})
 	single, err := jackknifeSinglePass(poly, syn, eng, sumContrib(pos))
 	if err != nil {
 		t.Fatal(err)
@@ -272,7 +272,7 @@ func TestSinglePassFoldedTerms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := newEngine(Options{Workers: 1})
+	eng := newEngine(nil, Options{Workers: 1})
 	ok, err := singlePassEligible(ppoly, syn2, eng, countContrib)
 	if err != nil {
 		t.Fatal(err)
@@ -335,7 +335,7 @@ func benchJackknifeSetup(b *testing.B) (algebra.Polynomial, *Synopsis) {
 
 func BenchmarkJackknifeSinglePass(b *testing.B) {
 	poly, syn := benchJackknifeSetup(b)
-	eng := newEngine(Options{Workers: 1})
+	eng := newEngine(nil, Options{Workers: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jackknifeSinglePass(poly, syn, eng, countContrib); err != nil {
@@ -346,7 +346,7 @@ func BenchmarkJackknifeSinglePass(b *testing.B) {
 
 func BenchmarkJackknifeNaive(b *testing.B) {
 	poly, syn := benchJackknifeSetup(b)
-	eng := newEngine(Options{Workers: 1})
+	eng := newEngine(nil, Options{Workers: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := jackknifeNaive(poly, syn, eng, func(sub *Synopsis, sube *engine) (float64, error) {

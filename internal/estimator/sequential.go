@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"relest/internal/algebra"
 	"relest/internal/obs"
+	"relest/internal/sampling"
 	"relest/internal/stats"
 )
 
@@ -32,6 +34,21 @@ type SequentialOptions struct {
 	MaxFraction float64
 	// Estimation options for both phases (variance method, groups...).
 	Estimate Options
+	// RNG drives the sample extensions. When nil, a deterministic
+	// generator seeded with Seed is used, so two runs with the same Seed
+	// and synopsis draw identical extensions.
+	RNG *rand.Rand
+	// Seed seeds the extension RNG when RNG is nil.
+	Seed int64
+}
+
+// rng resolves the extension generator: the explicit RNG when set,
+// otherwise a fresh deterministic generator from Seed.
+func (o SequentialOptions) rng() *rand.Rand {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return sampling.Seeded(o.Seed)
 }
 
 // SequentialResult reports both phases of a double-sampling run.
@@ -62,7 +79,23 @@ type SequentialResult struct {
 // multilinear estimators used here — so the target is met up to the
 // pilot-variance estimation noise; TargetMet reports the verdict from the
 // final sample itself.
+//
+// Deprecated: use SequentialCountContext, which takes the RNG through
+// SequentialOptions (RNG/Seed) so every estimation entry point shares the
+// (expr, synopsis, options) shape. This wrapper forwards rng via opts.RNG
+// and behaves identically.
 func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts SequentialOptions) (SequentialResult, error) {
+	opts.RNG = rng
+	return SequentialCountContext(context.Background(), e, syn, opts)
+}
+
+// SequentialCountContext runs double sampling under a context: the context
+// is polled before each phase (and, through the underlying estimator,
+// between terms and replicates), and a cancelled run returns a non-nil
+// error, never a partial result. The sample extensions draw from opts.RNG
+// (or a generator seeded with opts.Seed when RNG is nil).
+func SequentialCountContext(ctx context.Context, e *algebra.Expr, syn *Synopsis, opts SequentialOptions) (SequentialResult, error) {
+	rng := opts.rng()
 	if opts.TargetRelErr <= 0 {
 		return SequentialResult{}, fmt.Errorf("estimator: sequential estimation requires TargetRelErr > 0")
 	}
@@ -87,6 +120,9 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 	rels := poly.RelationNames()
 
 	// Phase one: make sure every relation has at least the pilot size.
+	if err := ctxErr(ctx); err != nil {
+		return SequentialResult{}, err
+	}
 	for _, rel := range rels {
 		n, ok := syn.SampleSize(rel)
 		if !ok {
@@ -103,7 +139,7 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 			}
 		}
 	}
-	pilot, err := countPoly(poly, syn, opts.Estimate)
+	pilot, err := countPoly(ctx, poly, syn, opts.Estimate)
 	if err != nil {
 		return SequentialResult{}, err
 	}
@@ -112,6 +148,9 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 
 	// Phase two: grow the samples so that z·σ ≤ e·|J|. With σ² ∝ 1/φ when
 	// all sample sizes grow by φ: φ = (z·σ̂ / (e·|Ĵ|))².
+	if err := ctxErr(ctx); err != nil {
+		return SequentialResult{}, err
+	}
 	z := stats.NormalQuantile(1 - (1-opts.Confidence)/2)
 	recordSeqPhase(rec, "pilot", z, pilot, rels, syn)
 	//lint:ignore floateq division guard: a relative-error target is meaningless against an exactly-zero pilot estimate
@@ -131,7 +170,7 @@ func SequentialCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Sequen
 			}
 		}
 	}
-	final, err := countPoly(poly, syn, opts.Estimate)
+	final, err := countPoly(ctx, poly, syn, opts.Estimate)
 	if err != nil {
 		return SequentialResult{}, err
 	}
@@ -196,6 +235,19 @@ type DeadlineOptions struct {
 	Growth float64
 	// Estimate configures each round's estimation.
 	Estimate Options
+	// RNG drives the sample extensions. When nil, a deterministic
+	// generator seeded with Seed is used.
+	RNG *rand.Rand
+	// Seed seeds the extension RNG when RNG is nil.
+	Seed int64
+}
+
+// rng resolves the extension generator (see SequentialOptions.rng).
+func (o DeadlineOptions) rng() *rand.Rand {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return sampling.Seeded(o.Seed)
 }
 
 // DeadlineStep records one estimation round.
@@ -209,7 +261,27 @@ type DeadlineStep struct {
 // until the budget expires, returning the final (most precise) estimate and
 // the per-round history. The answer available at the deadline is exactly
 // what the CASE-DB use case demands: the best estimate the time allowed.
+//
+// Deprecated: use DeadlineCountContext, which takes the RNG through
+// DeadlineOptions (RNG/Seed) so every estimation entry point shares the
+// (expr, synopsis, options) shape. This wrapper forwards rng via opts.RNG
+// and behaves identically.
 func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts DeadlineOptions) (Estimate, []DeadlineStep, error) {
+	opts.RNG = rng
+	return DeadlineCountContext(context.Background(), e, syn, opts)
+}
+
+// DeadlineCountContext is deadline-bounded estimation under a context.
+// Budget expiry is the normal way out — the round running at the deadline
+// completes and its estimate is returned with a nil error — but context
+// cancellation aborts: it is polled before every sampling round (and,
+// through the estimator, between terms), and a cancelled run returns a
+// non-nil error with no partial estimate. Callers serving a network
+// request therefore map the request's deadline to Budget (the answer the
+// time allows) and the request's cancellation to ctx (the caller is gone;
+// stop working).
+func DeadlineCountContext(ctx context.Context, e *algebra.Expr, syn *Synopsis, opts DeadlineOptions) (Estimate, []DeadlineStep, error) {
+	rng := opts.rng()
 	if opts.Budget <= 0 {
 		return Estimate{}, nil, fmt.Errorf("estimator: deadline estimation requires a positive budget")
 	}
@@ -232,6 +304,9 @@ func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Deadline
 	target := opts.InitialSize
 	maxN := 0
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return Estimate{}, nil, err
+		}
 		rspan := rec.Span(sDeadlineRound)
 		exhausted := true
 		for _, rel := range rels {
@@ -256,7 +331,7 @@ func DeadlineCount(e *algebra.Expr, syn *Synopsis, rng *rand.Rand, opts Deadline
 				exhausted = false
 			}
 		}
-		est, err := countPoly(poly, syn, opts.Estimate)
+		est, err := countPoly(ctx, poly, syn, opts.Estimate)
 		if err != nil {
 			return Estimate{}, nil, err
 		}

@@ -384,6 +384,28 @@ func Draw(rels []*relation.Relation, fraction float64, minSize int, rng *rand.Ra
 	return s, nil
 }
 
+// Clone returns an independently extendable copy of the synopsis: the two
+// share the (immutable) base relations and current sample relations, but
+// ExtendSample on one never changes what the other sees. Servers use this
+// to give each sequential/deadline request its own growable view of a
+// shared synopsis without re-drawing, so concurrent requests neither race
+// nor perturb each other's estimates.
+func (s *Synopsis) Clone() *Synopsis {
+	out := NewSynopsis()
+	for name, rs := range s.rels {
+		cp := *rs
+		// Extension appends to units and rewrites the cluster list in
+		// place; give the clone its own headers so those writes stay
+		// private. Inner cluster slices and the sample/base relations are
+		// never mutated, only replaced, so sharing them is safe.
+		cp.units = append([]int(nil), rs.units...)
+		cp.clusters = append([][]int(nil), rs.clusters...)
+		cp.strata = append([]stratumInfo(nil), rs.strata...)
+		out.rels[name] = &cp
+	}
+	return out
+}
+
 // ExtendSample enlarges the sample of the named relation by add more
 // sampling units (tuples under the tuple design, pages under the page
 // design), drawn SRSWOR from the unsampled remainder; the combined sample

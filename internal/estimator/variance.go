@@ -300,6 +300,9 @@ func splitSampleVarianceImpl(poly algebra.Polynomial, syn *Synopsis, opts Option
 	eng.rec.Add(mRepSplit, float64(g))
 	vals := make([]float64, g)
 	err := parallel.ForErrRec(g, eng.workers, eng.rec, func(i int) error {
+		if err := eng.cancelled(); err != nil {
+			return err
+		}
 		rs := eng.span.Child(sReplicate)
 		defer rs.End()
 		unitSel := map[string][]int{}
@@ -391,6 +394,9 @@ func jackknifeNaive(poly algebra.Polynomial, syn *Synopsis, eng *engine, estimat
 		eng.rec.Add(mRepJackknife, float64(m))
 		vals := make([]float64, m)
 		err := parallel.ForErrRec(m, eng.workers, eng.rec, func(u int) error {
+			if err := eng.cancelled(); err != nil {
+				return err
+			}
 			sub := syn.withoutUnit(del, u)
 			v, err := estimate(sub, subEngine(relCache, cacheIf))
 			vals[u] = v

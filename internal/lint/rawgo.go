@@ -5,29 +5,40 @@ import (
 	"strings"
 )
 
-// RawGo flags `go` statements everywhere except the internal/parallel
-// package. The estimation engine's determinism contract (bit-identical
-// estimates for every -workers setting) holds because all fan-out runs
-// through parallel.For/ForErr, whose callers write results into
-// index-addressed slots and reduce them in index order. Ad-hoc goroutines
-// bypass that contract.
+// RawGo flags `go` statements everywhere except an explicit allowlist of
+// packages. The estimation engine's determinism contract (bit-identical
+// estimates for every -workers setting) holds because all estimation
+// fan-out runs through parallel.For/ForErr, whose callers write results
+// into index-addressed slots and reduce them in index order. Ad-hoc
+// goroutines bypass that contract.
 var RawGo = &Analyzer{
 	Name: "rawgo",
 	Doc:  "concurrency must flow through the internal/parallel worker pool",
 	Run:  runRawGo,
 }
 
-// goAllowedPkg is the package suffix allowed to spawn goroutines.
-const goAllowedPkg = "internal/parallel"
+// goAllowedPkgs are the package suffixes allowed to spawn goroutines.
+//
+//   - internal/parallel: the deterministic worker pool every estimate
+//     reduction runs through.
+//   - internal/server: request-level concurrency (accept loop, bounded
+//     worker pool, per-request timeouts). Each request still computes its
+//     estimate through the parallel pool, so serving concurrency never
+//     touches the reduction order; keeping all goroutine spawning inside
+//     this package is what lets cmd/relestd and the examples stay free of
+//     raw `go` statements.
+var goAllowedPkgs = []string{"internal/parallel", "internal/server"}
 
 func runRawGo(p *Pass) {
-	if strings.HasSuffix(p.Pkg.Path, goAllowedPkg) {
-		return
+	for _, allowed := range goAllowedPkgs {
+		if strings.HasSuffix(p.Pkg.Path, allowed) {
+			return
+		}
 	}
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				p.Reportf(g.Pos(), "go statement outside %s; use parallel.For/ForErr so results reduce in index order and estimates stay bit-identical across worker counts", goAllowedPkg)
+				p.Reportf(g.Pos(), "go statement outside %s; use parallel.For/ForErr so results reduce in index order and estimates stay bit-identical across worker counts", strings.Join(goAllowedPkgs, ", "))
 			}
 			return true
 		})

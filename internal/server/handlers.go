@@ -1,0 +1,481 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"relest/internal/algebra"
+	"relest/internal/estimator"
+	"relest/internal/query"
+	"relest/internal/relation"
+	"relest/internal/sampling"
+	"relest/internal/workload"
+)
+
+// statusClientClosedRequest is the nginx-convention status for "client
+// cancelled the request"; the client is usually gone, but the code keeps
+// access logs and metrics honest.
+const statusClientClosedRequest = 499
+
+// maxBodyBytes caps request bodies (CSV uploads included).
+const maxBodyBytes = 64 << 20
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/relations/{name}", s.handleUploadRelation)
+	mux.HandleFunc("GET /v1/relations", s.handleListRelations)
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("POST /v1/synopses/{name}", s.handleCreateSynopsis)
+	mux.HandleFunc("GET /v1/synopses", s.handleListSynopses)
+	mux.HandleFunc("POST /v1/synopses/{name}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// handleUploadRelation registers the CSV request body as a relation.
+func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rel, err := relation.ImportCSV(name, http.MaxBytesReader(w, r.Body, maxBodyBytes), nil)
+	if err != nil {
+		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("importing CSV: %v", err))
+		return
+	}
+	if err := s.reg.addRelation(rel); err != nil {
+		_ = writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	_ = writeJSON(w, http.StatusCreated, RelationInfo{Name: name, Rows: rel.Len(), Schema: rel.Schema().String()})
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	_ = writeJSON(w, http.StatusOK, s.reg.relations())
+}
+
+// handleGenerate synthesizes a deterministic dataset (cmd/relgen's
+// kinds) and registers the produced relations.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.N <= 0 {
+		req.N = 10_000
+	}
+	if req.Domain <= 0 {
+		req.Domain = 1000
+	}
+	//lint:ignore floateq an exactly-absent JSON field decodes to exactly 0, the default sentinel
+	if req.Z1 == 0 {
+		req.Z1 = 0.5
+	}
+	//lint:ignore floateq an exactly-absent JSON field decodes to exactly 0, the default sentinel
+	if req.Z2 == 0 {
+		req.Z2 = 1.0
+	}
+	if req.Regions <= 0 {
+		req.Regions = 10
+	}
+	if req.Departments <= 0 {
+		req.Departments = 25
+	}
+	rng := sampling.NewSource(req.Seed).Rand(0)
+	var outputs []*relation.Relation
+	switch req.Kind {
+	case "zipf-pair":
+		var corr workload.Correlation
+		switch req.Correlation {
+		case "positive":
+			corr = workload.Positive
+		case "", "independent":
+			corr = workload.Independent
+		case "negative":
+			corr = workload.Negative
+		default:
+			_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown correlation %q", req.Correlation))
+			return
+		}
+		r1, r2 := workload.JoinPair(rng, workload.JoinPairSpec{
+			Z1: req.Z1, Z2: req.Z2, Domain: req.Domain, N1: req.N, N2: req.N,
+			Correlation: corr, Smooth: req.Smooth,
+		})
+		outputs = []*relation.Relation{r1, r2}
+	case "clustered":
+		r1, r2 := workload.ClusteredPair(rng, workload.ClusterSpec{
+			Regions: req.Regions, Domain: req.Domain, N1: req.N, N2: req.N,
+		})
+		outputs = []*relation.Relation{r1, r2}
+	case "company":
+		emp, dept := workload.Company(rng, req.N, req.Departments)
+		outputs = []*relation.Relation{emp, dept}
+	default:
+		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want zipf-pair, clustered or company)", req.Kind))
+		return
+	}
+	infos := make([]RelationInfo, 0, len(outputs))
+	for _, rel := range outputs {
+		if err := s.reg.addRelation(rel); err != nil {
+			_ = writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		infos = append(infos, RelationInfo{Name: rel.Name(), Rows: rel.Len(), Schema: rel.Schema().String()})
+	}
+	_ = writeJSON(w, http.StatusCreated, infos)
+}
+
+func (s *Server) handleCreateSynopsis(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req SynopsisRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.reg.addSynopsis(name, req); err != nil {
+		_ = writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, _ := s.reg.synopsis(name)
+	_ = writeJSON(w, http.StatusCreated, entry.info(name))
+}
+
+func (s *Server) handleListSynopses(w http.ResponseWriter, r *http.Request) {
+	_ = writeJSON(w, http.StatusOK, s.reg.synopses())
+}
+
+// handleStream applies one insert/delete event to an incremental
+// synopsis.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, ok := s.reg.synopsis(name)
+	if !ok {
+		_ = writeError(w, http.StatusNotFound, fmt.Sprintf("no synopsis %q", name))
+		return
+	}
+	var req StreamRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := entry.apply(s.reg, req); err != nil {
+		_ = writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	_ = writeJSON(w, http.StatusOK, entry.info(name))
+}
+
+// handleEstimate admits the request into the bounded queue, waits for a
+// worker to run it, and writes the outcome. The ResponseWriter never
+// leaves this goroutine.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		s.col.Add(reqMetric(http.StatusBadRequest), 1)
+		return
+	}
+	if req.Mode == "" {
+		req.Mode = "plain"
+	}
+	// Label values must stay a closed set: the mode is client input, and
+	// an arbitrary string here would let clients mint unbounded metric
+	// series. Unknown modes are rejected later with a 400; their latency
+	// is recorded under one shared label.
+	mode := req.Mode
+	switch mode {
+	case "plain", "sequential", "deadline":
+	default:
+		mode = "invalid"
+	}
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	t := &task{
+		ctx:  ctx,
+		do:   func(ctx context.Context) (int, any) { return s.doEstimate(ctx, req) },
+		done: make(chan struct{}),
+	}
+	if ok, status, msg := s.admit(t); !ok {
+		s.col.Add(reqMetric(status), 1)
+		_ = writeError(w, status, msg)
+		return
+	}
+	<-t.done
+
+	if t.status == http.StatusGatewayTimeout || t.status == statusClientClosedRequest {
+		s.col.Add(mCancelled, 1)
+	}
+	s.col.Add(reqMetric(t.status), 1)
+	s.col.Observe(latencyMetric(mode), time.Since(start).Seconds())
+	_ = writeJSON(w, t.status, t.body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.col.Metrics().WritePrometheus(w); err != nil {
+		// Too late for a status change; the broken pipe speaks for itself.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_ = writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+// decodeBody parses a JSON request body into v, answering 400 on
+// malformed input. Unknown fields are rejected so typos fail loudly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// synopsisSchemas adapts a Synopsis into a query.SchemaProvider: queries
+// bind against the sample relations' schemas, which match the bases'.
+type synopsisSchemas struct{ syn *estimator.Synopsis }
+
+func (p synopsisSchemas) Schema(name string) (*relation.Schema, bool) {
+	r, ok := p.syn.Relation(name)
+	if !ok {
+		return nil, false
+	}
+	return r.Schema(), true
+}
+
+// doEstimate runs one estimation request on a worker goroutine and
+// returns the HTTP status and response body. Everything here is
+// deterministic for a pinned seed: the response is byte-identical to
+// what the library produces directly.
+func (s *Server) doEstimate(ctx context.Context, req EstimateRequest) (int, any) {
+	if req.Query == "" {
+		return http.StatusBadRequest, ErrorResponse{Error: "no query given"}
+	}
+	if req.Synopsis == "" {
+		return http.StatusBadRequest, ErrorResponse{Error: "no synopsis given"}
+	}
+	entry, ok := s.reg.synopsis(req.Synopsis)
+	if !ok {
+		return http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no synopsis %q", req.Synopsis)}
+	}
+	switch req.Mode {
+	case "plain", "sequential", "deadline":
+	default:
+		return http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown mode %q (want plain, sequential or deadline)", req.Mode)}
+	}
+	syn, err := entry.estimationSynopsis(req.Mode)
+	if err != nil {
+		return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
+	}
+	st, err := query.Parse(req.Query, synopsisSchemas{syn})
+	if err != nil {
+		return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
+	}
+	if st.IsDistinct() || st.Agg == "group" {
+		return http.StatusBadRequest, ErrorResponse{Error: "the estimation service supports count, sum and avg queries"}
+	}
+	variance, err := parseVariance(req.Variance)
+	if err != nil {
+		return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.EstimatorWorkers
+	}
+	opts := estimator.Options{
+		Variance:   variance,
+		Confidence: req.Confidence,
+		Seed:       req.Seed,
+		Workers:    workers,
+		Recorder:   s.col,
+	}
+
+	resp := EstimateResponse{Query: req.Query, Synopsis: req.Synopsis, Mode: req.Mode}
+	switch req.Mode {
+	case "plain":
+		est, err := s.plainEstimate(ctx, st, syn, opts)
+		if err != nil {
+			return estimateErrorStatus(err), ErrorResponse{Error: err.Error()}
+		}
+		resp.Estimate = est
+		resp.SamplesConsumed, err = consumedSamples(st.Expr, syn)
+		if err != nil {
+			return http.StatusInternalServerError, ErrorResponse{Error: err.Error()}
+		}
+	case "sequential":
+		if st.Agg != "count" {
+			return http.StatusBadRequest, ErrorResponse{Error: "sequential mode supports count queries only"}
+		}
+		sopts := estimator.SequentialOptions{
+			TargetRelErr: req.TargetRelErr,
+			Confidence:   req.Confidence,
+			Estimate:     opts,
+			Seed:         req.Seed,
+		}
+		if sopts.TargetRelErr <= 0 {
+			sopts.TargetRelErr = 0.05
+		}
+		res, err := estimator.SequentialCountContext(ctx, st.Expr, syn, sopts)
+		if err != nil {
+			return estimateErrorStatus(err), ErrorResponse{Error: err.Error()}
+		}
+		pilot := toResult(res.Pilot)
+		met := res.TargetMet
+		resp.Estimate = toResult(res.Final)
+		resp.Pilot = &pilot
+		resp.TargetMet = &met
+		resp.SamplesConsumed = res.SampleSizes
+	case "deadline":
+		if st.Agg != "count" {
+			return http.StatusBadRequest, ErrorResponse{Error: "deadline mode supports count queries only"}
+		}
+		budget := time.Duration(req.BudgetMS) * time.Millisecond
+		remaining := time.Duration(0)
+		if dl, ok := ctx.Deadline(); ok {
+			remaining = time.Until(dl)
+		}
+		if budget <= 0 {
+			// No explicit budget: spend 90% of the request's remaining
+			// wall clock sampling and keep the rest for the response.
+			budget = remaining * 9 / 10
+		} else if remaining > 0 && budget > remaining {
+			budget = remaining * 9 / 10
+		}
+		if budget <= 0 {
+			return http.StatusBadRequest, ErrorResponse{Error: "deadline mode needs budget_ms or a request deadline"}
+		}
+		dopts := estimator.DeadlineOptions{Budget: budget, Estimate: opts, Seed: req.Seed}
+		est, steps, err := estimator.DeadlineCountContext(ctx, st.Expr, syn, dopts)
+		if err != nil {
+			return estimateErrorStatus(err), ErrorResponse{Error: err.Error()}
+		}
+		resp.Estimate = toResult(est)
+		resp.Rounds = len(steps)
+		if len(steps) > 0 {
+			resp.SamplesConsumed = steps[len(steps)-1].SampleSizes
+		}
+	}
+	return http.StatusOK, resp
+}
+
+// plainEstimate dispatches count/sum/avg with cancellation.
+func (s *Server) plainEstimate(ctx context.Context, st *query.Statement, syn *estimator.Synopsis, opts estimator.Options) (EstimateResult, error) {
+	switch st.Agg {
+	case "count":
+		est, err := estimator.CountContext(ctx, st.Expr, syn, opts)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		return toResult(est), nil
+	case "sum":
+		est, err := estimator.SumContext(ctx, st.Expr, st.AggCol, syn, opts)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		return toResult(est), nil
+	case "avg":
+		res, err := estimator.AvgContext(ctx, st.Expr, st.AggCol, syn, opts)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		// AVG is a ratio of two estimates; it has no CI of its own, so
+		// only the point value and the underlying term count are set.
+		return EstimateResult{
+			Value:          res.Avg,
+			VarianceMethod: estimator.VarNone.String(),
+			Terms:          res.Count.Terms,
+		}, nil
+	default:
+		return EstimateResult{}, fmt.Errorf("unsupported aggregate %q", st.Agg)
+	}
+}
+
+// toResult converts a library estimate to the wire shape (NaN variance
+// becomes an absent field).
+func toResult(est estimator.Estimate) EstimateResult {
+	out := EstimateResult{
+		Value:          est.Value,
+		StdErr:         est.StdErr,
+		Lo:             est.Lo,
+		Hi:             est.Hi,
+		Confidence:     est.Confidence,
+		VarianceMethod: est.VarianceMethod.String(),
+		Terms:          est.Terms,
+	}
+	if !isNaN(est.Variance) {
+		v := est.Variance
+		out.Variance = &v
+	}
+	return out
+}
+
+// isNaN is math.IsNaN without the import weight; NaN is the only value
+// that differs from itself.
+func isNaN(v float64) bool {
+	//lint:ignore floateq NaN self-comparison is the definition, not a tolerance bug
+	return v != v
+}
+
+// consumedSamples reports the per-relation sample sizes a plain estimate
+// read, derived from the normalized polynomial's relation set.
+func consumedSamples(e *algebra.Expr, syn *estimator.Synopsis) (map[string]int, error) {
+	poly, err := algebra.Normalize(e)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int{}
+	for _, name := range poly.RelationNames() {
+		n, ok := syn.SampleSize(name)
+		if !ok {
+			return nil, fmt.Errorf("relation %q missing from synopsis", name)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// estimateErrorStatus maps estimation failures to HTTP statuses:
+// request-deadline expiry is 504, client cancellation 499, anything
+// else (binding, sample-size, schema errors) 422.
+func estimateErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// parseVariance maps the wire name to the library method.
+func parseVariance(name string) (estimator.VarianceMethod, error) {
+	switch name {
+	case "", "auto":
+		return estimator.VarAuto, nil
+	case "none":
+		return estimator.VarNone, nil
+	case "analytic":
+		return estimator.VarAnalytic, nil
+	case "split-sample":
+		return estimator.VarSplitSample, nil
+	case "jackknife":
+		return estimator.VarJackknife, nil
+	default:
+		return 0, fmt.Errorf("unknown variance method %q", name)
+	}
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"strconv"
+
+	"relest/internal/obs"
+)
+
+// Metric names for the daemon itself, alongside the estimator's relest_*
+// families in the shared collector. Label values go through obs.L at the
+// call site.
+const (
+	// mRequests counts finished estimation requests, labelled by HTTP
+	// status code.
+	mRequests = "relestd_requests_total"
+	// mQueueDepth gauges the number of estimation tasks waiting or
+	// running.
+	mQueueDepth = "relestd_queue_depth"
+	// mShed counts requests rejected with 429 because the queue was full.
+	mShed = "relestd_shed_total"
+	// mCancelled counts estimation requests aborted by context
+	// cancellation or expiry (client gone or request timeout).
+	mCancelled = "relestd_cancelled_total"
+	// mPanics counts estimation tasks that panicked and were isolated.
+	mPanics = "relestd_panics_total"
+	// mLatency is the request latency histogram in seconds, labelled by
+	// estimation mode.
+	mLatency = "relestd_request_seconds"
+)
+
+// reqMetric labels the request counter with the HTTP status code.
+func reqMetric(status int) string {
+	return obs.L(mRequests, "code", strconv.Itoa(status))
+}
+
+// latencyMetric labels the latency histogram with the estimation mode.
+func latencyMetric(mode string) string {
+	return obs.L(mLatency, "mode", mode)
+}

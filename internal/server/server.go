@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relest/internal/obs"
+)
+
+// Config configures the daemon.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0"; port 0 picks a
+	// free port, reported by Addr after Start).
+	Addr string
+	// Concurrency is the number of estimation workers — the bound on
+	// in-flight estimates (default GOMAXPROCS). Each estimate may itself
+	// parallelize internally through the estimator's worker pool.
+	Concurrency int
+	// QueueDepth bounds the number of admitted-but-not-finished
+	// estimation requests beyond the workers; requests arriving past the
+	// bound are shed with 429 (default 64).
+	QueueDepth int
+	// RequestTimeout caps each estimation request's wall-clock time and
+	// is the ceiling for per-request timeout_ms values (default 30s).
+	RequestTimeout time.Duration
+	// EstimatorWorkers is the per-estimate parallelism used when a
+	// request does not set workers (0 = library default). Estimates are
+	// bit-identical for every setting.
+	EstimatorWorkers int
+	// Collector receives both the daemon's metrics and the estimator's;
+	// a fresh one is created when nil. /metrics serves its contents.
+	Collector *obs.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the relestd daemon. Create with New, run with Start, stop
+// with Shutdown. All goroutines the daemon needs are spawned inside this
+// package (the lint allowlist covers it), so callers — cmd/relestd, the
+// examples — never write a `go` statement.
+type Server struct {
+	cfg Config
+	reg *registry
+	col *obs.Collector
+
+	httpSrv  *http.Server
+	listener net.Listener
+
+	// tasks is the bounded admission queue: handlers enqueue with a
+	// non-blocking send (full queue → 429), workers drain it.
+	tasks    chan *task
+	depth    atomic.Int64 // admitted-but-not-finished tasks, gauged as mQueueDepth
+	tasksWG  sync.WaitGroup
+	workerWG sync.WaitGroup
+	serveWG  sync.WaitGroup
+	stop     chan struct{}
+	draining atomic.Bool
+
+	serveErrMu sync.Mutex
+	serveErr   error
+}
+
+// task is one admitted estimation request. The worker runs do and stores
+// the outcome; the handler goroutine (blocked on done) writes the HTTP
+// response, so the ResponseWriter is only ever touched from the handler.
+type task struct {
+	ctx      context.Context
+	do       func(ctx context.Context) (int, any)
+	status   int
+	body     any
+	panicked bool
+	done     chan struct{}
+}
+
+// New creates a daemon with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	col := cfg.Collector
+	if col == nil {
+		col = obs.NewCollector()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   newRegistry(),
+		col:   col,
+		tasks: make(chan *task, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	s.httpSrv = &http.Server{Handler: s.routes()}
+	return s
+}
+
+// Start binds the listener (synchronously, so Addr is valid on return)
+// and spawns the serve loop and the estimation workers.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	for i := 0; i < s.cfg.Concurrency; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErrMu.Lock()
+			s.serveErr = err
+			s.serveErrMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (host:port), valid after Start.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Collector returns the server's metrics collector.
+func (s *Server) Collector() *obs.Collector { return s.col }
+
+// Handler returns the daemon's HTTP handler, for tests that want to
+// drive it through httptest without a real listener. Workers must still
+// be running (Start) for estimation requests to complete.
+func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// Shutdown drains the daemon: new estimation requests are refused with
+// 503, the HTTP server stops accepting and waits for in-flight handlers
+// (each of which waits for its queued estimate), then the workers exit.
+// The queue is fully drained before Shutdown returns — admitted requests
+// always get their answer.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	if err != nil {
+		// The context expired before the handlers finished: force the
+		// connections closed. In-flight estimates see their request
+		// contexts cancel and abort between sampling rounds.
+		_ = s.httpSrv.Close()
+	}
+	s.tasksWG.Wait()
+	close(s.stop)
+	s.workerWG.Wait()
+	s.serveWG.Wait()
+	s.serveErrMu.Lock()
+	defer s.serveErrMu.Unlock()
+	if err == nil {
+		err = s.serveErr
+	}
+	return err
+}
+
+// admit enqueues an estimation task unless the daemon is draining or the
+// queue is full. It reports the admission verdict; on success the caller
+// must wait on t.done.
+func (s *Server) admit(t *task) (ok bool, status int, msg string) {
+	if s.draining.Load() {
+		return false, http.StatusServiceUnavailable, "server is draining"
+	}
+	s.tasksWG.Add(1)
+	select {
+	case s.tasks <- t:
+		s.col.Set(mQueueDepth, float64(s.depth.Add(1)))
+		return true, 0, ""
+	default:
+		s.tasksWG.Done()
+		s.col.Add(mShed, 1)
+		return false, http.StatusTooManyRequests, "estimation queue full, retry later"
+	}
+}
+
+// worker drains the admission queue until the daemon stops. Stop is only
+// closed after every admitted task has finished (Shutdown waits on
+// tasksWG first), so no task is ever abandoned.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case t := <-s.tasks:
+			s.runTask(t)
+		case <-s.stop:
+			for {
+				select {
+				case t := <-s.tasks:
+					s.runTask(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runTask executes one estimation task with panic isolation: a panicking
+// estimate is recorded and answered with 500 instead of taking the
+// daemon down.
+func (s *Server) runTask(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.col.Add(mPanics, 1)
+			t.panicked = true
+			t.status = http.StatusInternalServerError
+			t.body = ErrorResponse{Error: fmt.Sprintf("estimation panicked: %v", r)}
+		}
+		s.col.Set(mQueueDepth, float64(s.depth.Add(-1)))
+		s.tasksWG.Done()
+		close(t.done)
+	}()
+	t.status, t.body = t.do(t.ctx)
+}

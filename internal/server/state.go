@@ -1,0 +1,248 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"relest/internal/algebra"
+	"relest/internal/estimator"
+	"relest/internal/relation"
+	"relest/internal/sampling"
+)
+
+// registry is the daemon's mutable state: registered base relations and
+// named synopses. A coarse RWMutex guards the maps; per-synopsis locks
+// serialize stream updates and snapshotting so estimation never observes
+// a half-applied event.
+type registry struct {
+	mu   sync.RWMutex
+	cat  algebra.MapCatalog
+	syns map[string]*synopsisEntry
+}
+
+// synopsisEntry is one named synopsis. Exactly one of static/inc is set.
+type synopsisEntry struct {
+	mu   sync.Mutex
+	kind string
+	// static is a drawn synopsis shared by plain estimates (read-only
+	// concurrent access) and cloned per sequential/deadline request so
+	// sample extensions stay private.
+	static *estimator.Synopsis
+	// inc is an incrementally-maintained synopsis; estimates run over
+	// Snapshot() taken under mu.
+	inc *estimator.Incremental
+}
+
+func newRegistry() *registry {
+	return &registry{cat: algebra.MapCatalog{}, syns: map[string]*synopsisEntry{}}
+}
+
+// addRelation registers r under its name; duplicate names are an error.
+func (reg *registry) addRelation(r *relation.Relation) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.cat[r.Name()]; dup {
+		return fmt.Errorf("relation %q already registered", r.Name())
+	}
+	reg.cat[r.Name()] = r
+	return nil
+}
+
+// relations lists registered relations in sorted-name order.
+func (reg *registry) relations() []RelationInfo {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]RelationInfo, 0, len(reg.cat))
+	for _, r := range reg.cat {
+		out = append(out, RelationInfo{Name: r.Name(), Rows: r.Len(), Schema: r.Schema().String()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// addSynopsis creates the named synopsis from the request spec. Static
+// draws iterate the spec's relations in sorted-name order so the seed
+// pins the synopsis exactly (sampling consumes a shared stream).
+func (reg *registry) addSynopsis(name string, req SynopsisRequest) error {
+	if len(req.Relations) == 0 {
+		return fmt.Errorf("synopsis %q: no relations given", name)
+	}
+	names := make([]string, 0, len(req.Relations))
+	for rel := range req.Relations {
+		names = append(names, rel)
+	}
+	sort.Strings(names)
+
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.syns[name]; dup {
+		return fmt.Errorf("synopsis %q already exists", name)
+	}
+	entry := &synopsisEntry{kind: req.Kind}
+	switch req.Kind {
+	case "", "static":
+		entry.kind = "static"
+		rng := sampling.NewSource(req.Seed).Rand(0)
+		syn := estimator.NewSynopsis()
+		for _, rel := range names {
+			r, ok := reg.cat[rel]
+			if !ok {
+				return fmt.Errorf("synopsis %q: relation %q not registered", name, rel)
+			}
+			n := req.Relations[rel]
+			if n < 1 {
+				return fmt.Errorf("synopsis %q: sample size %d for %q (want ≥ 1)", name, n, rel)
+			}
+			if n > r.Len() {
+				n = r.Len()
+			}
+			if err := syn.AddDrawn(r, n, rng); err != nil {
+				return fmt.Errorf("synopsis %q: %v", name, err)
+			}
+		}
+		entry.static = syn
+	case "incremental":
+		capacity := req.Capacity
+		if capacity <= 0 {
+			capacity = 1000
+		}
+		inc := estimator.NewIncrementalWithOptions(estimator.IncrementalOptions{
+			Capacity: capacity, Seed: req.Seed,
+		})
+		for _, rel := range names {
+			r, ok := reg.cat[rel]
+			if !ok {
+				return fmt.Errorf("synopsis %q: relation %q not registered", name, rel)
+			}
+			if err := inc.Track(rel, r.Schema()); err != nil {
+				return fmt.Errorf("synopsis %q: %v", name, err)
+			}
+		}
+		entry.inc = inc
+	default:
+		return fmt.Errorf("synopsis %q: unknown kind %q (want static or incremental)", name, req.Kind)
+	}
+	reg.syns[name] = entry
+	return nil
+}
+
+// synopsis returns the named entry.
+func (reg *registry) synopsis(name string) (*synopsisEntry, bool) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	e, ok := reg.syns[name]
+	return e, ok
+}
+
+// synopses lists synopsis infos in sorted-name order.
+func (reg *registry) synopses() []SynopsisInfo {
+	reg.mu.RLock()
+	names := make([]string, 0, len(reg.syns))
+	for name := range reg.syns {
+		names = append(names, name)
+	}
+	reg.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]SynopsisInfo, 0, len(names))
+	for _, name := range names {
+		e, ok := reg.synopsis(name)
+		if !ok {
+			continue
+		}
+		out = append(out, e.info(name))
+	}
+	return out
+}
+
+// info snapshots the entry's current per-relation sample sizes.
+func (e *synopsisEntry) info(name string) SynopsisInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sizes := map[string]int{}
+	switch {
+	case e.static != nil:
+		for _, rel := range e.static.Names() {
+			n, _ := e.static.SampleSize(rel)
+			sizes[rel] = n
+		}
+	case e.inc != nil:
+		for _, rel := range e.incNames() {
+			n, _ := e.inc.SampleSize(rel)
+			sizes[rel] = n
+		}
+	}
+	return SynopsisInfo{Name: name, Kind: e.kind, Relations: sizes}
+}
+
+// incNames lists the incremental synopsis's tracked relations via a
+// snapshot (Incremental does not expose its name set directly).
+func (e *synopsisEntry) incNames() []string {
+	syn, err := e.inc.Snapshot()
+	if err != nil {
+		return nil
+	}
+	return syn.Names()
+}
+
+// apply feeds one stream event to an incremental synopsis.
+func (e *synopsisEntry) apply(reg *registry, req StreamRequest) error {
+	if e.inc == nil {
+		return fmt.Errorf("synopsis is %s; stream updates need kind incremental", e.kind)
+	}
+	reg.mu.RLock()
+	r, ok := reg.cat[req.Relation]
+	reg.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("relation %q not registered", req.Relation)
+	}
+	schema := r.Schema()
+	if len(req.Tuple) != schema.Len() {
+		return fmt.Errorf("tuple arity %d != schema arity %d for %q", len(req.Tuple), schema.Len(), req.Relation)
+	}
+	tup := make(relation.Tuple, schema.Len())
+	for i, s := range req.Tuple {
+		if s == "" {
+			tup[i] = relation.Null()
+			continue
+		}
+		v, err := relation.ParseValue(s, schema.Column(i).Kind)
+		if err != nil {
+			return fmt.Errorf("tuple column %d: %v", i, err)
+		}
+		tup[i] = v
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch req.Op {
+	case "insert":
+		return e.inc.Insert(req.Relation, tup)
+	case "delete":
+		return e.inc.Delete(req.Relation, tup)
+	default:
+		return fmt.Errorf("unknown op %q (want insert or delete)", req.Op)
+	}
+}
+
+// estimationSynopsis resolves the synopsis an estimate should run over.
+// Static plain estimates share the stored synopsis (estimation is
+// read-only); sequential and deadline modes get a private clone because
+// they extend samples in place. Incremental synopses are snapshotted
+// under the entry lock and support plain mode only: a snapshot holds
+// samples without base relations, so it cannot be extended.
+func (e *synopsisEntry) estimationSynopsis(mode string) (*estimator.Synopsis, error) {
+	if e.inc != nil {
+		if mode != "plain" {
+			return nil, fmt.Errorf("mode %q needs a static synopsis (incremental snapshots cannot extend their samples)", mode)
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.inc.Snapshot()
+	}
+	if mode == "plain" {
+		return e.static, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.static.Clone(), nil
+}

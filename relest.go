@@ -36,6 +36,7 @@
 package relest
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -212,6 +213,8 @@ type (
 	DeadlineOptions = estimator.DeadlineOptions
 	// DeadlineStep is one round of a deadline run.
 	DeadlineStep = estimator.DeadlineStep
+	// IncrementalOptions configures an incremental synopsis.
+	IncrementalOptions = estimator.IncrementalOptions
 	// Incremental maintains samples over insert/delete streams.
 	Incremental = estimator.Incremental
 	// FreqOfFreq is the sample summary distinct estimators consume.
@@ -278,6 +281,15 @@ func CountWithOptions(e *Expr, syn *Synopsis, opts Options) (Estimate, error) {
 	return estimator.CountWithOptions(e, syn, opts)
 }
 
+// CountContext estimates COUNT(e) under a context. Cancellation is polled
+// between polynomial terms and between variance replicates; a cancelled
+// call returns a non-nil error and never a partial estimate. With a
+// never-cancelled context the estimate is bit-identical to
+// CountWithOptions.
+func CountContext(ctx context.Context, e *Expr, syn *Synopsis, opts Options) (Estimate, error) {
+	return estimator.CountContext(ctx, e, syn, opts)
+}
+
 // Sum estimates SUM(col) over the result of the π-free expression e with
 // default options (the TODS 1991 aggregate extension).
 func Sum(e *Expr, col string, syn *Synopsis) (Estimate, error) {
@@ -287,6 +299,12 @@ func Sum(e *Expr, col string, syn *Synopsis) (Estimate, error) {
 // SumWithOptions estimates SUM(col) with explicit options.
 func SumWithOptions(e *Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
 	return estimator.SumWithOptions(e, col, syn, opts)
+}
+
+// SumContext estimates SUM(col) under a context, with the cancellation
+// contract of CountContext.
+func SumContext(ctx context.Context, e *Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
+	return estimator.SumContext(ctx, e, col, syn, opts)
 }
 
 // AvgResult is the ratio estimate AVG = SUM/COUNT with its components.
@@ -315,20 +333,58 @@ func Distinct(syn *Synopsis, relName string, cols []string, method DistinctMetho
 }
 
 // SequentialCount runs double sampling toward a target relative error.
+//
+// Deprecated: use SequentialCountContext; the RNG now travels in
+// SequentialOptions (RNG, or Seed when RNG is nil), giving every
+// estimation entry point the same (expr, synopsis, options) shape. This
+// wrapper forwards rng through opts.RNG unchanged.
 func SequentialCount(e *Expr, syn *Synopsis, rng *rand.Rand, opts SequentialOptions) (SequentialResult, error) {
 	return estimator.SequentialCount(e, syn, rng, opts)
 }
 
+// SequentialCountContext runs double sampling toward a target relative
+// error under a context: cancellation is polled before each phase and a
+// cancelled run returns a non-nil error, never a partial result. Sample
+// extensions draw from opts.RNG, or a generator seeded with opts.Seed
+// when RNG is nil.
+func SequentialCountContext(ctx context.Context, e *Expr, syn *Synopsis, opts SequentialOptions) (SequentialResult, error) {
+	return estimator.SequentialCountContext(ctx, e, syn, opts)
+}
+
 // DeadlineCount grows samples until the time budget expires and returns
 // the estimate available at the deadline.
+//
+// Deprecated: use DeadlineCountContext; the RNG now travels in
+// DeadlineOptions (RNG, or Seed when RNG is nil). This wrapper forwards
+// rng through opts.RNG unchanged.
 func DeadlineCount(e *Expr, syn *Synopsis, rng *rand.Rand, opts DeadlineOptions) (Estimate, []DeadlineStep, error) {
 	return estimator.DeadlineCount(e, syn, rng, opts)
 }
 
+// DeadlineCountContext grows samples until the time budget expires and
+// returns the estimate available at the deadline. Budget expiry is the
+// normal path (the running round completes and its estimate is returned);
+// context cancellation aborts between sampling rounds with a non-nil
+// error and no partial estimate. Servers map a request's deadline to
+// opts.Budget and its cancellation to ctx.
+func DeadlineCountContext(ctx context.Context, e *Expr, syn *Synopsis, opts DeadlineOptions) (Estimate, []DeadlineStep, error) {
+	return estimator.DeadlineCountContext(ctx, e, syn, opts)
+}
+
 // NewIncremental creates an incrementally maintained synopsis with the
 // given per-relation sample capacity.
+//
+// Deprecated: use NewIncrementalWithOptions, which takes the RNG through
+// IncrementalOptions (RNG/Seed). This wrapper forwards rng unchanged.
 func NewIncremental(capacity int, rng *rand.Rand) *Incremental {
 	return estimator.NewIncremental(capacity, rng)
+}
+
+// NewIncrementalWithOptions creates an incrementally maintained synopsis
+// from options; sampling decisions draw from opts.RNG, or a generator
+// seeded with opts.Seed when RNG is nil.
+func NewIncrementalWithOptions(opts IncrementalOptions) *Incremental {
+	return estimator.NewIncrementalWithOptions(opts)
 }
 
 // Join-order optimization ---------------------------------------------------
