@@ -5,10 +5,12 @@
 package relest_test
 
 import (
+	"runtime"
 	"testing"
 
 	"relest"
 	"relest/internal/bench"
+	"relest/internal/relation"
 	"relest/internal/sketch"
 )
 
@@ -182,6 +184,52 @@ func BenchmarkSynopsisDraw(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// footprintFixture is the 2×20k-row join fixture the storage benchmarks
+// share (same spec and seed as the pre-columnar baseline in BENCH_5.json).
+func footprintFixture() (*relest.Relation, *relest.Relation) {
+	rng := relest.Seeded(1)
+	return relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 2_000, N1: 20_000, N2: 20_000,
+		Correlation: relest.Independent,
+	})
+}
+
+// BenchmarkBuildIndex measures the typed hash index build over the 20k-row
+// join fixture (the per-plan cost of every hash join and term evaluation).
+func BenchmarkBuildIndex(b *testing.B) {
+	r1, _ := footprintFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := relation.BuildIndex(r1, []int{0})
+		if ix.Buckets() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkRelationFootprint reports the resident bytes per row of the
+// join fixture two ways: heap-bytes/row is the GC-measured heap growth
+// from building both relations (comparable to the pre-columnar baseline,
+// measured identically), bytes/row is the engine's own accounting
+// (column vectors + dictionaries + null bitmaps, Relation.Bytes).
+func BenchmarkRelationFootprint(b *testing.B) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	r1, r2 := footprintFixture()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	rows := float64(r1.Len() + r2.Len())
+	heap := float64(m1.HeapAlloc - m0.HeapAlloc)
+	accounted := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accounted = r1.Bytes() + r2.Bytes()
+	}
+	b.ReportMetric(heap/rows, "heap-bytes/row")
+	b.ReportMetric(float64(accounted)/rows, "bytes/row")
 }
 
 // BenchmarkExactCountJoin is the cost the estimators avoid: the exact

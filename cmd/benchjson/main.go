@@ -1,0 +1,197 @@
+// Command benchjson turns `go test -bench` output into the committed
+// BENCH_N.json evidence files: it parses benchmark results (ns/op plus any
+// ReportMetric extras) from stdin, attaches host information, compares
+// against baseline numbers given on the command line, and writes one JSON
+// document to stdout.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchtime 50x . | benchjson \
+//	    -issue 5 -title "..." \
+//	    -baseline BenchmarkPointEstimateJoin=485350 \
+//	    -baseline-metric heap-bytes/row=103.2 \
+//	    -note "..." > BENCH_5.json
+//
+// Speedups are baseline/current: >1 means the current tree is faster (or,
+// for byte metrics, smaller).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Issue             int                    `json:"issue,omitempty"`
+	Title             string                 `json:"title,omitempty"`
+	Date              string                 `json:"date"`
+	Host              map[string]any         `json:"host"`
+	Command           string                 `json:"command,omitempty"`
+	Benchmarks        map[string]benchResult `json:"benchmarks"`
+	BaselineNsPerOp   map[string]float64     `json:"baseline_ns_per_op,omitempty"`
+	BaselineMetrics   map[string]float64     `json:"baseline_metrics,omitempty"`
+	Speedup           map[string]float64     `json:"speedup,omitempty"`
+	MetricImprovement map[string]float64     `json:"metric_improvement,omitempty"`
+	Notes             []string               `json:"notes,omitempty"`
+}
+
+// benchLine matches one result row, e.g.
+// "BenchmarkBuildIndex-4   30   1528797 ns/op   25.43 heap-bytes/row".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	issue := fs.Int("issue", 0, "issue number recorded in the report")
+	title := fs.String("title", "", "headline recorded in the report")
+	command := fs.String("command", "", "the benchmark command, for reproduction")
+	rep := report{
+		Benchmarks: map[string]benchResult{},
+		Host: map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		},
+	}
+	fs.Func("baseline", "Name=ns_per_op baseline (repeatable)", func(s string) error {
+		name, v, err := splitPair(s)
+		if err != nil {
+			return err
+		}
+		if rep.BaselineNsPerOp == nil {
+			rep.BaselineNsPerOp = map[string]float64{}
+		}
+		rep.BaselineNsPerOp[name] = v
+		return nil
+	})
+	fs.Func("baseline-metric", "unit=value baseline for a ReportMetric unit (repeatable)", func(s string) error {
+		name, v, err := splitPair(s)
+		if err != nil {
+			return err
+		}
+		if rep.BaselineMetrics == nil {
+			rep.BaselineMetrics = map[string]float64{}
+		}
+		rep.BaselineMetrics[name] = v
+		return nil
+	})
+	fs.Func("note", "free-form note recorded in the report (repeatable)", func(s string) error {
+		rep.Notes = append(rep.Notes, s)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep.Issue = *issue
+	rep.Title = *title
+	rep.Command = *command
+	rep.Date = time.Now().UTC().Format("2006-01-02")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.Host["cpu"] = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %v", line, err)
+		}
+		res := benchResult{NsPerOp: ns}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("line %q: metric %q: %v", line, fields[i+1], err)
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks[m[1]] = res
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	for name, base := range rep.BaselineNsPerOp {
+		cur, ok := rep.Benchmarks[name]
+		//lint:ignore floateq guarding division by a parsed literal zero, not a computed float
+		if !ok || cur.NsPerOp == 0 {
+			return fmt.Errorf("baseline %q has no benchmark result", name)
+		}
+		if rep.Speedup == nil {
+			rep.Speedup = map[string]float64{}
+		}
+		rep.Speedup[name] = round2(base / cur.NsPerOp)
+	}
+	for unit, base := range rep.BaselineMetrics {
+		cur, ok := findMetric(rep.Benchmarks, unit)
+		//lint:ignore floateq guarding division by a parsed literal zero, not a computed float
+		if !ok || cur == 0 {
+			return fmt.Errorf("baseline metric %q has no benchmark result", unit)
+		}
+		if rep.MetricImprovement == nil {
+			rep.MetricImprovement = map[string]float64{}
+		}
+		rep.MetricImprovement[unit] = round2(base / cur)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func splitPair(s string) (string, float64, error) {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", 0, fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("value in %q: %v", s, err)
+	}
+	return name, v, nil
+}
+
+func findMetric(benchmarks map[string]benchResult, unit string) (float64, bool) {
+	for _, b := range benchmarks {
+		if v, ok := b.Metrics[unit]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func round2(x float64) float64 {
+	v, _ := strconv.ParseFloat(strconv.FormatFloat(x, 'f', 2, 64), 64)
+	return v
+}

@@ -166,6 +166,14 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
+	if collector != nil {
+		bytes := 0
+		for _, name := range names {
+			bytes += cat[name].Bytes()
+		}
+		collector.Set(obs.MetricRelationBytes, float64(bytes))
+	}
+
 	rng := sampling.NewSource(*seed).Rand(0)
 	syn := estimator.NewSynopsis()
 	// Draw in sorted-name order: sampling consumes a shared stream, so
@@ -186,8 +194,8 @@ func run(args []string, stdout io.Writer) (err error) {
 			if pos < 0 {
 				return fmt.Errorf("-stratify column %q not in relation %q", stratCol, stratRel)
 			}
-			if err := syn.AddDrawnStratified(r, func(t relation.Tuple) int {
-				return int(t[pos].Hash())
+			if err := syn.AddDrawnStratified(r, func(row relation.Row) int {
+				return int(row.Value(pos).Hash())
 			}, n, rng); err != nil {
 				return err
 			}
@@ -280,9 +288,9 @@ func run(args []string, stdout io.Writer) (err error) {
 			}
 			pos := res.Schema().MustColumnIndex(st.AggCol)
 			sum, cnt := 0.0, 0
-			res.Each(func(i int, t relation.Tuple) bool {
-				if !t[pos].IsNull() {
-					sum += t[pos].Float64()
+			res.EachRow(func(i int, row relation.Row) bool {
+				if v := row.Value(pos); !v.IsNull() {
+					sum += v.Float64()
 					cnt++
 				}
 				return true

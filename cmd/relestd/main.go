@@ -55,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 64, "admission queue depth; excess requests are shed with 429")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request wall-clock cap")
 	workers := fs.Int("workers", 0, "per-estimate evaluation parallelism (0 = library default); estimates are identical for every setting")
+	maxUpload := fs.Int64("max-upload-bytes", 0, "CSV upload size cap in bytes; imports stream, so this bounds upload memory (0 = 64 MiB default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		QueueDepth:       *queue,
 		RequestTimeout:   *timeout,
 		EstimatorWorkers: *workers,
+		MaxUploadBytes:   *maxUpload,
 	})
 	if err := srv.Start(); err != nil {
 		return err

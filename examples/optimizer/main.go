@@ -25,8 +25,8 @@ func main() {
 	a := relest.NewRelation("A", schemaA)
 	zipf := relest.ZipfRelation(rng, "Z", 1.2, domain, nA, relest.MapSmooth)
 	zipfVals := make([]int64, 0, nA)
-	zipf.Each(func(i int, t relest.Tuple) bool {
-		zipfVals = append(zipfVals, t[0].Int64())
+	zipf.EachRow(func(i int, row relest.Row) bool {
+		zipfVals = append(zipfVals, row.Value(0).Int64())
 		return true
 	})
 	for i := 0; i < nA; i++ {
@@ -39,8 +39,8 @@ func main() {
 	schemaB := relest.MustSchema(relest.Col("u", relest.KindInt), relest.Col("bid", relest.KindInt))
 	b := relest.NewRelation("B", schemaB)
 	zb := relest.ZipfRelation(rng, "Z2", 1.2, domain, nA/20, relest.MapSmooth)
-	zb.Each(func(i int, t relest.Tuple) bool {
-		if err := b.AppendRow(t[0], relest.Int(int64(i))); err != nil {
+	zb.EachRow(func(i int, row relest.Row) bool {
+		if err := b.AppendRow(row.Value(0), relest.Int(int64(i))); err != nil {
 			log.Fatal(err)
 		}
 		return true

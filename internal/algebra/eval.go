@@ -10,6 +10,10 @@ import (
 // result relation. It is the ground truth that every estimator in this
 // repository is measured against: hash joins for equi-joins, key-set
 // algorithms for the set operations, full duplicate elimination for π.
+//
+// Selections return zero-copy views over their input; joins, products,
+// projections and set operations build fresh columnar relations by
+// column-wise copy, never materializing intermediate tuples.
 func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 	switch e.op {
 	case OpBase:
@@ -28,14 +32,14 @@ func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := relation.New("σ("+child.Name()+")", e.schema)
-		child.Each(func(i int, t relation.Tuple) bool {
-			if e.pred.eval(t) {
-				out.MustAppend(t)
+		var keep []int
+		child.EachRow(func(i int, row relation.Row) bool {
+			if e.pred.evalRow(row) {
+				keep = append(keep, i)
 			}
 			return true
 		})
-		return out, nil
+		return child.Subset("σ("+child.Name()+")", keep), nil
 
 	case OpProject:
 		child, err := Eval(e.left, cat)
@@ -44,14 +48,15 @@ func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 		}
 		out := relation.New("π("+child.Name()+")", e.schema)
 		seen := make(map[string]struct{}, child.Len())
-		child.Each(func(i int, t relation.Tuple) bool {
-			proj := make(relation.Tuple, len(e.projCols))
-			for j, c := range e.projCols {
-				proj[j] = t[c]
-			}
-			k := proj.Key(nil)
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
+		var keyBuf []byte
+		proj := make(relation.Tuple, len(e.projCols))
+		child.EachRow(func(i int, row relation.Row) bool {
+			keyBuf = row.AppendKey(keyBuf[:0], e.projCols)
+			if _, dup := seen[string(keyBuf)]; !dup {
+				seen[string(keyBuf)] = struct{}{}
+				for j, c := range e.projCols {
+					proj[j] = row.Value(c)
+				}
 				out.MustAppend(proj)
 			}
 			return true
@@ -68,13 +73,12 @@ func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 			return nil, err
 		}
 		out := relation.New("×", e.schema)
-		left.Each(func(i int, lt relation.Tuple) bool {
-			right.Each(func(j int, rt relation.Tuple) bool {
-				out.MustAppend(concatTuples(lt, rt))
-				return true
-			})
-			return true
-		})
+		out.Grow(left.Len() * right.Len())
+		for i := 0; i < left.Len(); i++ {
+			for j := 0; j < right.Len(); j++ {
+				out.AppendJoined(left, i, right, j)
+			}
+		}
 		return out, nil
 
 	case OpJoin:
@@ -86,30 +90,57 @@ func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Build on the smaller side.
+		// Build on the smaller side; probe rows in storage order so the
+		// output ordering matches the row-store evaluator exactly.
 		out := relation.New("⋈", e.schema)
+		theta := e.theta.eval
+		var joined relation.Tuple
+		emit := func(li, ri int) {
+			if theta != nil {
+				// The theta predicate is bound against the concatenated
+				// schema; gather the pair into a reused buffer to test it.
+				joined = joined[:0]
+				//lint:ignore tuplecopy theta evaluation needs the concatenated pair; buffer is reused, never retained
+				joined = left.Row(li).MaterializeInto(joined)
+				//lint:ignore tuplecopy see above
+				joined = right.Row(ri).MaterializeInto(joined)
+				if !theta(joined) {
+					return
+				}
+			}
+			out.AppendJoined(left, li, right, ri)
+		}
+		// One lookup pass collects each probe row's bucket so the output
+		// can reserve the exact (pre-theta) match count up front; the emit
+		// pass then appends without a reallocation cascade.
 		if right.Len() <= left.Len() {
 			ix := relation.BuildIndex(right, e.joinRight)
-			left.Each(func(i int, lt relation.Tuple) bool {
-				for _, j := range ix.Lookup(lt, e.joinLeft) {
-					joined := concatTuples(lt, right.Tuple(j))
-					if e.theta.eval == nil || e.theta.eval(joined) {
-						out.MustAppend(joined)
-					}
+			matches := make([][]int, left.Len())
+			total := 0
+			for i := 0; i < left.Len(); i++ {
+				matches[i] = ix.LookupRow(left, i, e.joinLeft)
+				total += len(matches[i])
+			}
+			out.Grow(total)
+			for i, m := range matches {
+				for _, j := range m {
+					emit(i, j)
 				}
-				return true
-			})
+			}
 		} else {
 			ix := relation.BuildIndex(left, e.joinLeft)
-			right.Each(func(j int, rt relation.Tuple) bool {
-				for _, i := range ix.Lookup(rt, e.joinRight) {
-					joined := concatTuples(left.Tuple(i), rt)
-					if e.theta.eval == nil || e.theta.eval(joined) {
-						out.MustAppend(joined)
-					}
+			matches := make([][]int, right.Len())
+			total := 0
+			for j := 0; j < right.Len(); j++ {
+				matches[j] = ix.LookupRow(right, j, e.joinRight)
+				total += len(matches[j])
+			}
+			out.Grow(total)
+			for j, m := range matches {
+				for _, i := range m {
+					emit(i, j)
 				}
-				return true
-			})
+			}
 		}
 		return out, nil
 
@@ -143,58 +174,60 @@ func Count(e *Expr, cat Catalog) (int64, error) {
 
 func evalSetOp(op Op, schema *relation.Schema, left, right *relation.Relation) *relation.Relation {
 	out := relation.New(op.String(), schema)
+	var keyBuf []byte
+	rowKey := func(row relation.Row) []byte {
+		keyBuf = row.AppendKey(keyBuf[:0], nil)
+		return keyBuf
+	}
 	switch op {
 	case OpUnion:
 		seen := make(map[string]struct{}, left.Len()+right.Len())
-		add := func(t relation.Tuple) {
-			k := t.Key(nil)
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
-				out.MustAppend(t)
-			}
+		add := func(src *relation.Relation) {
+			src.EachRow(func(i int, row relation.Row) bool {
+				k := rowKey(row)
+				if _, dup := seen[string(k)]; !dup {
+					seen[string(k)] = struct{}{}
+					out.AppendFrom(src, i)
+				}
+				return true
+			})
 		}
-		left.Each(func(i int, t relation.Tuple) bool { add(t); return true })
-		right.Each(func(i int, t relation.Tuple) bool { add(t); return true })
+		add(left)
+		add(right)
 	case OpIntersect:
 		rightKeys := make(map[string]struct{}, right.Len())
-		right.Each(func(i int, t relation.Tuple) bool {
-			rightKeys[t.Key(nil)] = struct{}{}
+		right.EachRow(func(i int, row relation.Row) bool {
+			rightKeys[string(rowKey(row))] = struct{}{}
 			return true
 		})
 		emitted := make(map[string]struct{}, left.Len())
-		left.Each(func(i int, t relation.Tuple) bool {
-			k := t.Key(nil)
-			if _, in := rightKeys[k]; in {
-				if _, dup := emitted[k]; !dup {
-					emitted[k] = struct{}{}
-					out.MustAppend(t)
+		left.EachRow(func(i int, row relation.Row) bool {
+			k := rowKey(row)
+			if _, in := rightKeys[string(k)]; in {
+				if _, dup := emitted[string(k)]; !dup {
+					emitted[string(k)] = struct{}{}
+					out.AppendFrom(left, i)
 				}
 			}
 			return true
 		})
 	case OpDiff:
 		rightKeys := make(map[string]struct{}, right.Len())
-		right.Each(func(i int, t relation.Tuple) bool {
-			rightKeys[t.Key(nil)] = struct{}{}
+		right.EachRow(func(i int, row relation.Row) bool {
+			rightKeys[string(rowKey(row))] = struct{}{}
 			return true
 		})
 		emitted := make(map[string]struct{}, left.Len())
-		left.Each(func(i int, t relation.Tuple) bool {
-			k := t.Key(nil)
-			if _, in := rightKeys[k]; !in {
-				if _, dup := emitted[k]; !dup {
-					emitted[k] = struct{}{}
-					out.MustAppend(t)
+		left.EachRow(func(i int, row relation.Row) bool {
+			k := rowKey(row)
+			if _, in := rightKeys[string(k)]; !in {
+				if _, dup := emitted[string(k)]; !dup {
+					emitted[string(k)] = struct{}{}
+					out.AppendFrom(left, i)
 				}
 			}
 			return true
 		})
 	}
 	return out
-}
-
-func concatTuples(a, b relation.Tuple) relation.Tuple {
-	out := make(relation.Tuple, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
 }

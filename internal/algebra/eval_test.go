@@ -187,8 +187,8 @@ func TestEvalComposite(t *testing.T) {
 		t.Fatal(err)
 	}
 	res.Sort()
-	if res.Tuple(0)[0].Int64() != 3 || res.Tuple(1)[0].Int64() != 4 {
-		t.Errorf("join rows wrong: %v %v", res.Tuple(0), res.Tuple(1))
+	if res.Value(0, 0).Int64() != 3 || res.Value(1, 0).Int64() != 4 {
+		t.Errorf("join rows wrong: %v %v", res.Materialize(0), res.Materialize(1))
 	}
 }
 

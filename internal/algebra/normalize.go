@@ -41,11 +41,12 @@ type ColRef struct {
 
 // Occurrence is one use of a base relation inside a term. LocalPreds are
 // selection conditions that constrain this occurrence alone and can be
-// applied before any joining.
+// applied before any joining; they read rows of the occurrence's instance
+// directly from column storage.
 type Occurrence struct {
 	RelName    string
 	Schema     *relation.Schema
-	LocalPreds []func(relation.Tuple) bool
+	LocalPreds []func(relation.Row) bool
 }
 
 // EqCol is an equality constraint between two occurrence columns.
@@ -293,10 +294,12 @@ func attachPredicate(t *Term, bp boundPred, width int) {
 		occ := refs[0].Occ
 		eval := bp.eval
 		readPos := append([]int{}, bp.cols...)
-		local := func(base relation.Tuple) bool {
+		// The virtual tuple is allocated per call: one closure may be shared
+		// by concurrent plan compilations over different instances.
+		local := func(row relation.Row) bool {
 			virt := make(relation.Tuple, width)
 			for i, p := range readPos {
-				virt[p] = base[refs[i].Col]
+				virt[p] = row.Value(refs[i].Col)
 			}
 			return eval(virt)
 		}

@@ -283,8 +283,8 @@ func TestEnumerateAssignments(t *testing.T) {
 			t.Fatalf("assignment width %d", len(rows))
 		}
 		// The joined tuples must actually agree on column a.
-		a0 := inst[0].Tuple(rows[0])[0]
-		a1 := inst[1].Tuple(rows[1])[0]
+		a0 := inst[0].Value(rows[0], 0)
+		a1 := inst[1].Value(rows[1], 0)
 		if !a0.Equal(a1) {
 			t.Fatalf("assignment violates join: %v vs %v", a0, a1)
 		}

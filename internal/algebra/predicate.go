@@ -12,22 +12,35 @@ import (
 // (comparisons and boolean combinators) expose their column sets, which lets
 // the normalizer push single-relation conditions down to the base-relation
 // occurrence they constrain.
+//
+// Each predicate binds twice: bind produces a Tuple evaluator (used on
+// virtual tuples that term evaluation assembles across occurrences), and
+// bindRow produces a Row evaluator that reads column storage directly
+// without materializing anything — the hot path for selections and pushed-
+// down local predicates.
 type Predicate interface {
 	// Columns returns the column names the predicate reads.
 	Columns() []string
-	// bind resolves names against a schema and returns the evaluator.
+	// bind resolves names against a schema and returns the tuple evaluator.
 	bind(s *relation.Schema) (func(relation.Tuple) bool, error)
+	// bindRow resolves names against a schema and returns the row evaluator.
+	bindRow(s *relation.Schema) (func(relation.Row) bool, error)
 }
 
 // boundPred is a predicate resolved against a specific schema.
 type boundPred struct {
-	eval func(relation.Tuple) bool
-	cols []int // positions read, for pushdown analysis
-	src  Predicate
+	eval    func(relation.Tuple) bool
+	evalRow func(relation.Row) bool
+	cols    []int // positions read, for pushdown analysis
+	src     Predicate
 }
 
 func bindPredicate(p Predicate, s *relation.Schema) (boundPred, error) {
 	eval, err := p.bind(s)
+	if err != nil {
+		return boundPred{}, err
+	}
+	evalRow, err := p.bindRow(s)
 	if err != nil {
 		return boundPred{}, err
 	}
@@ -40,7 +53,7 @@ func bindPredicate(p Predicate, s *relation.Schema) (boundPred, error) {
 		}
 		cols[i] = c
 	}
-	return boundPred{eval: eval, cols: cols, src: p}, nil
+	return boundPred{eval: eval, evalRow: evalRow, cols: cols, src: p}, nil
 }
 
 // CmpOp enumerates comparison operators.
@@ -76,6 +89,26 @@ func (o CmpOp) String() string {
 	}
 }
 
+// holds applies op to a three-way comparison result.
+func (o CmpOp) holds(cmp int) bool {
+	switch o {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
 // Cmp compares a column against a constant: col op val. Comparisons
 // involving null are false (SQL three-valued logic collapsed to false).
 type Cmp struct {
@@ -98,23 +131,25 @@ func (c Cmp) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
 		if v.IsNull() || val.IsNull() {
 			return false
 		}
-		cmp := v.Compare(val)
-		switch op {
-		case EQ:
-			return cmp == 0
-		case NE:
-			return cmp != 0
-		case LT:
-			return cmp < 0
-		case LE:
-			return cmp <= 0
-		case GT:
-			return cmp > 0
-		case GE:
-			return cmp >= 0
-		default:
+		return op.holds(v.Compare(val))
+	}, nil
+}
+
+func (c Cmp) bindRow(s *relation.Schema) (func(relation.Row) bool, error) {
+	pos := s.ColumnIndex(c.Col)
+	if pos < 0 {
+		return nil, fmt.Errorf("no column %q in schema %s", c.Col, s)
+	}
+	op, val := c.Op, c.Val
+	if val.IsNull() {
+		return func(relation.Row) bool { return false }, nil
+	}
+	return func(row relation.Row) bool {
+		v := row.Value(pos)
+		if v.IsNull() {
 			return false
 		}
+		return op.holds(v.Compare(val))
 	}, nil
 }
 
@@ -133,13 +168,21 @@ type ColCmp struct {
 // Columns implements Predicate.
 func (c ColCmp) Columns() []string { return []string{c.A, c.B} }
 
-func (c ColCmp) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
-	pa, pb := s.ColumnIndex(c.A), s.ColumnIndex(c.B)
+func (c ColCmp) resolve(s *relation.Schema) (pa, pb int, err error) {
+	pa, pb = s.ColumnIndex(c.A), s.ColumnIndex(c.B)
 	if pa < 0 {
-		return nil, fmt.Errorf("no column %q in schema %s", c.A, s)
+		return 0, 0, fmt.Errorf("no column %q in schema %s", c.A, s)
 	}
 	if pb < 0 {
-		return nil, fmt.Errorf("no column %q in schema %s", c.B, s)
+		return 0, 0, fmt.Errorf("no column %q in schema %s", c.B, s)
+	}
+	return pa, pb, nil
+}
+
+func (c ColCmp) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	pa, pb, err := c.resolve(s)
+	if err != nil {
+		return nil, err
 	}
 	op := c.Op
 	return func(t relation.Tuple) bool {
@@ -147,23 +190,22 @@ func (c ColCmp) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
 		if a.IsNull() || b.IsNull() {
 			return false
 		}
-		cmp := a.Compare(b)
-		switch op {
-		case EQ:
-			return cmp == 0
-		case NE:
-			return cmp != 0
-		case LT:
-			return cmp < 0
-		case LE:
-			return cmp <= 0
-		case GT:
-			return cmp > 0
-		case GE:
-			return cmp >= 0
-		default:
+		return op.holds(a.Compare(b))
+	}, nil
+}
+
+func (c ColCmp) bindRow(s *relation.Schema) (func(relation.Row) bool, error) {
+	pa, pb, err := c.resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(row relation.Row) bool {
+		a, b := row.Value(pa), row.Value(pb)
+		if a.IsNull() || b.IsNull() {
 			return false
 		}
+		return op.holds(a.Compare(b))
 	}, nil
 }
 
@@ -185,6 +227,25 @@ func (a And) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
 	return func(t relation.Tuple) bool {
 		for _, e := range evals {
 			if !e(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (a And) bindRow(s *relation.Schema) (func(relation.Row) bool, error) {
+	evals := make([]func(relation.Row) bool, len(a))
+	for i, p := range a {
+		e, err := p.bindRow(s)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return func(row relation.Row) bool {
+		for _, e := range evals {
+			if !e(row) {
 				return false
 			}
 		}
@@ -217,6 +278,25 @@ func (o Or) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
 	}, nil
 }
 
+func (o Or) bindRow(s *relation.Schema) (func(relation.Row) bool, error) {
+	evals := make([]func(relation.Row) bool, len(o))
+	for i, p := range o {
+		e, err := p.bindRow(s)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return func(row relation.Row) bool {
+		for _, e := range evals {
+			if e(row) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
 // Not negates a predicate.
 type Not struct{ P Predicate }
 
@@ -231,6 +311,14 @@ func (n Not) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
 	return func(t relation.Tuple) bool { return !e(t) }, nil
 }
 
+func (n Not) bindRow(s *relation.Schema) (func(relation.Row) bool, error) {
+	e, err := n.P.bindRow(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(row relation.Row) bool { return !e(row) }, nil
+}
+
 // FuncOnCols is the escape hatch: an arbitrary function over the values of
 // the named columns, in the given order. The function must be pure.
 type FuncOnCols struct {
@@ -241,7 +329,7 @@ type FuncOnCols struct {
 // Columns implements Predicate.
 func (f FuncOnCols) Columns() []string { return append([]string(nil), f.Cols...) }
 
-func (f FuncOnCols) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+func (f FuncOnCols) resolve(s *relation.Schema) ([]int, error) {
 	if f.Fn == nil {
 		return nil, fmt.Errorf("FuncOnCols has nil Fn")
 	}
@@ -253,11 +341,36 @@ func (f FuncOnCols) bind(s *relation.Schema) (func(relation.Tuple) bool, error) 
 		}
 		pos[i] = p
 	}
+	return pos, nil
+}
+
+func (f FuncOnCols) bind(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	pos, err := f.resolve(s)
+	if err != nil {
+		return nil, err
+	}
 	fn := f.Fn
 	return func(t relation.Tuple) bool {
 		vals := make([]relation.Value, len(pos))
 		for i, p := range pos {
 			vals[i] = t[p]
+		}
+		return fn(vals)
+	}, nil
+}
+
+func (f FuncOnCols) bindRow(s *relation.Schema) (func(relation.Row) bool, error) {
+	pos, err := f.resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	fn := f.Fn
+	// A fresh vals slice per call keeps the user function free to retain
+	// its argument, mirroring the Tuple binding.
+	return func(row relation.Row) bool {
+		vals := make([]relation.Value, len(pos))
+		for i, p := range pos {
+			vals[i] = row.Value(p)
 		}
 		return fn(vals)
 	}, nil

@@ -82,19 +82,21 @@ type termPlan struct {
 	tailFactor float64
 
 	// maxPredWidth sizes the per-evaluation virtual tuple for residual
-	// predicates.
-	maxPredWidth int
+	// predicates; maxProbeWidth sizes the probe-value scratch.
+	maxPredWidth  int
+	maxProbeWidth int
 }
 
 type planStep struct {
 	occ int
 	// probe describes the composite hash index for this step: the
-	// occurrence's rows are indexed on keyCols, probed with values gathered
-	// from boundRefs (aligned with keyCols). Empty keyCols means a full
-	// scan of the candidate list.
+	// occurrence's candidate rows are indexed on keyCols (typed composite
+	// keys, see relation.Index), probed with values gathered from boundRefs
+	// (aligned with keyCols). Empty keyCols means a full scan of the
+	// candidate list.
 	keyCols   []int
 	boundRefs []ColRef
-	index     map[string][]int
+	index     *relation.Index
 	// preds to evaluate once this step's occurrence is bound.
 	preds []TermPred
 	// independent marks a tail step with no constraints at or after it;
@@ -130,14 +132,14 @@ func compile(t *Term, inst Instances) (*termPlan, error) {
 		rows := make([]int, 0, r.Len())
 	scan:
 		for ri := 0; ri < r.Len(); ri++ {
-			tp := r.Tuple(ri)
+			row := r.Row(ri)
 			for _, lp := range t.Occs[i].LocalPreds {
-				if !lp(tp) {
+				if !lp(row) {
 					continue scan
 				}
 			}
 			for _, eq := range intraEqs[i] {
-				if !tp[eq.A.Col].Equal(tp[eq.B.Col]) {
+				if !r.Value(ri, eq.A.Col).Equal(r.Value(ri, eq.B.Col)) {
 					continue scan
 				}
 			}
@@ -211,16 +213,14 @@ func compile(t *Term, inst Instances) (*termPlan, error) {
 		}
 	}
 
-	// Build indexes and mark the independent tail.
-	var keyBuf []byte
+	// Build indexes and mark the independent tail. Candidate lists are
+	// ascending, so bucket rows keep ascending (enumeration) order.
 	for k := range p.steps {
 		st := &p.steps[k]
 		if len(st.keyCols) > 0 {
-			st.index = make(map[string][]int, len(p.cand[st.occ]))
-			r := inst[st.occ]
-			for _, ri := range p.cand[st.occ] {
-				keyBuf = r.Tuple(ri).AppendKey(keyBuf[:0], st.keyCols)
-				st.index[string(keyBuf)] = append(st.index[string(keyBuf)], ri)
+			st.index = relation.BuildIndexRows(inst[st.occ], st.keyCols, p.cand[st.occ])
+			if len(st.boundRefs) > p.maxProbeWidth {
+				p.maxProbeWidth = len(st.boundRefs)
 			}
 		}
 	}
@@ -240,14 +240,15 @@ func compile(t *Term, inst Instances) (*termPlan, error) {
 }
 
 // termEval is the per-evaluation scratch over an immutable plan: the
-// assignment under construction, the probe-key buffer and the virtual tuple
-// for residual predicates. Hoisting these out of the innermost enumeration
-// loops removes the per-probe/per-check allocations, and keeping them off
-// the plan lets concurrent evaluations share one plan safely.
+// assignment under construction, the probe-value buffer and the virtual
+// tuple for residual predicates. Hoisting these out of the innermost
+// enumeration loops removes the per-probe/per-check allocations, and
+// keeping them off the plan lets concurrent evaluations share one plan
+// safely.
 type termEval struct {
 	p      *termPlan
 	assign []int
-	keyBuf []byte
+	vals   []relation.Value
 	virt   relation.Tuple
 }
 
@@ -255,6 +256,7 @@ func (p *termPlan) newEval() *termEval {
 	return &termEval{
 		p:      p,
 		assign: make([]int, len(p.steps)),
+		vals:   make([]relation.Value, p.maxProbeWidth),
 		virt:   make(relation.Tuple, p.maxPredWidth),
 	}
 }
@@ -266,12 +268,11 @@ func (ev *termEval) candidatesAt(k int) []int {
 	if st.index == nil {
 		return p.cand[st.occ]
 	}
-	buf := ev.keyBuf[:0]
-	for _, ref := range st.boundRefs {
-		buf = p.inst[ref.Occ].Tuple(ev.assign[ref.Occ])[ref.Col].AppendKey(buf)
+	vals := ev.vals[:len(st.boundRefs)]
+	for i, ref := range st.boundRefs {
+		vals[i] = p.inst[ref.Occ].Value(ev.assign[ref.Occ], ref.Col)
 	}
-	ev.keyBuf = buf
-	return st.index[string(buf)] // map lookup on string(buf) does not allocate
+	return st.index.LookupValues(vals) // typed probe, allocation-free
 }
 
 // predsHold evaluates the step's residual predicates on the assignment.
@@ -281,7 +282,7 @@ func (ev *termEval) predsHold(k int) bool {
 		virt := ev.virt[:pr.Width]
 		for i, pos := range pr.ReadPos {
 			ref := pr.Refs[i]
-			virt[pos] = p.inst[ref.Occ].Tuple(ev.assign[ref.Occ])[ref.Col]
+			virt[pos] = p.inst[ref.Occ].Value(ev.assign[ref.Occ], ref.Col)
 		}
 		if !pr.Eval(virt) {
 			return false

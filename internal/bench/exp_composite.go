@@ -39,9 +39,9 @@ func F1Composite(seed int64, scale Scale) *Table {
 	// R3: half of R1's tuples plus fresh ones (ids disjoint from R1's
 	// second half), same layout.
 	r3 := relation.New("R3", workload.JoinSchema())
-	r1.Each(func(i int, t relation.Tuple) bool {
+	r1.EachRow(func(i int, row relation.Row) bool {
 		if i%2 == 0 {
-			r3.MustAppend(t)
+			r3.AppendFrom(r1, i)
 		}
 		return true
 	})

@@ -74,8 +74,8 @@ func A1Stratified(seed int64, scale Scale) *Table {
 				if design == "srswor" {
 					err = syn.AddDrawn(shuffled, sampleN, rng)
 				} else {
-					err = syn.AddDrawnStratified(shuffled, func(tp relation.Tuple) int {
-						return int(tp[0].Int64())
+					err = syn.AddDrawnStratified(shuffled, func(row relation.Row) int {
+						return int(row.Value(0).Int64())
 					}, sampleN, rng)
 				}
 				if err != nil {

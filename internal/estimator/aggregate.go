@@ -209,7 +209,7 @@ func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int, eng *engine, worke
 		}
 		return sumTerm(pt, workers, func() func(rows []int) float64 {
 			return func(rows []int) float64 {
-				val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+				val := inst[ref.Occ].Value(rows[ref.Occ], ref.Col)
 				if val.IsNull() {
 					return 0
 				}
@@ -224,7 +224,7 @@ func estimateTermSum(t *algebra.Term, syn *Synopsis, pos int, eng *engine, worke
 	return sumTerm(pt, workers, func() func(rows []int) float64 {
 		distinct := make(map[int]struct{}, 4)
 		return func(rows []int) float64 {
-			val := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+			val := inst[ref.Occ].Value(rows[ref.Occ], ref.Col)
 			if val.IsNull() {
 				return 0
 			}

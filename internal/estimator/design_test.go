@@ -265,8 +265,8 @@ func TestStratificationReducesVariance(t *testing.T) {
 		plain.Add(est.Value)
 
 		syn2 := NewSynopsis()
-		err = syn2.AddDrawnStratified(r, func(tp relation.Tuple) int {
-			return int(tp[0].Int64())
+		err = syn2.AddDrawnStratified(r, func(row relation.Row) int {
+			return int(row.Value(0).Int64())
 		}, n, rng)
 		if err != nil {
 			t.Fatal(err)
@@ -298,7 +298,7 @@ func TestStratifiedAPIAndGuards(t *testing.T) {
 		return rows
 	}())
 	syn := NewSynopsis()
-	err := syn.AddDrawnStratified(r, func(tp relation.Tuple) int { return int(tp[0].Int64()) }, 40, testRand(5))
+	err := syn.AddDrawnStratified(r, func(row relation.Row) int { return int(row.Value(0).Int64()) }, 40, testRand(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestStratifiedAPIAndGuards(t *testing.T) {
 		t.Error("nil stratum function should fail")
 	}
 	syn3 := NewSynopsis()
-	if err := syn3.AddDrawnStratified(r, func(relation.Tuple) int { return 0 }, 9999, testRand(8)); err == nil {
+	if err := syn3.AddDrawnStratified(r, func(relation.Row) int { return 0 }, 9999, testRand(8)); err == nil {
 		t.Error("oversized stratified sample should fail")
 	}
 }

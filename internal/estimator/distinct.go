@@ -188,8 +188,8 @@ func Distinct(syn *Synopsis, relName string, cols []string, method DistinctMetho
 		positions[i] = p
 	}
 	keys := make([]string, 0, rs.n)
-	rs.sample.Each(func(i int, t relation.Tuple) bool {
-		keys = append(keys, t.Key(positions))
+	rs.sample.EachRow(func(i int, row relation.Row) bool {
+		keys = append(keys, row.Key(positions))
 		return true
 	})
 	ff, err := NewFreqOfFreq(rs.N, keys)

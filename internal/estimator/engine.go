@@ -208,7 +208,7 @@ func sumContrib(pos int) termContrib {
 	return termContrib{
 		eval: func(t *algebra.Term, inst algebra.Instances, rows []int) float64 {
 			ref := t.Out[pos]
-			v := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+			v := inst[ref.Occ].Value(rows[ref.Occ], ref.Col)
 			if v.IsNull() {
 				return 0
 			}

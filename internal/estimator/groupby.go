@@ -143,7 +143,7 @@ func accumulateGroups(t *algebra.Term, syn *Synopsis, pos int, eng *engine, work
 		local := map[string]*GroupEstimate{}
 		distinct := make(map[int]struct{}, 4)
 		pt.EnumeratePart(part, parts, func(rows []int) bool {
-			v := inst[ref.Occ].Tuple(rows[ref.Occ])[ref.Col]
+			v := inst[ref.Occ].Value(rows[ref.Occ], ref.Col)
 			w := 1.0
 			if uniform {
 				for _, m := range metas {

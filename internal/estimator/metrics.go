@@ -71,6 +71,7 @@ func recordSynopsis(rec obs.Recorder, poly algebra.Polynomial, syn *Synopsis) {
 		return
 	}
 	rec.Add(mTermsTotal, float64(len(poly.Terms)))
+	rec.Set(obs.MetricSynopsisBytes, float64(syn.Bytes()))
 	for _, rel := range poly.RelationNames() {
 		rs, ok := syn.rels[rel]
 		if !ok {

@@ -179,6 +179,18 @@ func (s *Synopsis) Design(name string) (pageSize int, ok bool) {
 	return rs.pageSize, true
 }
 
+// Bytes estimates the synopsis's resident sample storage. Drawn samples
+// are zero-copy views into their base relations, so they count only their
+// index vectors (relation.Bytes view accounting); externally supplied
+// samples count their full column storage.
+func (s *Synopsis) Bytes() int {
+	total := 0
+	for _, rs := range s.rels {
+		total += rs.sample.Bytes()
+	}
+	return total
+}
+
 // Names returns the relation names in the synopsis, sorted.
 func (s *Synopsis) Names() []string {
 	out := make([]string, 0, len(s.rels))
@@ -298,7 +310,7 @@ func (s *Synopsis) AddDrawnPages(base *relation.Relation, pageSize, pages int, r
 // selection attribute), the estimator's variance drops toward the
 // within-stratum variance. Stratified relations may appear at most once
 // per polynomial term (the pattern weights assume exchangeable samples).
-func (s *Synopsis) AddDrawnStratified(base *relation.Relation, stratumOf func(relation.Tuple) int, totalN int, rng *rand.Rand) error {
+func (s *Synopsis) AddDrawnStratified(base *relation.Relation, stratumOf func(relation.Row) int, totalN int, rng *rand.Rand) error {
 	if stratumOf == nil {
 		return fmt.Errorf("estimator: stratified sampling needs a stratum function")
 	}
@@ -311,8 +323,8 @@ func (s *Synopsis) AddDrawnStratified(base *relation.Relation, stratumOf func(re
 	// Bucket rows by stratum label, preserving first-seen label order.
 	var labels []int
 	rowsByLabel := map[int][]int{}
-	base.Each(func(i int, t relation.Tuple) bool {
-		l := stratumOf(t)
+	base.EachRow(func(i int, row relation.Row) bool {
+		l := stratumOf(row)
 		if _, seen := rowsByLabel[l]; !seen {
 			labels = append(labels, l)
 		}

@@ -19,6 +19,7 @@ var fixtureAnalyzers = map[string][]*Analyzer{
 	"floateq":       {FloatEq},
 	"errdrop":       {ErrDrop},
 	"badignore":     {ErrDrop},
+	"tuplecopy":     {TupleCopy},
 }
 
 // TestFixtures loads every deliberately-broken package under testdata/src
@@ -113,10 +114,10 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerSet pins the shipped rule set: six analyzers, stable
+// TestAnalyzerSet pins the shipped rule set: seven analyzers, stable
 // names, non-empty docs.
 func TestAnalyzerSet(t *testing.T) {
-	want := []string{"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop"}
+	want := []string{"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop", "tuplecopy"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

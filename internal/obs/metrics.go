@@ -118,6 +118,20 @@ func (h *Histogram) Count() uint64 { return h.total.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
+// Storage-footprint gauge names, defined here because several producers
+// report them — the estimator (per estimate), the server (on registry
+// changes) and cmd/relest (at load time) — and one series name must mean
+// one thing everywhere it is exposed.
+const (
+	// MetricRelationBytes gauges the resident column storage of all
+	// registered base relations.
+	MetricRelationBytes = "relest_relation_bytes"
+	// MetricSynopsisBytes gauges the resident sample storage of the
+	// synopsis in use; zero-copy sample views count only their index
+	// vectors, which is what makes the columnar memory win visible here.
+	MetricSynopsisBytes = "relest_synopsis_bytes"
+)
+
 // Metrics is the instrument registry. Instruments are created on first
 // use and live for the registry's lifetime; names follow Prometheus
 // conventions (`relest_<noun>_<unit>[_total]`) and may carry inline

@@ -77,8 +77,10 @@ func NewCatalog(q Query, cat algebra.Catalog) (*Catalog, error) {
 				return nil, fmt.Errorf("planner: no column %q in %q", side.col, side.rel)
 			}
 			seen := map[string]struct{}{}
-			r.Each(func(i int, t relation.Tuple) bool {
-				seen[t.Key([]int{pos})] = struct{}{}
+			var keyBuf []byte
+			r.EachRow(func(i int, row relation.Row) bool {
+				keyBuf = row.AppendKey(keyBuf[:0], []int{pos})
+				seen[string(keyBuf)] = struct{}{}
 				return true
 			})
 			c.distinct[side.rel][side.col] = float64(len(seen))

@@ -7,41 +7,123 @@ import (
 	"strconv"
 )
 
+// ImportOptions configures ImportCSVOptions.
+type ImportOptions struct {
+	// Schema fixes the column kinds. When nil, kinds are inferred (int ⊂
+	// float ⊂ string over every non-empty cell), which requires buffering
+	// the records for a second pass — bound that with MaxBytes.
+	Schema *Schema
+	// MaxBytes caps the raw CSV bytes read (0 = unlimited). Reads beyond the
+	// cap fail with an error, making server uploads memory-bounded: with a
+	// schema the import is single-pass straight into column storage, and
+	// without one the inference buffer can never exceed the cap.
+	MaxBytes int64
+}
+
 // ImportCSV reads a relation from CSV. The first record must be a header of
-// column names. If schema is nil, column kinds are inferred by attempting
-// int, then float, then string parses over every data row (empty cells are
-// nulls and do not constrain inference). If schema is non-nil, its arity
-// must match the header and cells are parsed with its kinds.
+// column names. If schema is nil, column kinds are inferred; if non-nil,
+// its arity must match the header and cells are parsed with its kinds.
+// It is ImportCSVOptions without a size limit.
 func ImportCSV(name string, r io.Reader, schema *Schema) (*Relation, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = false
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV for %s: %w", name, err)
+	return ImportCSVOptions(name, r, ImportOptions{Schema: schema})
+}
+
+// limitedReader is io.LimitedReader with a distinguishable "limit exceeded"
+// error instead of a silent EOF truncation.
+type limitedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.left <= 0 {
+		return 0, fmt.Errorf("relation: CSV input exceeds size limit")
 	}
-	if len(records) == 0 {
+	if int64(len(p)) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= int64(n)
+	return n, err
+}
+
+// ImportCSVOptions reads a relation from CSV record-by-record. With a
+// schema the import is a single streaming pass: each record is parsed and
+// appended to column storage directly, so memory is bounded by the columnar
+// result, never by a record buffer. Without a schema it is a bounded
+// two-pass import: records are buffered (subject to MaxBytes) while kinds
+// are inferred, then replayed into columns.
+func ImportCSVOptions(name string, r io.Reader, opts ImportOptions) (*Relation, error) {
+	if opts.MaxBytes > 0 {
+		r = &limitedReader{r: r, left: opts.MaxBytes}
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("relation: CSV for %s has no header", name)
 	}
-	header := records[0]
-	data := records[1:]
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header for %s: %w", name, err)
+	}
+	header = append([]string(nil), header...)
 
-	if schema == nil {
-		kinds := inferKinds(header, data)
-		cols := make([]Column, len(header))
-		for i, h := range header {
-			cols[i] = Column{Name: h, Kind: kinds[i]}
+	schema := opts.Schema
+	if schema != nil {
+		if schema.Len() != len(header) {
+			return nil, fmt.Errorf("relation: CSV for %s has %d columns, schema has %d", name, len(header), schema.Len())
 		}
-		schema, err = NewSchema(cols...)
-		if err != nil {
-			return nil, err
+		rel := New(name, schema)
+		t := make(Tuple, schema.Len())
+		rowNum := 2
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return rel, nil
+			}
+			if err != nil {
+				return nil, fmt.Errorf("relation: reading CSV for %s: %w", name, err)
+			}
+			for i, cell := range rec {
+				v, err := ParseValue(cell, schema.Column(i).Kind)
+				if err != nil {
+					return nil, fmt.Errorf("relation: %s row %d: %w", name, rowNum, err)
+				}
+				t[i] = v
+			}
+			if err := rel.Append(t); err != nil {
+				return nil, err
+			}
+			rowNum++
 		}
-	} else if schema.Len() != len(header) {
-		return nil, fmt.Errorf("relation: CSV for %s has %d columns, schema has %d", name, len(header), schema.Len())
 	}
 
+	// Inference path: buffer the records (bounded by MaxBytes via the
+	// limited reader), infer kinds over the buffer, then build columns.
+	var data [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV for %s: %w", name, err)
+		}
+		data = append(data, append([]string(nil), rec...))
+	}
+	kinds := inferKinds(header, data)
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		cols[i] = Column{Name: h, Kind: kinds[i]}
+	}
+	schema, err = NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
 	rel := New(name, schema)
+	t := make(Tuple, schema.Len())
 	for rowNum, rec := range data {
-		t := make(Tuple, len(rec))
 		for i, cell := range rec {
 			v, err := ParseValue(cell, schema.Column(i).Kind)
 			if err != nil {
@@ -103,19 +185,13 @@ func ExportCSV(rel *Relation, w io.Writer) error {
 		return fmt.Errorf("relation: writing CSV header for %s: %w", rel.Name(), err)
 	}
 	rec := make([]string, rel.Schema().Len())
-	var outerErr error
-	rel.Each(func(i int, t Tuple) bool {
-		for j, v := range t {
-			rec[j] = v.String()
+	for i := 0; i < rel.Len(); i++ {
+		for j := range rec {
+			rec[j] = rel.Value(i, j).String()
 		}
 		if err := cw.Write(rec); err != nil {
-			outerErr = fmt.Errorf("relation: writing CSV row %d for %s: %w", i, rel.Name(), err)
-			return false
+			return fmt.Errorf("relation: writing CSV row %d for %s: %w", i, rel.Name(), err)
 		}
-		return true
-	})
-	if outerErr != nil {
-		return outerErr
 	}
 	cw.Flush()
 	return cw.Error()

@@ -103,7 +103,7 @@ func TestQuickCSVRoundTrip(t *testing.T) {
 			return false
 		}
 		for i := 0; i < r.Len(); i++ {
-			if !got.Tuple(i).Equal(r.Tuple(i)) {
+			if !got.Materialize(i).Equal(r.Materialize(i)) {
 				return false
 			}
 		}
@@ -158,13 +158,110 @@ func TestQuickSubsetPreservesTuples(t *testing.T) {
 			return false
 		}
 		for i, p := range pos {
-			if !s.Tuple(i).Equal(r.Tuple(p)) {
+			if !s.Materialize(i).Equal(r.Materialize(p)) {
 				return false
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMixedRelation builds a random (int, float, string) relation with
+// small domains (duplicates guaranteed) and occasional nulls.
+func randomMixedRelation(rng *rand.Rand, name string, n int) *Relation {
+	r := New(name, MustSchema(
+		Column{Name: "i", Kind: KindInt},
+		Column{Name: "f", Kind: KindFloat},
+		Column{Name: "s", Kind: KindString},
+	))
+	letters := []string{"", "a", "b", "ab", "z"}
+	for k := 0; k < n; k++ {
+		row := Tuple{
+			Int(int64(rng.Intn(6) - 3)),
+			Float(float64(rng.Intn(9)-4) / 2),
+			Str(letters[rng.Intn(len(letters))]),
+		}
+		if rng.Intn(6) == 0 {
+			row[rng.Intn(3)] = Null()
+		}
+		r.MustAppend(row)
+	}
+	return r
+}
+
+// TestQuickRowRoundTripsMaterialize: for every row, the in-place accessors
+// (Value, IsNull, Key) agree exactly with the materialized Tuple — the
+// columnar storage and the escape hatch describe the same data.
+func TestQuickRowRoundTripsMaterialize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomMixedRelation(rng, "R", rng.Intn(25))
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			tup := row.Materialize()
+			if len(tup) != row.Len() {
+				return false
+			}
+			for c := 0; c < row.Len(); c++ {
+				if !tup[c].Equal(row.Value(c)) && !(tup[c].IsNull() && row.IsNull(c)) {
+					return false
+				}
+				if tup[c].IsNull() != row.IsNull(c) {
+					return false
+				}
+			}
+			if tup.Key(nil) != row.Key(nil) {
+				return false
+			}
+			// MaterializeInto over a reused buffer yields the same tuple.
+			if !row.MaterializeInto(make(Tuple, 0, 3)).Equal(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSortLayoutIndependent: sorting the same multiset of rows yields
+// the same sequence whether the relation is a base (columns gathered into
+// fresh storage) or a zero-copy view (index vector permuted) — and sorting
+// a view leaves its base untouched.
+func TestQuickSortLayoutIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randomMixedRelation(rng, "R", 1+rng.Intn(25))
+		pos := make([]int, base.Len())
+		for i := range pos {
+			pos[i] = i
+		}
+		rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+
+		asBase := base.Compact("base") // appendable base layout
+		asView := base.Subset("view", pos)
+		wasFirst := base.Materialize(0)
+		asBase.Sort()
+		asView.Sort()
+		if !asView.IsView() || asBase.IsView() {
+			return false
+		}
+		if asBase.Len() != asView.Len() {
+			return false
+		}
+		for i := 0; i < asBase.Len(); i++ {
+			if !asBase.Materialize(i).Equal(asView.Materialize(i)) {
+				return false
+			}
+		}
+		// Sorting the view only permuted its index vector.
+		return base.Materialize(0).Equal(wasFirst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

@@ -235,7 +235,7 @@ func TestRelationAppendValidation(t *testing.T) {
 func TestRelationSubsetAndClone(t *testing.T) {
 	r := testRelation(t)
 	s := r.Subset("S", []int{2, 0, 2})
-	if s.Len() != 3 || s.Tuple(0)[0].Int64() != 3 || s.Tuple(2)[0].Int64() != 3 {
+	if s.Len() != 3 || s.Value(0, 0).Int64() != 3 || s.Value(2, 0).Int64() != 3 {
 		t.Errorf("subset wrong: %v", s)
 	}
 	c := r.Clone("C")
@@ -257,7 +257,7 @@ func TestRelationDistinctAndIsSet(t *testing.T) {
 		t.Errorf("distinct: %v", d)
 	}
 	// Order preserved: 1, 2, 3.
-	if d.Tuple(0)[0].Int64() != 1 || d.Tuple(1)[0].Int64() != 2 || d.Tuple(2)[0].Int64() != 3 {
+	if d.Value(0, 0).Int64() != 1 || d.Value(1, 0).Int64() != 2 || d.Value(2, 0).Int64() != 3 {
 		t.Error("distinct order not preserved")
 	}
 }
@@ -301,7 +301,7 @@ func TestIndex(t *testing.T) {
 		t.Errorf("buckets = %d", ix.Buckets())
 	}
 	total := 0
-	ix.EachBucket(func(k string, ps []int) bool {
+	ix.EachBucket(func(ex Row, ps []int) bool {
 		total += len(ps)
 		return true
 	})
@@ -325,8 +325,8 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Fatalf("round trip len %d != %d", got.Len(), r.Len())
 	}
 	for i := 0; i < r.Len(); i++ {
-		if !got.Tuple(i).Equal(r.Tuple(i)) {
-			t.Errorf("row %d: %v != %v", i, got.Tuple(i), r.Tuple(i))
+		if !got.Materialize(i).Equal(r.Materialize(i)) {
+			t.Errorf("row %d: %v != %v", i, got.Materialize(i), r.Materialize(i))
 		}
 	}
 }
@@ -341,8 +341,8 @@ func TestCSVInference(t *testing.T) {
 	if s.Column(0).Kind != KindInt || s.Column(1).Kind != KindFloat || s.Column(2).Kind != KindString {
 		t.Errorf("inferred schema %s", s)
 	}
-	if r.Len() != 3 || !r.Tuple(2)[0].IsNull() {
-		t.Errorf("rows: %d, last: %v", r.Len(), r.Tuple(2))
+	if r.Len() != 3 || !r.IsNull(2, 0) {
+		t.Errorf("rows: %d, last: %v", r.Len(), r.Materialize(2))
 	}
 }
 

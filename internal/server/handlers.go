@@ -21,8 +21,12 @@ import (
 // access logs and metrics honest.
 const statusClientClosedRequest = 499
 
-// maxBodyBytes caps request bodies (CSV uploads included).
-const maxBodyBytes = 64 << 20
+// maxBodyBytes caps JSON request bodies; CSV uploads are capped separately
+// by Config.MaxUploadBytes (default defaultMaxUploadBytes).
+const (
+	maxBodyBytes          = 64 << 20
+	defaultMaxUploadBytes = 64 << 20
+)
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
@@ -38,10 +42,14 @@ func (s *Server) routes() http.Handler {
 	return mux
 }
 
-// handleUploadRelation registers the CSV request body as a relation.
+// handleUploadRelation registers the CSV request body as a relation. The
+// import streams record-by-record into column storage; MaxUploadBytes
+// bounds the raw bytes read (MaxBytesReader additionally closes the
+// connection on oversized bodies instead of draining them).
 func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	rel, err := relation.ImportCSV(name, http.MaxBytesReader(w, r.Body, maxBodyBytes), nil)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	rel, err := relation.ImportCSVOptions(name, body, relation.ImportOptions{MaxBytes: s.cfg.MaxUploadBytes})
 	if err != nil {
 		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("importing CSV: %v", err))
 		return
@@ -50,6 +58,7 @@ func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 		_ = writeError(w, http.StatusConflict, err.Error())
 		return
 	}
+	s.col.Set(mRelationBytes, float64(s.reg.relationBytes()))
 	_ = writeJSON(w, http.StatusCreated, RelationInfo{Name: name, Rows: rel.Len(), Schema: rel.Schema().String()})
 }
 
@@ -125,6 +134,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		}
 		infos = append(infos, RelationInfo{Name: rel.Name(), Rows: rel.Len(), Schema: rel.Schema().String()})
 	}
+	s.col.Set(mRelationBytes, float64(s.reg.relationBytes()))
 	_ = writeJSON(w, http.StatusCreated, infos)
 }
 
@@ -138,6 +148,7 @@ func (s *Server) handleCreateSynopsis(w http.ResponseWriter, r *http.Request) {
 		_ = writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.col.Set(mSynopsisBytes, float64(s.reg.synopsisBytes()))
 	entry, _ := s.reg.synopsis(name)
 	_ = writeJSON(w, http.StatusCreated, entry.info(name))
 }

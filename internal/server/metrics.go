@@ -26,6 +26,11 @@ const (
 	// mLatency is the request latency histogram in seconds, labelled by
 	// estimation mode.
 	mLatency = "relestd_request_seconds"
+
+	// Storage-footprint gauges, shared names with the estimator and
+	// cmd/relest (see obs.MetricRelationBytes / obs.MetricSynopsisBytes).
+	mRelationBytes = obs.MetricRelationBytes
+	mSynopsisBytes = obs.MetricSynopsisBytes
 )
 
 // reqMetric labels the request counter with the HTTP status code.

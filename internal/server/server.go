@@ -34,6 +34,10 @@ type Config struct {
 	// request does not set workers (0 = library default). Estimates are
 	// bit-identical for every setting.
 	EstimatorWorkers int
+	// MaxUploadBytes caps CSV upload bodies. The import is streaming, so
+	// an upload never buffers more than this many raw bytes regardless of
+	// how large the resulting relation would be (default 64 MiB).
+	MaxUploadBytes int64
 	// Collector receives both the daemon's metrics and the estimator's;
 	// a fresh one is created when nil. /metrics serves its contents.
 	Collector *obs.Collector
@@ -51,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = defaultMaxUploadBytes
 	}
 	return c
 }

@@ -49,6 +49,39 @@ func (reg *registry) addRelation(r *relation.Relation) error {
 	return nil
 }
 
+// relationBytes sums the resident column storage of registered relations.
+func (reg *registry) relationBytes() int {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	total := 0
+	for _, r := range reg.cat {
+		total += r.Bytes()
+	}
+	return total
+}
+
+// synopsisBytes sums the resident sample storage of registered synopses.
+// Static synopses hold zero-copy sample views (index vectors); incremental
+// ones report their reservoir snapshots only when estimated, so they
+// contribute nothing here.
+func (reg *registry) synopsisBytes() int {
+	reg.mu.RLock()
+	entries := make([]*synopsisEntry, 0, len(reg.syns))
+	for _, e := range reg.syns {
+		entries = append(entries, e)
+	}
+	reg.mu.RUnlock()
+	total := 0
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.static != nil {
+			total += e.static.Bytes()
+		}
+		e.mu.Unlock()
+	}
+	return total
+}
+
 // relations lists registered relations in sorted-name order.
 func (reg *registry) relations() []RelationInfo {
 	reg.mu.RLock()

@@ -228,8 +228,8 @@ func identity(n int) []int {
 func AttributeValues(r *relation.Relation, col string) []int64 {
 	pos := r.Schema().MustColumnIndex(col)
 	out := make([]int64, 0, r.Len())
-	r.Each(func(i int, t relation.Tuple) bool {
-		out = append(out, t[pos].Int64())
+	r.EachRow(func(i int, row relation.Row) bool {
+		out = append(out, row.Value(pos).Int64())
 		return true
 	})
 	return out
@@ -240,14 +240,14 @@ func AttributeValues(r *relation.Relation, col string) []int64 {
 func ExactJoinSize(r1 *relation.Relation, col1 string, r2 *relation.Relation, col2 string) float64 {
 	f1 := map[int64]int64{}
 	p1 := r1.Schema().MustColumnIndex(col1)
-	r1.Each(func(i int, t relation.Tuple) bool {
-		f1[t[p1].Int64()]++
+	r1.EachRow(func(i int, row relation.Row) bool {
+		f1[row.Value(p1).Int64()]++
 		return true
 	})
 	p2 := r2.Schema().MustColumnIndex(col2)
 	var total float64
-	r2.Each(func(i int, t relation.Tuple) bool {
-		total += float64(f1[t[p2].Int64()])
+	r2.EachRow(func(i int, row relation.Row) bool {
+		total += float64(f1[row.Value(p2).Int64()])
 		return true
 	})
 	return total

@@ -62,9 +62,14 @@ type (
 	Column = relation.Column
 	// Schema is an ordered list of uniquely named columns.
 	Schema = relation.Schema
-	// Tuple is one row.
+	// Tuple is one materialized row — the explicit escape hatch; hot paths
+	// read rows in place through Row.
 	Tuple = relation.Tuple
-	// Relation is an in-memory bag of tuples with a schema.
+	// Row is a lightweight handle onto one stored row, read in place from
+	// column storage (Relation.Row, Relation.EachRow).
+	Row = relation.Row
+	// Relation is an in-memory bag of tuples with a schema, stored
+	// column-wise.
 	Relation = relation.Relation
 )
 
@@ -104,6 +109,15 @@ func NewRelation(name string, schema *Schema) *Relation { return relation.New(na
 // infers column kinds).
 func ImportCSV(name string, r io.Reader, schema *Schema) (*Relation, error) {
 	return relation.ImportCSV(name, r, schema)
+}
+
+// ImportOptions configures ImportCSVOptions (schema, size limit).
+type ImportOptions = relation.ImportOptions
+
+// ImportCSVOptions reads a relation from CSV record-by-record with a
+// configurable size limit (see relation.ImportCSVOptions).
+func ImportCSVOptions(name string, r io.Reader, opts ImportOptions) (*Relation, error) {
+	return relation.ImportCSVOptions(name, r, opts)
 }
 
 // ExportCSV writes a relation as CSV.

@@ -228,8 +228,8 @@ func TestFacadeDesigns(t *testing.T) {
 	}
 	// Stratified design.
 	stratSyn := relest.NewSynopsis()
-	err = stratSyn.AddDrawnStratified(r, func(tp relest.Tuple) int {
-		return int(tp[0].Int64()) / 10
+	err = stratSyn.AddDrawnStratified(r, func(row relest.Row) int {
+		return int(row.Value(0).Int64()) / 10
 	}, 500, rng)
 	if err != nil {
 		t.Fatal(err)
