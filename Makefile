@@ -1,9 +1,9 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet lint test race cover golden bench fuzz smoke
+.PHONY: check build vet lint test race cover golden memgate bench bench6 fuzz smoke
 
-check: build vet lint test race cover golden
+check: build vet lint test race cover golden memgate
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,28 @@ bench:
 		> BENCH_5.json
 	cat BENCH_5.json
 	$(GO) test -run XXX -bench 'BenchmarkJackknife' -benchtime 5x ./internal/estimator/
+	$(MAKE) bench6
+
+# Streaming-executor + cross-term CSE benchmarks. Emits BENCH_6.json:
+# multi-term estimate throughput with subexpression sharing against the
+# -no-cse baseline (measured identically on this host immediately before
+# enabling CSE), and the streaming executor's heap ceiling on a probe
+# relation 40x the batch size.
+bench6:
+	$(GO) test -run XXX -bench 'MultiTermOverlap|StreamCountCeiling' -benchtime 30x . \
+	| $(GO) run ./cmd/benchjson \
+		-issue 6 \
+		-title "Streaming batch execution with cross-term common-subexpression elimination" \
+		-command "make bench6" \
+		-baseline BenchmarkMultiTermOverlap=260406435 \
+		-baseline-metric peak-ratio-10x=10.0 \
+		-note "BenchmarkMultiTermOverlap is one full COUNT estimate of an 8-step join chain over a 3-way union of disjoint selections (7 polynomial terms sharing one join prefix). The baseline is BenchmarkMultiTermOverlapNoCSE measured identically on this host: the same estimate with -no-cse, so speedup = no-CSE/CSE is the cross-term sharing win on a 3-term overlapping-join query. The NoCSE benchmark is included in each run so the ratio can be re-derived from current numbers." \
+		-note "BenchmarkStreamCountCeiling reports peak-bytes (the streaming executor's high-water working set: operator batches + hash build side, from relest_stream_peak_bytes) on a probe relation of 40x1024 rows, and peak-ratio-10x = peak at 40x batches / peak at 4x batches. ~1.0 means the heap ceiling is independent of relation size; the 10.0 baseline is how a materializing evaluator scales over the same 10x growth, so metric_improvement ~= 10 is the constant-memory property. The regression gate is TestStreamMemoryCeiling (make memgate)." \
+		> BENCH_6.json
+	cat BENCH_6.json
+
+# Memory-ceiling regression gate: the streaming executor's peak working
+# set must stay flat when the probe relation grows 10x (see
+# TestStreamMemoryCeiling and BENCH_6.json).
+memgate:
+	$(GO) test -count=1 -run TestStreamMemoryCeiling ./internal/algebra

@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"relest"
+	"relest/internal/algebra"
 	"relest/internal/bench"
+	"relest/internal/obs"
 	"relest/internal/relation"
 	"relest/internal/sketch"
 )
@@ -230,6 +232,151 @@ func BenchmarkRelationFootprint(b *testing.B) {
 	}
 	b.ReportMetric(heap/rows, "heap-bytes/row")
 	b.ReportMetric(float64(accounted)/rows, "bytes/row")
+}
+
+// overlapBenchFixture builds the PR-6 multi-term workload: a 3-way union
+// of 5-relation join chains that differ only in the selection on the last
+// relation,
+//
+//	R ⋈ S ⋈ U ⋈ V ⋈ W ⋈ X ⋈ Y ⋈ Z ⋈ (σ_{x∈[0,30)}T ∪ σ_{x∈[30,60)}T ∪ σ_{x∈[60,90)}T),
+//
+// an 8-step join chain over a 3-way union of disjoint selections. The
+// counting polynomial expands the union into 7 terms (3 singles, 3
+// pairs, 1 triple) that all share the [R..Z] join prefix — CSE computes
+// it once per estimate — while the disjoint x-ranges kill every cross
+// term at its final probe. Sample sizes ascend R < S < … < Z < σT so
+// each term plans the chain in the same order with the prefix first.
+func overlapBenchFixture(b *testing.B) (*relest.Expr, *relest.Synopsis) {
+	b.Helper()
+	build := func(name string, n int, cols []string, row func(i int) []int64) *relest.Relation {
+		specs := make([]relest.Column, len(cols))
+		for i, c := range cols {
+			specs[i] = relest.Col(c, relest.KindInt)
+		}
+		rel := relest.NewRelation(name, relest.MustSchema(specs...))
+		for i := 0; i < n; i++ {
+			vals := row(i)
+			tup := make(relest.Tuple, len(vals))
+			for j, v := range vals {
+				tup[j] = relest.Int(v)
+			}
+			rel.MustAppend(tup)
+		}
+		return rel
+	}
+	// R⋈S fans out 30x on a; the later chain keys are near-unique so the
+	// 30k prefix assignments flow flat into the T probes.
+	r := build("R", 1000, []string{"a"}, func(i int) []int64 { return []int64{int64(i % 50)} })
+	s := build("S", 1500, []string{"a", "c"}, func(i int) []int64 { return []int64{int64(i % 50), int64(i)} })
+	u := build("U", 1600, []string{"c", "d"}, func(i int) []int64 { return []int64{int64(i), int64(i)} })
+	v := build("V", 1700, []string{"d", "g"}, func(i int) []int64 { return []int64{int64(i), int64(i)} })
+	w := build("W", 1800, []string{"g", "h"}, func(i int) []int64 { return []int64{int64(i), int64(i)} })
+	x := build("X", 1900, []string{"h", "p"}, func(i int) []int64 { return []int64{int64(i), int64(i)} })
+	y := build("Y", 2000, []string{"p", "q"}, func(i int) []int64 { return []int64{int64(i), int64(i)} })
+	z := build("Z", 2100, []string{"q", "t"}, func(i int) []int64 { return []int64{int64(i), int64(i * 3 % 5000)} })
+	tt := build("T", 6000, []string{"t", "x"}, func(i int) []int64 { return []int64{int64(i % 5000), int64(i % 90)} })
+	syn := relest.NewSynopsis()
+	rng := relest.Seeded(17)
+	for _, rel := range []*relest.Relation{r, s, u, v, w, x, y, z, tt} {
+		if err := syn.AddDrawn(rel, rel.Len(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sel := func(lo, hi int64) *relest.Expr {
+		return relest.Must(relest.Select(relest.BaseOf(tt), relest.And{
+			relest.Cmp{Col: "x", Op: relest.GE, Val: relest.Int(lo)},
+			relest.Cmp{Col: "x", Op: relest.LT, Val: relest.Int(hi)},
+		}))
+	}
+	union := relest.Must(relest.Union(relest.Must(relest.Union(sel(0, 30), sel(30, 60))), sel(60, 90)))
+	chain := relest.Must(relest.Join(relest.BaseOf(r), relest.BaseOf(s),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "s_"))
+	for _, next := range []struct {
+		rel *relest.Relation
+		on  string
+		pre string
+	}{{u, "c", "u_"}, {v, "d", "v_"}, {w, "g", "w_"}, {x, "h", "x_"}, {y, "p", "y_"}, {z, "q", "z_"}} {
+		chain = relest.Must(relest.Join(chain, relest.BaseOf(next.rel),
+			[]relest.On{{Left: next.on, Right: next.on}}, nil, next.pre))
+	}
+	e := relest.Must(relest.Join(chain, union, []relest.On{{Left: "t", Right: "t"}}, nil, "t_"))
+	return e, syn
+}
+
+// benchMultiTermOverlap runs one full COUNT estimate of the overlapping
+// 3-term union per iteration.
+func benchMultiTermOverlap(b *testing.B, disableCSE bool) {
+	e, syn := overlapBenchFixture(b)
+	opts := relest.Options{Variance: relest.VarNone, DisableCSE: disableCSE}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relest.CountWithOptions(e, syn, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiTermOverlap measures multi-term estimate throughput with
+// cross-term subexpression sharing (the default); the BENCH_6 baseline is
+// the same workload with -no-cse, measured identically on this host.
+func BenchmarkMultiTermOverlap(b *testing.B) { benchMultiTermOverlap(b, false) }
+
+// BenchmarkMultiTermOverlapNoCSE is the same estimate with sharing
+// disabled — every term re-evaluates the common join prefix.
+func BenchmarkMultiTermOverlapNoCSE(b *testing.B) { benchMultiTermOverlap(b, true) }
+
+// streamCeilingFixture builds the streaming executor's memory fixture: a
+// σ/⋈ pipeline whose probe side has rows rows against a fixed 64-row
+// build side, so the pipeline's live state (operator batches + build
+// side) is independent of rows.
+func streamCeilingFixture(rows int) (*algebra.Expr, algebra.MapCatalog) {
+	schema := func() *relest.Schema {
+		return relest.MustSchema(relest.Col("a", relest.KindInt), relest.Col("b", relest.KindInt))
+	}
+	r := relest.NewRelation("R", schema())
+	for i := 0; i < rows; i++ {
+		r.MustAppend(relest.Tuple{relest.Int(int64(i % 64)), relest.Int(int64(i))})
+	}
+	s := relest.NewRelation("S", schema())
+	for i := 0; i < 64; i++ {
+		s.MustAppend(relest.Tuple{relest.Int(int64(i)), relest.Int(int64(i * 100))})
+	}
+	sel := algebra.Must(algebra.Select(algebra.BaseOf(r), algebra.Cmp{Col: "b", Op: algebra.GE, Val: relest.Int(0)}))
+	e := algebra.Must(algebra.Join(sel, algebra.BaseOf(s), []algebra.On{{Left: "a", Right: "a"}}, nil, "s"))
+	return e, algebra.MapCatalog{"R": r, "S": s}
+}
+
+// BenchmarkStreamCountCeiling runs the streaming exact count over a probe
+// relation 40x the batch size (≥10x the batch working set) and reports
+// the executor's peak working set next to the relation's resident bytes.
+// peak-ratio-10x is the peak at 40x batches over the peak at 4x batches —
+// ~1.0 is the constant-memory property (a materializing evaluator scales
+// it 10x with the input).
+func BenchmarkStreamCountCeiling(b *testing.B) {
+	smallE, smallCat := streamCeilingFixture(4 * relation.BatchRows)
+	largeE, largeCat := streamCeilingFixture(40 * relation.BatchRows)
+	peak := func(e *algebra.Expr, cat algebra.MapCatalog) float64 {
+		col := obs.NewCollector()
+		if _, err := algebra.StreamCountOpts(e, cat, algebra.StreamOptions{Workers: 1, Rec: col}); err != nil {
+			b.Fatal(err)
+		}
+		return col.Metrics().Gauge(obs.MetricStreamPeakBytes).Value()
+	}
+	small, large := peak(smallE, smallCat), peak(largeE, largeCat)
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		var err error
+		n, err = algebra.StreamCount(largeE, largeCat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n == 0 {
+		b.Fatal("empty join result")
+	}
+	b.ReportMetric(large, "peak-bytes")
+	b.ReportMetric(large/small, "peak-ratio-10x")
 }
 
 // BenchmarkExactCountJoin is the cost the estimators avoid: the exact

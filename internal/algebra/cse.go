@@ -1,0 +1,368 @@
+package algebra
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"relest/internal/obs"
+)
+
+// Cross-term common-subexpression elimination.
+//
+// The counting-polynomial rewrite routinely produces terms that begin with
+// the same work: |A ∪ B| expands A, B and A∩B terms that all join the same
+// base relations on the same keys, and every ∩-pairing duplicates its
+// operands' join prefixes. Each term's plan enumerates its occurrence
+// assignments independently, so without sharing the common prefix is
+// re-joined once per term.
+//
+// AttachCSE removes that duplication at the plan level. Two plans share an
+// enumeration prefix of length p when steps [0, p) are structurally
+// identical: same relation instances, same pushed-down local predicates,
+// same intra-occurrence equalities, same probe keys against the same
+// earlier plan positions, and same residual predicates over the same
+// positions. Such prefixes enumerate exactly the same assignment sequence,
+// so the group materializes it once — a flat table of candidate rows in
+// enumeration order, segmented by first-step candidate — and every consumer
+// replays the table instead of re-probing its indexes.
+//
+// Bit-identity contract. The estimator's results must not move when CSE is
+// toggled, so replaying a table has to reproduce the plain recursion's
+// float semantics exactly:
+//
+//   - CountPart groups additions by candidate subtree (`total += rec(k+1)`
+//     at every level). The replay reconstructs that grouping from the flat
+//     table: within a fixed prefix, step k enumerates distinct candidates
+//     in order, so grouping adjacent-equal level-k values splits a segment
+//     exactly at the plain recursion's subtree boundaries.
+//   - Prefix paths that die before completing the prefix contribute an
+//     exact +0.0 in the plain recursion; they have no table rows and are
+//     skipped in the replay. Counting totals are never −0.0 (they start at
+//     +0.0 and accumulate non-negative subtree counts), so skipping a +0.0
+//     addition is bitwise free.
+//   - Partitioning chunks the first-step candidate list by position in both
+//     paths, so CountPart(part, parts) agrees chunk by chunk at any parts.
+//
+// Fingerprints make "same predicate" decidable: normalization stamps every
+// pushed-down closure and residual predicate with the serial of the
+// predicate binding it came from (see boundPred.id). A zero fingerprint
+// marks a hand-built term whose closures are opaque; such terms simply
+// never share.
+
+// subplanEntry is one shared enumeration prefix: the canonical key's step
+// count plus the lazily materialized assignment table. The table lists, in
+// enumeration order, every assignment of the first upto plan steps that
+// satisfies all prefix constraints: row r holds the upto candidate rows at
+// rows[r*upto ... r*upto+upto-1], and starts[ci] is the first table row
+// whose step-0 candidate is at position ci of the (common) step-0 candidate
+// list. Built once under the sync.Once by the first evaluating consumer —
+// every consumer would build the identical table.
+type subplanEntry struct {
+	upto int
+
+	once   sync.Once
+	rows   []int32
+	starts []int
+
+	rec obs.Recorder
+}
+
+// maxSharedRows caps a shared instance's row count so candidate rows fit
+// int32 table cells.
+const maxSharedRows = math.MaxInt32
+
+// prefixKey canonically encodes the plan's first upto steps. Two plans with
+// equal keys enumerate identical assignment sequences over those steps. The
+// second return is false when the prefix cannot be fingerprinted (opaque
+// predicates) or safely tabulated, which excludes the plan from sharing.
+func (p *termPlan) prefixKey(upto int) (string, bool) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(upto))
+	for k := 0; k < upto; k++ {
+		st := &p.steps[k]
+		occ := st.occ
+		o := &p.term.Occs[occ]
+		if len(o.LocalFps) != len(o.LocalPreds) {
+			return "", false // fingerprints missing: hand-built occurrence
+		}
+		if p.inst[occ].Len() > maxSharedRows {
+			return "", false
+		}
+		// The candidate list: instance identity, local-predicate
+		// fingerprints, intra-occurrence equalities.
+		buf = appendKeyPart(buf, fmt.Sprintf("%p", p.inst[occ]))
+		buf = appendKeyPart(buf, o.RelName)
+		buf = binary.AppendUvarint(buf, uint64(len(o.LocalFps)))
+		for _, fp := range o.LocalFps {
+			if fp == 0 {
+				return "", false
+			}
+			buf = binary.AppendUvarint(buf, fp)
+		}
+		nIntra := 0
+		for _, eq := range p.term.Eqs {
+			if eq.A.Occ == occ && eq.B.Occ == occ {
+				nIntra++
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(nIntra))
+		for _, eq := range p.term.Eqs {
+			if eq.A.Occ == occ && eq.B.Occ == occ {
+				buf = binary.AppendUvarint(buf, uint64(eq.A.Col))
+				buf = binary.AppendUvarint(buf, uint64(eq.B.Col))
+			}
+		}
+		// The step's probe: key columns and the earlier plan positions
+		// providing the probe values. Occurrence indices are term-local, so
+		// refs are canonicalized to plan positions; every ref at a step
+		// inside the prefix points at an earlier step by construction.
+		buf = binary.AppendUvarint(buf, uint64(len(st.keyCols)))
+		for i, c := range st.keyCols {
+			ref := st.boundRefs[i]
+			buf = binary.AppendUvarint(buf, uint64(c))
+			buf = binary.AppendUvarint(buf, uint64(p.pos[ref.Occ]))
+			buf = binary.AppendUvarint(buf, uint64(ref.Col))
+		}
+		// Residual predicates checked at this step.
+		buf = binary.AppendUvarint(buf, uint64(len(st.preds)))
+		for _, pr := range st.preds {
+			if pr.Fp == 0 {
+				return "", false
+			}
+			buf = binary.AppendUvarint(buf, pr.Fp)
+			buf = binary.AppendUvarint(buf, uint64(pr.Width))
+			buf = binary.AppendUvarint(buf, uint64(len(pr.ReadPos)))
+			for i, rp := range pr.ReadPos {
+				ref := pr.Refs[i]
+				buf = binary.AppendUvarint(buf, uint64(rp))
+				buf = binary.AppendUvarint(buf, uint64(p.pos[ref.Occ]))
+				buf = binary.AppendUvarint(buf, uint64(ref.Col))
+			}
+		}
+	}
+	return string(buf), true
+}
+
+// AttachCSE detects shared enumeration prefixes across the given prepared
+// terms and attaches each group to one shared subplan entry, so the group's
+// prefix assignments are computed once per cache lifetime and replayed by
+// every consumer. Call it after preparing a polynomial's terms and before
+// evaluating any of them (attachment mutates the plans); it is idempotent
+// per plan. Returns the number of plans that attached to a prefix another
+// plan also uses (the per-call increment of relest_cse_subplans_shared_total).
+func (c *PlanCache) AttachCSE(plans []*PreparedTerm) int {
+	maxUpto := 0
+	for _, pt := range plans {
+		if pt != nil && pt.p.shared == nil && pt.p.enumUpto > maxUpto {
+			maxUpto = pt.p.enumUpto
+		}
+	}
+	shared := 0
+	// Longest prefixes first: each round groups the still-unattached plans
+	// whose first `upto` steps agree, so a plan always attaches at the
+	// longest prefix it shares with at least one other plan.
+	for upto := maxUpto; upto >= 2; upto-- {
+		groups := make(map[string][]*termPlan)
+		for _, pt := range plans {
+			if pt == nil || pt.p.shared != nil || pt.p.enumUpto < upto {
+				continue
+			}
+			if key, ok := pt.p.prefixKey(upto); ok {
+				groups[key] = append(groups[key], pt.p)
+			}
+		}
+		for key, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			c.mu.Lock()
+			e, ok := c.subplans[key]
+			if !ok {
+				e = &subplanEntry{upto: upto, rec: c.rec}
+				c.subplans[key] = e
+			}
+			c.mu.Unlock()
+			for _, p := range g {
+				p.shared = e
+			}
+			shared += len(g) - 1
+		}
+	}
+	if shared > 0 {
+		c.rec.Add(obs.MetricCSESubplansShared, float64(shared))
+	}
+	return shared
+}
+
+// SubplanBytes returns the resident bytes of the materialized shared
+// assignment tables (zero until consumers evaluate).
+func (c *PlanCache) SubplanBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.subplans {
+		n += len(e.rows)*4 + len(e.starts)*8
+	}
+	return n
+}
+
+// Subplans returns the number of registered shared prefixes.
+func (c *PlanCache) Subplans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subplans)
+}
+
+// materialize builds the assignment table, using whichever consumer plan
+// evaluates first: every plan in the group enumerates the prefix
+// identically, so the table is the same regardless of the builder.
+func (e *subplanEntry) materialize(p *termPlan) {
+	e.once.Do(func() {
+		sp := e.upto
+		cand0 := p.cand[p.steps[0].occ]
+		starts := make([]int, len(cand0)+1)
+		var rows []int32
+		ev := p.newEval()
+		var rec func(k int)
+		rec = func(k int) {
+			if k == sp {
+				for j := 0; j < sp; j++ {
+					rows = append(rows, int32(ev.assign[p.steps[j].occ]))
+				}
+				return
+			}
+			st := &p.steps[k]
+			for _, ri := range ev.candidatesAt(k) {
+				ev.assign[st.occ] = ri
+				if !ev.predsHold(k) {
+					continue
+				}
+				rec(k + 1)
+			}
+		}
+		st0 := &p.steps[0]
+		for ci, ri := range cand0 {
+			starts[ci] = len(rows) / sp
+			ev.assign[st0.occ] = ri
+			if !ev.predsHold(0) {
+				continue
+			}
+			rec(1)
+		}
+		starts[len(cand0)] = len(rows) / sp
+		e.rows, e.starts = rows, starts
+		e.rec.Set(obs.MetricCSESubplanBytes, float64(len(rows)*4+len(starts)*8))
+	})
+}
+
+// countPartShared is CountPart over a plan with an attached shared prefix:
+// steps [0, upto) replay the materialized table, steps [upto, enumUpto)
+// recurse as usual. The replay reconstructs the plain recursion's nested
+// addition grouping (see the file comment), so the result is bit-identical
+// to the unshared path.
+func (p *termPlan) countPartShared(part, parts int) float64 {
+	sh := p.shared
+	sh.materialize(p)
+	sp := sh.upto
+	rows, starts := sh.rows, sh.starts
+	cand0 := p.cand[p.steps[0].occ]
+	lo, hi := chunk(len(cand0), part, parts)
+	ev := p.newEval()
+
+	// Plain recursion for the plan's own suffix.
+	var rec func(k int) float64
+	rec = func(k int) float64 {
+		if k == p.enumUpto {
+			return 1
+		}
+		st := &p.steps[k]
+		total := 0.0
+		for _, ri := range ev.candidatesAt(k) {
+			ev.assign[st.occ] = ri
+			if !ev.predsHold(k) {
+				continue
+			}
+			total += rec(k + 1)
+		}
+		return total
+	}
+
+	// walk sums table rows [a, b), all sharing their first k candidate
+	// values, grouping by the level-k value to mirror rec's per-candidate
+	// subtree additions.
+	var walk func(k, a, b int) float64
+	walk = func(k, a, b int) float64 {
+		if k == sp {
+			// [a, b) is a single complete prefix assignment (candidate
+			// lists hold distinct rows); continue into the suffix.
+			return rec(sp)
+		}
+		st := &p.steps[k]
+		total := 0.0
+		for a < b {
+			v := rows[a*sp+k]
+			j := a + 1
+			for j < b && rows[j*sp+k] == v {
+				j++
+			}
+			ev.assign[st.occ] = int(v)
+			total += walk(k+1, a, j)
+			a = j
+		}
+		return total
+	}
+
+	total := 0.0
+	st0 := &p.steps[0]
+	for ci := lo; ci < hi; ci++ {
+		a, b := starts[ci], starts[ci+1]
+		if a == b {
+			continue
+		}
+		ev.assign[st0.occ] = int(rows[a*sp])
+		total += walk(1, a, b)
+	}
+	return total * p.tailFactor
+}
+
+// enumeratePartShared is EnumeratePart over a plan with an attached shared
+// prefix: each table row binds the prefix assignment directly and the
+// suffix recursion proceeds as usual, visiting assignments in exactly the
+// plain enumeration order.
+func (p *termPlan) enumeratePartShared(part, parts int, visit func(rows []int) bool) {
+	sh := p.shared
+	sh.materialize(p)
+	sp := sh.upto
+	rows, starts := sh.rows, sh.starts
+	cand0 := p.cand[p.steps[0].occ]
+	lo, hi := chunk(len(cand0), part, parts)
+	m := len(p.steps)
+	ev := p.newEval()
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == m {
+			return visit(ev.assign)
+		}
+		st := &p.steps[k]
+		for _, ri := range ev.candidatesAt(k) {
+			ev.assign[st.occ] = ri
+			if !ev.predsHold(k) {
+				continue
+			}
+			if !rec(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	for r := starts[lo]; r < starts[hi]; r++ {
+		for k := 0; k < sp; k++ {
+			ev.assign[p.steps[k].occ] = int(rows[r*sp+k])
+		}
+		if !rec(sp) {
+			return
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"relest/internal/obs"
+	"relest/internal/relation"
+)
+
+// overlapFixture builds the canonical CSE shape: a 3-way union of joins
+// that differ only in the selection on their last relation,
+//
+//	(R ⋈ S ⋈ σ_p1 T) ∪ (R ⋈ S ⋈ σ_p2 T) ∪ (R ⋈ S ⋈ σ_p3 T),
+//
+// sized so every main term's plan enumerates R, then S, then T — the three
+// terms share the [R, S] prefix. The p_i are pairwise disjoint ranges, so
+// the union's pairwise-intersection terms have empty T candidate lists.
+func overlapFixture() (MapCatalog, *Expr) {
+	rs := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "b", Kind: relation.KindInt},
+	)
+	ss := relation.MustSchema(
+		relation.Column{Name: "a", Kind: relation.KindInt},
+		relation.Column{Name: "c", Kind: relation.KindInt},
+	)
+	ts := relation.MustSchema(
+		relation.Column{Name: "b", Kind: relation.KindInt},
+		relation.Column{Name: "x", Kind: relation.KindInt},
+	)
+	r := relation.New("R", rs)
+	for i := 0; i < 20; i++ {
+		r.MustAppend(relation.Tuple{relation.Int(int64(i % 8)), relation.Int(int64(i % 12))})
+	}
+	s := relation.New("S", ss)
+	for i := 0; i < 40; i++ {
+		s.MustAppend(relation.Tuple{relation.Int(int64(i % 8)), relation.Int(int64(i))})
+	}
+	tt := relation.New("T", ts)
+	for i := 0; i < 200; i++ {
+		tt.MustAppend(relation.Tuple{relation.Int(int64(i % 12)), relation.Int(int64(i % 90))})
+	}
+	cat := MapCatalog{"R": r, "S": s, "T": tt}
+	term := func(lo, hi int64) *Expr {
+		rsJoin := Must(Join(BaseOf(r), BaseOf(s), []On{{Left: "a", Right: "a"}}, nil, "s_"))
+		sel := Must(Select(BaseOf(tt), And{
+			Cmp{Col: "x", Op: GE, Val: relation.Int(lo)},
+			Cmp{Col: "x", Op: LT, Val: relation.Int(hi)},
+		}))
+		return Must(Join(rsJoin, sel, []On{{Left: "b", Right: "b"}}, nil, "t_"))
+	}
+	e := Must(Union(Must(Union(term(0, 30), term(30, 60))), term(60, 90)))
+	return cat, e
+}
+
+// preparePair compiles every polynomial term twice: once into the cache
+// (the plans AttachCSE will link) and once standalone (the plain oracle).
+func preparePair(t *testing.T, poly Polynomial, cat Catalog, cache *PlanCache) (attached, plain []*PreparedTerm) {
+	t.Helper()
+	for i := range poly.Terms {
+		tm := &poly.Terms[i]
+		inst, err := BindInstances(tm, cat)
+		if err != nil {
+			t.Fatalf("term %d: bind: %v", i, err)
+		}
+		pt, err := cache.Prepare(tm, inst)
+		if err != nil {
+			t.Fatalf("term %d: prepare: %v", i, err)
+		}
+		pp, err := Prepare(tm, inst)
+		if err != nil {
+			t.Fatalf("term %d: prepare plain: %v", i, err)
+		}
+		attached, plain = append(attached, pt), append(plain, pp)
+	}
+	return attached, plain
+}
+
+// checkPlansBitIdentical compares an attached plan against its plain twin:
+// per-part counts must match bit for bit and enumeration must visit the
+// same assignments in the same order.
+func checkPlansBitIdentical(t *testing.T, i int, attached, plain *PreparedTerm) {
+	t.Helper()
+	parts := attached.Parts()
+	if pp := plain.Parts(); pp != parts {
+		t.Fatalf("term %d: Parts %d (shared) != %d (plain)", i, parts, pp)
+	}
+	for part := 0; part < parts; part++ {
+		a := attached.CountPart(part, parts)
+		b := plain.CountPart(part, parts)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("term %d part %d/%d: shared count %v != plain %v (bits %x vs %x)",
+				i, part, parts, a, b, math.Float64bits(a), math.Float64bits(b))
+		}
+	}
+	var gotSeq, wantSeq [][]int
+	attached.Enumerate(func(rows []int) bool {
+		gotSeq = append(gotSeq, append([]int(nil), rows...))
+		return true
+	})
+	plain.Enumerate(func(rows []int) bool {
+		wantSeq = append(wantSeq, append([]int(nil), rows...))
+		return true
+	})
+	if len(gotSeq) != len(wantSeq) {
+		t.Fatalf("term %d: shared enumeration has %d assignments, plain %d", i, len(gotSeq), len(wantSeq))
+	}
+	for j := range gotSeq {
+		for k := range gotSeq[j] {
+			if gotSeq[j][k] != wantSeq[j][k] {
+				t.Fatalf("term %d: assignment %d differs: %v vs %v", i, j, gotSeq[j], wantSeq[j])
+			}
+		}
+	}
+}
+
+// TestAttachCSESharesAcrossTerms checks the canonical overlap shape: the
+// three main union terms attach to one shared [R, S] prefix and every
+// attached plan still counts and enumerates bit-identically to a plain
+// plan.
+func TestAttachCSESharesAcrossTerms(t *testing.T) {
+	cat, e := overlapFixture()
+	poly, err := Normalize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewCollector()
+	cache := NewPlanCacheRec(rec)
+	attached, plain := preparePair(t, poly, cat, cache)
+	shared := cache.AttachCSE(attached)
+	if shared < 2 {
+		t.Fatalf("AttachCSE shared %d plans, want >= 2 (three terms share the R⋈S prefix)", shared)
+	}
+	if cache.Subplans() == 0 {
+		t.Fatal("no shared subplans registered")
+	}
+	if got := rec.Metrics().Counter(obs.MetricCSESubplansShared).Value(); got != float64(shared) {
+		t.Errorf("shared-subplan counter = %v, want %v", got, shared)
+	}
+	for i := range attached {
+		checkPlansBitIdentical(t, i, attached[i], plain[i])
+	}
+	if cache.SubplanBytes() == 0 {
+		t.Error("no shared table materialized after evaluation")
+	}
+	if rec.Metrics().Gauge(obs.MetricCSESubplanBytes).Value() <= 0 {
+		t.Error("subplan bytes gauge not recorded")
+	}
+	// Idempotence: re-attaching the same plans must not double-link.
+	if again := cache.AttachCSE(attached); again != 0 {
+		t.Errorf("second AttachCSE shared %d plans, want 0", again)
+	}
+}
+
+// TestCSEBitIdenticalRandomized attaches shared prefixes across the terms
+// of randomized polynomials and requires every attached plan to reproduce
+// its plain twin bit for bit — counts per part and enumeration order.
+func TestCSEBitIdenticalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sharedTotal := 0
+	for trial := 0; trial < 80; trial++ {
+		cat, bases := randomCatalog(rng)
+		e := randomExpr(rng, bases, 3)
+		poly, err := Normalize(e)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, e, err)
+		}
+		if poly.NumTerms() < 2 || poly.NumTerms() > 120 {
+			continue
+		}
+		cache := NewPlanCache()
+		attached, plain := preparePair(t, poly, cat, cache)
+		sharedTotal += cache.AttachCSE(attached)
+		for i := range attached {
+			checkPlansBitIdentical(t, i, attached[i], plain[i])
+		}
+	}
+	if sharedTotal == 0 {
+		t.Error("randomized trials never shared a prefix; fixture has lost its CSE coverage")
+	}
+}
+
+// TestSharedSubplanConcurrentConsumers streams one shared subplan into the
+// three main overlap terms (plus the intersection terms) from concurrent
+// goroutines — the -race check that lazy table materialization and
+// replay are safe under concurrent consumption.
+func TestSharedSubplanConcurrentConsumers(t *testing.T) {
+	cat, e := overlapFixture()
+	poly, err := Normalize(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlanCache()
+	attached, plain := preparePair(t, poly, cat, cache)
+	if shared := cache.AttachCSE(attached); shared < 2 {
+		t.Fatalf("AttachCSE shared %d plans, want >= 2", shared)
+	}
+	want := make([]float64, len(plain))
+	for i, pp := range plain {
+		want[i] = pp.Count()
+	}
+	const goroutines = 4
+	got := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := make([]float64, len(attached))
+			for i, pt := range attached {
+				vals[i] = pt.Count()
+				pt.Enumerate(func([]int) bool { return true })
+			}
+			got[g] = vals
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		for i := range want {
+			if math.Float64bits(got[g][i]) != math.Float64bits(want[i]) {
+				t.Errorf("goroutine %d term %d: %v != plain %v", g, i, got[g][i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlanCacheKeyStructural feeds the structural key encoder the
+// adversarial shapes that break separator-joined keys: component splits
+// whose concatenations collide, and (term, instances) pairs that are
+// prefixes, repetitions or permutations of one another.
+func TestPlanCacheKeyStructural(t *testing.T) {
+	encode := func(parts ...string) string {
+		var buf []byte
+		for _, p := range parts {
+			buf = appendKeyPart(buf, p)
+		}
+		return string(buf)
+	}
+	splits := [][2][]string{
+		{{"ab", "c"}, {"a", "bc"}},
+		{{"abc"}, {"ab", "c"}},
+		{{"", "x"}, {"x", ""}},
+		{{"x", "", ""}, {"x", ""}},
+		{{"a:b"}, {"a", "b"}},
+		{{"a", ":b"}, {"a:", "b"}},
+	}
+	for _, c := range splits {
+		if encode(c[0]...) == encode(c[1]...) {
+			t.Errorf("encoder collision: %q vs %q", c[0], c[1])
+		}
+	}
+
+	schema := relation.MustSchema(relation.Column{Name: "a", Kind: relation.KindInt})
+	t1, t2 := &Term{}, &Term{}
+	r1, r2 := relation.New("R", schema), relation.New("R", schema)
+	pairs := []struct {
+		name string
+		t    *Term
+		inst Instances
+	}{
+		{"t1/none", t1, nil},
+		{"t1/r1", t1, Instances{r1}},
+		{"t1/r2", t1, Instances{r2}},
+		{"t1/r1r1", t1, Instances{r1, r1}},
+		{"t1/r1r2", t1, Instances{r1, r2}},
+		{"t1/r2r1", t1, Instances{r2, r1}},
+		{"t2/r1", t2, Instances{r1}},
+		{"t2/r1r2", t2, Instances{r1, r2}},
+	}
+	seen := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		key := planCacheKey(p.t, p.inst)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("planCacheKey collision: %s and %s encode identically", prev, p.name)
+		}
+		seen[key] = p.name
+	}
+}

@@ -14,6 +14,13 @@ import (
 // Selections return zero-copy views over their input; joins, products,
 // projections and set operations build fresh columnar relations by
 // column-wise copy, never materializing intermediate tuples.
+//
+// Eval materializes every intermediate result, which makes it the oracle
+// the streaming executor (stream.go) is validated against — and too
+// expensive for anything but validation and small exports. Counting goes
+// through Count/StreamCount instead; the relestlint `materialize` rule
+// flags Eval calls outside this package so the escape hatch stays
+// deliberate.
 func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 	switch e.op {
 	case OpBase:
@@ -160,16 +167,12 @@ func Eval(e *Expr, cat Catalog) (*relation.Relation, error) {
 	}
 }
 
-// Count evaluates COUNT(E) exactly. It materializes intermediate results;
-// for the sizes used in this repository's experiments that is acceptable as
-// ground truth (the estimators exist precisely so users don't have to do
-// this).
+// Count evaluates COUNT(E) exactly through the streaming batch executor:
+// σ/⋈/× pipelines are drained batch-by-batch without materializing
+// intermediate relations, and set operations keep only their dedup state.
+// Use StreamCountOpts directly to bound workers or record batch metrics.
 func Count(e *Expr, cat Catalog) (int64, error) {
-	r, err := Eval(e, cat)
-	if err != nil {
-		return 0, err
-	}
-	return int64(r.Len()), nil
+	return StreamCount(e, cat)
 }
 
 func evalSetOp(op Op, schema *relation.Schema, left, right *relation.Relation) *relation.Relation {

@@ -1,0 +1,645 @@
+package algebra
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"relest/internal/obs"
+	"relest/internal/parallel"
+	"relest/internal/relation"
+)
+
+// This file is the pull-based streaming evaluator: operators exchange
+// fixed-size columnar batches (relation.Batch) of row indices over the
+// source relations' column vectors, so σ/⋈/× pipelines never materialize an
+// intermediate relation — the live state of a pipeline is its operators'
+// batches plus the hash-join build sides, independent of probe-side input
+// size. Set operations and π are pipeline breakers: they deduplicate, so
+// they materialize their (deduplicated) output incrementally into an owned
+// relation and stream batches over it.
+//
+// Operator contract (see DESIGN.md §11):
+//
+//   - next() returns the operator's next non-empty batch, or nil at end of
+//     stream. The batch is owned by the operator and valid only until the
+//     next call; its row indices, however, point into source relations and
+//     stay valid indefinitely (consumers may buffer indices, never batches).
+//   - An operator's batch layout (source relations + column mapping) is
+//     fixed across its lifetime and known at construction, so a join can
+//     gather its build side zero-copy into one growable batch.
+//   - Join and product always drain the right operand into the build side
+//     and stream the left operand as the probe, giving a canonical output
+//     order independent of operand sizes (Eval, the materializing ground
+//     truth, picks the build side by size instead, so row order — never
+//     content — may differ between the two).
+//
+// Counting pipelines parallelize: when the probe spine is partitionable
+// (σ/⋈/× over a leftmost base scan), StreamCount splits the driving scan
+// into per-worker chunks that share the lazily-built build sides, and sums
+// the per-chunk integer counts — bit-identical for every worker count.
+
+// stream is one operator of a running pipeline.
+type stream interface {
+	// next returns the next non-empty batch, or nil at end of stream.
+	next() *relation.Batch
+	// bytes returns the live heap footprint of this operator and its
+	// children: batches, build sides, dedup state. It is the streaming
+	// executor's memory ceiling when sampled at end of drain.
+	bytes() int
+}
+
+// streamExec compiles one expression into pipelines. Partitioned pipelines
+// from the same exec share build sides (each built exactly once) and a
+// batch counter.
+type streamExec struct {
+	cat Catalog
+
+	mu     sync.Mutex
+	builds map[buildKey]*buildSide
+
+	batches atomic.Int64
+}
+
+// buildSide is the fully drained right operand of a streaming join or
+// product: a growable batch of row indices plus, for equi-joins, a typed
+// hash index over the join key columns. Built once under the sync.Once and
+// shared read-only by every probe partition.
+// buildKey identifies a build side by its expression node AND its index
+// signature: the same sub-expression probed as an equi-join build (indexed
+// on specific key columns) and as a product operand (no index) are distinct
+// build sides, as are equi-joins on different key columns.
+type buildKey struct {
+	e    *Expr
+	keys string // "" for products, encoded key columns for equi-joins
+}
+
+func newBuildKey(e *Expr, equi bool, keyCols []int) buildKey {
+	k := buildKey{e: e}
+	if equi {
+		var buf []byte
+		for _, c := range keyCols {
+			buf = binary.AppendVarint(buf, int64(c))
+		}
+		k.keys = "k" + string(buf)
+	}
+	return k
+}
+
+type buildSide struct {
+	once sync.Once
+	b    *relation.Batch
+	ix   *relation.BatchIndex
+	size int
+	err  error
+}
+
+func newStreamExec(e *Expr, cat Catalog) (*streamExec, error) {
+	if err := validateStreamTree(e, cat); err != nil {
+		return nil, err
+	}
+	return &streamExec{cat: cat, builds: make(map[buildKey]*buildSide)}, nil
+}
+
+// validateStreamTree resolves every base relation up front so pipeline
+// construction and draining are infallible, with the same errors the
+// materializing evaluator reports.
+func validateStreamTree(e *Expr, cat Catalog) error {
+	switch e.op {
+	case OpBase:
+		r, ok := cat.Relation(e.relName)
+		if !ok {
+			return fmt.Errorf("algebra: no relation %q in catalog", e.relName)
+		}
+		if !r.Schema().EqualLayout(e.schema) {
+			return fmt.Errorf("algebra: relation %q layout %s does not match expression schema %s",
+				e.relName, r.Schema(), e.schema)
+		}
+		return nil
+	case OpSelect, OpProject:
+		return validateStreamTree(e.left, cat)
+	case OpJoin, OpProduct, OpUnion, OpIntersect, OpDiff:
+		if err := validateStreamTree(e.left, cat); err != nil {
+			return err
+		}
+		return validateStreamTree(e.right, cat)
+	default:
+		return fmt.Errorf("algebra: cannot evaluate op %s", e.op)
+	}
+}
+
+// identityCols is the column mapping of a single-source batch whose columns
+// are the source's own.
+func identityCols(n int) []relation.BatchCol {
+	cols := make([]relation.BatchCol, n)
+	for i := range cols {
+		cols[i] = relation.BatchCol{Src: 0, Col: i}
+	}
+	return cols
+}
+
+// shiftCols re-sources a right operand's column mapping behind a left
+// operand's nl sources.
+func shiftCols(cols []relation.BatchCol, nl int) []relation.BatchCol {
+	out := make([]relation.BatchCol, len(cols))
+	for i, c := range cols {
+		out[i] = relation.BatchCol{Src: c.Src + nl, Col: c.Col}
+	}
+	return out
+}
+
+// pipeline builds the operator tree for chunk `part` of `parts` of the
+// probe spine (partitioning applies to the leftmost scan; parts must be 1
+// for non-partitionable trees). It returns the root operator and its fixed
+// batch layout.
+func (x *streamExec) pipeline(e *Expr, part, parts int) (stream, []*relation.Relation, []relation.BatchCol) {
+	switch e.op {
+	case OpBase:
+		r, _ := x.cat.Relation(e.relName) // validated up front
+		lo, hi := chunk(r.Len(), part, parts)
+		cols := identityCols(e.schema.Len())
+		rels := []*relation.Relation{r}
+		return &scanOp{x: x, rel: r, pos: lo, hi: hi, out: relation.NewBatch(rels, cols)}, rels, cols
+
+	case OpSelect:
+		child, rels, cols := x.pipeline(e.left, part, parts)
+		op := &selectOp{
+			x:     x,
+			child: child,
+			pred:  e.pred,
+			out:   relation.NewBatch(rels, cols),
+			virt:  make(relation.Tuple, e.left.schema.Len()),
+		}
+		op.fast = len(rels) == 1 && len(cols) == rels[0].Schema().Len()
+		if op.fast {
+			for i, c := range cols {
+				if c.Src != 0 || c.Col != i {
+					op.fast = false
+					break
+				}
+			}
+		}
+		return op, rels, cols
+
+	case OpJoin, OpProduct:
+		left, lrels, lcols := x.pipeline(e.left, part, parts)
+		bs, brels, bcols := x.buildSideFor(e.right, e.op == OpJoin, e.joinRight)
+		rels := append(append([]*relation.Relation{}, lrels...), brels...)
+		cols := append(append([]relation.BatchCol{}, lcols...), shiftCols(bcols, len(lrels))...)
+		op := &joinOp{
+			x:     x,
+			left:  left,
+			build: bs,
+			nl:    len(lrels),
+			out:   relation.NewBatch(rels, cols),
+		}
+		if e.op == OpJoin {
+			op.probeCols = e.joinLeft
+			if e.theta.eval != nil {
+				op.theta = e.theta.eval
+				op.thetaCols = e.theta.cols
+				op.virt = make(relation.Tuple, e.schema.Len())
+			}
+		}
+		return op, rels, cols
+
+	case OpProject:
+		child, _, ccols := x.pipeline(e.left, part, parts)
+		pcols := make([]relation.BatchCol, len(e.projCols))
+		for i, c := range e.projCols {
+			pcols[i] = ccols[c]
+		}
+		owned := relation.New("π", e.schema)
+		op := &dedupOp{
+			x:        x,
+			owned:    owned,
+			out:      relation.NewBatch([]*relation.Relation{owned}, identityCols(e.schema.Len())),
+			seen:     make(map[string]struct{}),
+			children: []dedupInput{{s: child, keyCols: e.projCols, cols: pcols}},
+		}
+		return op, []*relation.Relation{owned}, op.out.Cols
+
+	case OpUnion, OpIntersect, OpDiff:
+		left, _, lcols := x.pipeline(e.left, part, parts)
+		right, _, rcols := x.pipeline(e.right, part, parts)
+		owned := relation.New(e.op.String(), e.schema)
+		op := &dedupOp{
+			x:     x,
+			owned: owned,
+			out:   relation.NewBatch([]*relation.Relation{owned}, identityCols(e.schema.Len())),
+			seen:  make(map[string]struct{}),
+		}
+		_, _ = lcols, rcols // children's columns are already the output columns
+		switch e.op {
+		case OpUnion:
+			op.children = []dedupInput{{s: left}, {s: right}}
+		case OpIntersect:
+			op.children = []dedupInput{{s: left}}
+			op.filter, op.filterIn = right, true
+		case OpDiff:
+			op.children = []dedupInput{{s: left}}
+			op.filter, op.filterIn = right, false
+		}
+		return op, []*relation.Relation{owned}, op.out.Cols
+	}
+	panic("algebra: unreachable op in validated stream tree")
+}
+
+// buildSideFor drains e's pipeline into the shared build side for this
+// exec, building it on first use.
+func (x *streamExec) buildSideFor(e *Expr, equi bool, keyCols []int) (*buildSide, []*relation.Relation, []relation.BatchCol) {
+	bk := newBuildKey(e, equi, keyCols)
+	x.mu.Lock()
+	bs, ok := x.builds[bk]
+	if !ok {
+		bs = &buildSide{}
+		x.builds[bk] = bs
+	}
+	x.mu.Unlock()
+	// The right pipeline is never partitioned: every partition must probe
+	// the complete build side.
+	child, rels, cols := x.pipeline(e, 0, 1)
+	bs.once.Do(func() {
+		g := relation.NewBatch(rels, cols)
+		for b := child.next(); b != nil; b = child.next() {
+			for i := 0; i < b.Len(); i++ {
+				g.AppendRowFrom(b, i)
+			}
+		}
+		bs.b = g
+		bs.size = g.Bytes() + child.bytes()
+		if equi {
+			bs.ix = relation.BuildBatchIndex(g, keyCols)
+			bs.size += bs.ix.Bytes()
+		}
+	})
+	return bs, rels, cols
+}
+
+// scanOp streams a base relation's rows in storage order over [pos, hi).
+type scanOp struct {
+	x       *streamExec
+	rel     *relation.Relation
+	pos, hi int
+	out     *relation.Batch
+}
+
+func (s *scanOp) next() *relation.Batch {
+	if s.pos >= s.hi {
+		return nil
+	}
+	s.out.Reset()
+	n := s.hi - s.pos
+	if n > relation.BatchRows {
+		n = relation.BatchRows
+	}
+	rows := s.out.Srcs[0].Rows
+	for i := 0; i < n; i++ {
+		rows = append(rows, s.pos+i)
+	}
+	s.out.Srcs[0].Rows = rows
+	s.pos += n
+	s.x.batches.Add(1)
+	return s.out
+}
+
+func (s *scanOp) bytes() int { return s.out.Bytes() }
+
+// selectOp filters its child's batches. Surviving row indices accumulate
+// across child batches (indices stay valid; batches don't) until the output
+// batch is full.
+type selectOp struct {
+	x     *streamExec
+	child stream
+	pred  boundPred
+	out   *relation.Batch
+	virt  relation.Tuple
+	fast  bool // single-source identity layout: evaluate via the Row binding
+
+	cur    *relation.Batch
+	curPos int
+}
+
+func (s *selectOp) next() *relation.Batch {
+	s.out.Reset()
+	for s.out.Len() < relation.BatchRows {
+		if s.cur == nil || s.curPos >= s.cur.Len() {
+			s.cur = s.child.next()
+			s.curPos = 0
+			if s.cur == nil {
+				break
+			}
+		}
+		b := s.cur
+		if s.fast {
+			rel := b.Srcs[0].Rel
+			for ; s.curPos < b.Len() && s.out.Len() < relation.BatchRows; s.curPos++ {
+				if s.pred.evalRow(rel.Row(b.Srcs[0].Rows[s.curPos])) {
+					s.out.AppendRowFrom(b, s.curPos)
+				}
+			}
+			continue
+		}
+		for ; s.curPos < b.Len() && s.out.Len() < relation.BatchRows; s.curPos++ {
+			for _, pos := range s.pred.cols {
+				s.virt[pos] = b.Value(s.curPos, pos)
+			}
+			if s.pred.eval(s.virt) {
+				s.out.AppendRowFrom(b, s.curPos)
+			}
+		}
+	}
+	if s.out.Len() == 0 {
+		return nil
+	}
+	s.x.batches.Add(1)
+	return s.out
+}
+
+func (s *selectOp) bytes() int { return s.out.Bytes() + s.child.bytes() }
+
+// joinOp streams the left operand against the drained build side: a typed
+// hash probe per left row for equi-joins, the full build side for products.
+// The output batch concatenates the left batch's sources with the build
+// side's, copying only row indices.
+type joinOp struct {
+	x     *streamExec
+	left  stream
+	build *buildSide
+	nl    int // number of left sources
+
+	probeCols []int // equi-join probe columns in the left batch; nil = product
+	theta     func(relation.Tuple) bool
+	thetaCols []int
+	virt      relation.Tuple
+
+	out *relation.Batch
+
+	cur     *relation.Batch
+	curPos  int
+	matches []int // pending build rows for the current left row
+	mi      int
+	all     []int // cached [0, buildLen) for product iteration
+}
+
+// emit appends (left row li of cur, build row bi) to out, then applies the
+// theta condition (bound against the concatenated schema) on the appended
+// row, dropping it on failure.
+func (j *joinOp) emit(li, bi int) {
+	n := j.out.Len()
+	for s := 0; s < j.nl; s++ {
+		j.out.Srcs[s].Rows = append(j.out.Srcs[s].Rows, j.cur.Srcs[s].Rows[li])
+	}
+	for s := range j.build.b.Srcs {
+		j.out.Srcs[j.nl+s].Rows = append(j.out.Srcs[j.nl+s].Rows, j.build.b.Srcs[s].Rows[bi])
+	}
+	if j.theta != nil {
+		for _, pos := range j.thetaCols {
+			j.virt[pos] = j.out.Value(n, pos)
+		}
+		if !j.theta(j.virt) {
+			j.out.Truncate(n)
+		}
+	}
+}
+
+func (j *joinOp) next() *relation.Batch {
+	j.out.Reset()
+	for j.out.Len() < relation.BatchRows {
+		if j.matches != nil && j.mi < len(j.matches) {
+			for ; j.mi < len(j.matches) && j.out.Len() < relation.BatchRows; j.mi++ {
+				j.emit(j.curPos, j.matches[j.mi])
+			}
+			continue
+		}
+		j.curPos++
+		if j.cur == nil || j.curPos >= j.cur.Len() {
+			j.cur = j.left.next()
+			j.curPos = 0
+			if j.cur == nil {
+				break
+			}
+		}
+		if j.probeCols != nil {
+			j.matches = j.build.ix.Lookup(j.cur, j.curPos, j.probeCols)
+		} else {
+			j.matches = j.allBuildRows()
+		}
+		j.mi = 0
+	}
+	if j.out.Len() == 0 {
+		return nil
+	}
+	j.x.batches.Add(1)
+	return j.out
+}
+
+// allBuildRows returns [0, buildLen) for product iteration (cached).
+func (j *joinOp) allBuildRows() []int {
+	if j.all == nil {
+		n := j.build.b.Len()
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		j.all = rows
+	}
+	return j.all
+}
+
+func (j *joinOp) bytes() int {
+	return j.out.Bytes() + j.left.bytes() + j.build.size + cap(j.all)*8
+}
+
+// dedupOp is the pipeline breaker behind π and the set operations: it
+// deduplicates rows by full-row (or projected) key, materializes survivors
+// into an owned relation, and streams batches of owned-relation rows. For ∩
+// and −, the filter stream is drained into a key set before the first
+// output batch, mirroring the materializing evaluator's key-set algorithm
+// (and its output order) exactly.
+type dedupOp struct {
+	x     *streamExec
+	owned *relation.Relation
+	out   *relation.Batch
+
+	children []dedupInput
+	ci       int
+
+	// filter is the right operand of ∩/−: membership in its key set is
+	// required (filterIn) or forbidden (!filterIn).
+	filter     stream
+	filterIn   bool
+	filterKeys map[string]struct{}
+
+	seen    map[string]struct{}
+	keyBuf  []byte
+	emitted int // owned rows already streamed out
+	started bool
+}
+
+// dedupInput is one input stream with the key columns (in the input batch's
+// column space) and the output column mapping used to materialize a row.
+type dedupInput struct {
+	s       stream
+	keyCols []int               // nil = whole row
+	cols    []relation.BatchCol // nil = input columns are the output columns
+}
+
+func (d *dedupOp) next() *relation.Batch {
+	if !d.started {
+		d.started = true
+		if d.filter != nil {
+			d.filterKeys = make(map[string]struct{})
+			for b := d.filter.next(); b != nil; b = d.filter.next() {
+				for i := 0; i < b.Len(); i++ {
+					d.keyBuf = b.AppendKey(d.keyBuf[:0], i, nil)
+					d.filterKeys[string(d.keyBuf)] = struct{}{}
+				}
+			}
+		}
+	}
+	for d.owned.Len()-d.emitted < relation.BatchRows && d.ci < len(d.children) {
+		in := &d.children[d.ci]
+		b := in.s.next()
+		if b == nil {
+			d.ci++
+			continue
+		}
+		proj := b
+		if in.cols != nil {
+			proj = &relation.Batch{Srcs: b.Srcs, Cols: in.cols}
+		}
+		for i := 0; i < b.Len(); i++ {
+			d.keyBuf = b.AppendKey(d.keyBuf[:0], i, in.keyCols)
+			if d.filterKeys != nil {
+				if _, member := d.filterKeys[string(d.keyBuf)]; member != d.filterIn {
+					continue
+				}
+			}
+			if _, dup := d.seen[string(d.keyBuf)]; dup {
+				continue
+			}
+			d.seen[string(d.keyBuf)] = struct{}{}
+			d.owned.AppendBatchRow(proj, i)
+		}
+	}
+	if d.emitted == d.owned.Len() {
+		return nil
+	}
+	d.out.Reset()
+	hi := d.emitted + relation.BatchRows
+	if hi > d.owned.Len() {
+		hi = d.owned.Len()
+	}
+	rows := d.out.Srcs[0].Rows
+	for r := d.emitted; r < hi; r++ {
+		rows = append(rows, r)
+	}
+	d.out.Srcs[0].Rows = rows
+	d.emitted = hi
+	d.x.batches.Add(1)
+	return d.out
+}
+
+func (d *dedupOp) bytes() int {
+	n := d.out.Bytes() + d.owned.Bytes() + len(d.seen)*48 + len(d.filterKeys)*48
+	for i := range d.children {
+		n += d.children[i].s.bytes()
+	}
+	if d.filter != nil {
+		n += d.filter.bytes()
+	}
+	return n
+}
+
+// partitionableStream reports whether the probe spine is a σ/⋈/× chain over
+// a leftmost base scan, so the driving scan can be split across workers
+// (the right operands become shared build sides either way).
+func partitionableStream(e *Expr) bool {
+	switch e.op {
+	case OpBase:
+		return true
+	case OpSelect, OpJoin, OpProduct:
+		return partitionableStream(e.left)
+	default:
+		return false
+	}
+}
+
+// StreamOptions configures a streaming evaluation.
+type StreamOptions struct {
+	// Workers bounds probe-side parallelism: 0 resolves to the process
+	// default, 1 forces a single pipeline. Counts are identical for every
+	// setting (integer partial counts, part-ordered reduction).
+	Workers int
+	// Rec receives relest_stream_batches_total and the peak working-set
+	// gauge; nil disables recording.
+	Rec obs.Recorder
+}
+
+// StreamCount evaluates COUNT(E) through the streaming executor with
+// default options. It is exact and never materializes σ/⋈/× intermediates;
+// see StreamCountOpts.
+func StreamCount(e *Expr, cat Catalog) (int64, error) {
+	return StreamCountOpts(e, cat, StreamOptions{})
+}
+
+// StreamCountOpts evaluates COUNT(E) by draining the streaming pipeline
+// and summing batch lengths. Partitionable probe spines fan out across
+// opts.Workers with shared build sides; the result is the same integer for
+// every worker count.
+func StreamCountOpts(e *Expr, cat Catalog, opts StreamOptions) (int64, error) {
+	x, err := newStreamExec(e, cat)
+	if err != nil {
+		return 0, err
+	}
+	parts := 1
+	if w := parallel.Resolve(opts.Workers); w > 1 && partitionableStream(e) {
+		parts = w
+	}
+	counts := make([]int64, parts)
+	peaks := make([]int, parts)
+	parallel.For(parts, parts, func(part int) {
+		s, _, _ := x.pipeline(e, part, parts)
+		var n int64
+		for b := s.next(); b != nil; b = s.next() {
+			n += int64(b.Len())
+		}
+		counts[part] = n
+		peaks[part] = s.bytes()
+	})
+	var total int64
+	peak := 0
+	for i, c := range counts {
+		total += c
+		if peaks[i] > peak {
+			peak = peaks[i]
+		}
+	}
+	if obs.Live(opts.Rec) {
+		opts.Rec.Add(obs.MetricStreamBatches, float64(x.batches.Load()))
+		opts.Rec.Set(obs.MetricStreamPeakBytes, float64(peak))
+	}
+	return total, nil
+}
+
+// StreamEval drains the streaming pipeline into a fresh materialized
+// relation — the validation and export path (the pipeline itself stays
+// constant-memory; the output is whatever the query produces). Output rows
+// follow the executor's canonical probe-left order, which may differ from
+// Eval's size-based build-side choice; the bags are always equal.
+func StreamEval(e *Expr, cat Catalog) (*relation.Relation, error) {
+	x, err := newStreamExec(e, cat)
+	if err != nil {
+		return nil, err
+	}
+	s, _, _ := x.pipeline(e, 0, 1)
+	out := relation.New("stream("+e.op.String()+")", e.Schema())
+	for b := s.next(); b != nil; b = s.next() {
+		for i := 0; i < b.Len(); i++ {
+			out.AppendBatchRow(b, i)
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -85,6 +86,14 @@ type termPlan struct {
 	// predicates; maxProbeWidth sizes the probe-value scratch.
 	maxPredWidth  int
 	maxProbeWidth int
+
+	// shared, when non-nil, is the cross-term CSE attachment: the plan's
+	// first shared.upto steps enumerate identically to every other plan in
+	// the sharing group, so Count/Enumerate read the group's materialized
+	// assignment table instead of re-enumerating the prefix. Set by
+	// PlanCache.AttachCSE before any evaluation; nil plans evaluate the
+	// plain recursive paths. See cse.go.
+	shared *subplanEntry
 }
 
 type planStep struct {
@@ -393,6 +402,9 @@ func (pt *PreparedTerm) CountPart(part, parts int) float64 {
 		}
 		return p.tailFactor
 	}
+	if p.shared != nil {
+		return p.countPartShared(part, parts)
+	}
 	ev := p.newEval()
 	var rec func(k int) float64
 	rec = func(k int) float64 {
@@ -433,6 +445,10 @@ func (pt *PreparedTerm) Enumerate(visit func(rows []int) bool) {
 // accumulators.
 func (pt *PreparedTerm) EnumeratePart(part, parts int, visit func(rows []int) bool) {
 	p := pt.p
+	if p.shared != nil {
+		p.enumeratePartShared(part, parts, visit)
+		return
+	}
 	m := len(p.steps)
 	ev := p.newEval()
 	var rec func(k int) bool
@@ -474,7 +490,11 @@ func (pt *PreparedTerm) EnumeratePart(part, parts int, visit func(rows []int) bo
 type PlanCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	rec     obs.Recorder
+	// subplans holds the shared enumeration prefixes AttachCSE registered,
+	// keyed by canonical prefix encoding (cse.go); their assignment tables
+	// materialize lazily on first evaluation.
+	subplans map[string]*subplanEntry
+	rec      obs.Recorder
 }
 
 type cacheEntry struct {
@@ -499,17 +519,37 @@ func NewPlanCache() *PlanCache {
 // NewPlanCacheRec creates an empty plan cache reporting compilations and
 // hits to the recorder (nil = no reporting).
 func NewPlanCacheRec(rec obs.Recorder) *PlanCache {
-	return &PlanCache{entries: make(map[string]*cacheEntry), rec: obs.Or(rec)}
+	return &PlanCache{
+		entries:  make(map[string]*cacheEntry),
+		subplans: make(map[string]*subplanEntry),
+		rec:      obs.Or(rec),
+	}
 }
 
-// planCacheKey identifies a (term, instances) pair by pointer identity.
+// planCacheKey identifies a (term, instances) pair by pointer identity,
+// encoded structurally: every component is length-prefixed and the instance
+// count is explicit, so no concatenation of distinct (term, instances)
+// pairs can produce the same byte string. (Naive separator-joined keys
+// collide whenever a component can contain the separator or a boundary can
+// shift — the adversarial cases TestPlanCacheKeyStructural feeds the
+// encoder.)
 func planCacheKey(t *Term, inst Instances) string {
 	buf := make([]byte, 0, 20+20*len(inst))
-	buf = fmt.Appendf(buf, "%p", t)
+	buf = appendKeyPart(buf, fmt.Sprintf("%p", t))
+	buf = binary.AppendUvarint(buf, uint64(len(inst)))
 	for _, r := range inst {
-		buf = fmt.Appendf(buf, ":%p", r)
+		buf = appendKeyPart(buf, fmt.Sprintf("%p", r))
 	}
 	return string(buf)
+}
+
+// appendKeyPart appends one length-prefixed component to a structural key.
+// Length-prefixing makes the encoding injective: part boundaries are
+// explicit, so ("ab","c") and ("a","bc") encode differently even though
+// their concatenations are equal.
+func appendKeyPart(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
 }
 
 // Prepare returns the cached plan for (t, inst), compiling it on first use.
@@ -536,6 +576,7 @@ func (c *PlanCache) Prepare(t *Term, inst Instances) (*PreparedTerm, error) {
 func (c *PlanCache) Invalidate() {
 	c.mu.Lock()
 	c.entries = make(map[string]*cacheEntry)
+	c.subplans = make(map[string]*subplanEntry)
 	c.mu.Unlock()
 }
 

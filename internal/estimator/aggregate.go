@@ -64,6 +64,7 @@ func SumContext(ctx context.Context, e *algebra.Expr, col string, syn *Synopsis,
 	eng.span = eng.rec.Span(sEstimate)
 	defer eng.span.End()
 	recordSynopsis(eng.rec, poly, syn)
+	eng.attachCSE(poly, syn)
 	value, err := sumEstimate(poly, syn, pos, eng)
 	if err != nil {
 		return Estimate{}, err

@@ -40,6 +40,9 @@ type engine struct {
 	// It is polled between terms and between variance replicates, never
 	// inside an enumeration, so honoring it cannot reorder reductions.
 	ctx context.Context
+	// disableCSE skips the cross-term shared-prefix attachment pass
+	// (Options.DisableCSE).
+	disableCSE bool
 }
 
 // newEngine builds the engine for one top-level estimation call. ctx may
@@ -48,10 +51,11 @@ type engine struct {
 func newEngine(ctx context.Context, opts Options) *engine {
 	rec := obs.Or(opts.Recorder)
 	return &engine{
-		workers: parallel.Resolve(opts.Workers),
-		plans:   algebra.NewPlanCacheRec(rec),
-		rec:     rec,
-		ctx:     ctx,
+		workers:    parallel.Resolve(opts.Workers),
+		plans:      algebra.NewPlanCacheRec(rec),
+		rec:        rec,
+		ctx:        ctx,
+		disableCSE: opts.DisableCSE,
 	}
 }
 
@@ -93,6 +97,34 @@ func (eng *engine) prepare(t *algebra.Term, inst algebra.Instances) (*algebra.Pr
 		return eng.plans.Prepare(t, inst)
 	}
 	return algebra.Prepare(t, inst)
+}
+
+// attachCSE prepares every term's plan over the synopsis instances and
+// registers shared enumeration prefixes across them (algebra.AttachCSE), so
+// structurally identical sub-joins are computed once per estimate. It runs
+// single-threaded before any evaluation; because the plan cache returns the
+// same compiled plan for the same (term, instances) pair, the point
+// estimate, analytic variance pass and untouched-instance replicates all
+// see the attached plans. Per-term binding or compilation errors are
+// ignored here — the evaluation paths report them with full context.
+func (eng *engine) attachCSE(poly algebra.Polynomial, syn *Synopsis) {
+	if eng.disableCSE || eng.plans == nil || len(poly.Terms) < 2 {
+		return
+	}
+	plans := make([]*algebra.PreparedTerm, 0, len(poly.Terms))
+	for i := range poly.Terms {
+		t := &poly.Terms[i]
+		inst, err := algebra.BindInstances(t, syn)
+		if err != nil {
+			continue
+		}
+		pt, err := eng.prepare(t, inst)
+		if err != nil {
+			continue
+		}
+		plans = append(plans, pt)
+	}
+	eng.plans.AttachCSE(plans)
 }
 
 // countTerm evaluates a pure count over the plan's fixed partitioning,

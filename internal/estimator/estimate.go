@@ -107,6 +107,12 @@ type Options struct {
 	// never consumes randomness or changes evaluation order — so estimates
 	// are bit-identical with or without it.
 	Recorder obs.Recorder
+	// DisableCSE turns off cross-term common-subexpression elimination:
+	// every term then re-enumerates its own join prefix instead of sharing
+	// materialized prefixes with structurally identical terms. Estimates
+	// are bit-identical either way (the sharing layer preserves the exact
+	// reduction order); the switch exists for debugging and benchmarking.
+	DisableCSE bool
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +165,7 @@ func countPoly(ctx context.Context, poly algebra.Polynomial, syn *Synopsis, opts
 	eng.span = eng.rec.Span(sEstimate)
 	defer eng.span.End()
 	recordSynopsis(eng.rec, poly, syn)
+	eng.attachCSE(poly, syn)
 	value, err := pointEstimate(poly, syn, eng)
 	if err != nil {
 		return Estimate{}, err

@@ -51,7 +51,7 @@ type Analyzer struct {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRangeFloat, MapRangeRand, RawRand, RawGo, FloatEq, ErrDrop, TupleCopy}
+	return []*Analyzer{MapRangeFloat, MapRangeRand, RawRand, RawGo, FloatEq, ErrDrop, TupleCopy, Materialize}
 }
 
 // Pass carries one analyzer's view of one package.

@@ -20,6 +20,7 @@ var fixtureAnalyzers = map[string][]*Analyzer{
 	"errdrop":       {ErrDrop},
 	"badignore":     {ErrDrop},
 	"tuplecopy":     {TupleCopy},
+	"materialize":   {Materialize},
 }
 
 // TestFixtures loads every deliberately-broken package under testdata/src
@@ -114,10 +115,10 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerSet pins the shipped rule set: seven analyzers, stable
+// TestAnalyzerSet pins the shipped rule set: eight analyzers, stable
 // names, non-empty docs.
 func TestAnalyzerSet(t *testing.T) {
-	want := []string{"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop", "tuplecopy"}
+	want := []string{"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop", "tuplecopy", "materialize"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Materialize protects the executor's streaming discipline. Since the
+// streaming batch executor landed, σ/⋈ pipelines count and drain through
+// StreamCount / StreamCountOpts / StreamEval, which hold at most one
+// batch per operator plus hash build sides; algebra.Eval materializes
+// every intermediate relation and is kept as the executor's oracle and
+// as the escape hatch for callers that genuinely need a fully
+// materialized result they will index repeatedly. The rule flags, outside
+// internal/algebra itself, every call to that materializing entry point.
+//
+// Deliberate uses (exact-answer export paths, oracles) carry a
+// //lint:ignore materialize directive with the justification.
+var Materialize = &Analyzer{
+	Name: "materialize",
+	Doc:  "relational results stream through StreamCount/StreamEval; materializing Eval is an annotated escape hatch",
+	Run:  runMaterialize,
+}
+
+// algebraPkgSuffix identifies the executor package, which owns both
+// evaluators and is free to call the materializing one (the streaming
+// property tests depend on it as the oracle).
+const algebraPkgSuffix = "internal/algebra"
+
+func runMaterialize(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, algebraPkgSuffix) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Name() != "Eval" {
+				return true
+			}
+			if !strings.HasSuffix(fn.Pkg().Path(), algebraPkgSuffix) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			p.Reportf(call.Pos(), "algebra.Eval materializes every intermediate relation; stream with StreamCount/StreamCountOpts (cardinalities) or StreamEval (rows)")
+			return true
+		})
+	}
+}

@@ -200,7 +200,10 @@ func Must(e *Expr, err error) *Expr { return algebra.Must(e, err) }
 func ExactCount(e *Expr, cat Catalog) (int64, error) { return algebra.Count(e, cat) }
 
 // ExactEval evaluates e exactly and returns the result relation.
-func ExactEval(e *Expr, cat Catalog) (*Relation, error) { return algebra.Eval(e, cat) }
+func ExactEval(e *Expr, cat Catalog) (*Relation, error) {
+	//lint:ignore materialize the facade promises a fully materialized result the caller owns
+	return algebra.Eval(e, cat)
+}
 
 // Estimation ---------------------------------------------------------------
 
