@@ -1,0 +1,45 @@
+package algebra
+
+import (
+	"testing"
+
+	"relest/internal/relation"
+)
+
+func TestReproBuildSideOwnedMismatch(t *testing.T) {
+	schema := func() *relation.Schema {
+		return relation.MustSchema(
+			relation.Column{Name: "a", Kind: relation.KindInt},
+			relation.Column{Name: "b", Kind: relation.KindInt},
+		)
+	}
+	r := relation.New("R", schema())
+	for i := 0; i < 8*relation.BatchRows; i++ {
+		r.MustAppend(relation.Tuple{relation.Int(int64(i % 16)), relation.Int(int64(i))})
+	}
+	s1 := relation.New("S1", schema())
+	s2 := relation.New("S2", schema())
+	for i := 0; i < 16; i++ {
+		s1.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.Int(int64(i * 10))})
+		s2.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.Int(int64(i*10 + 1))})
+	}
+	cat := MapCatalog{"R": r, "S1": s1, "S2": s2}
+	u := Must(Union(BaseOf(s1), BaseOf(s2)))
+	j := Must(Join(BaseOf(r), u, []On{{Left: "a", Right: "a"}}, nil, "u"))
+	// Selection above the join reading a build-side column.
+	e := Must(Select(j, Cmp{Col: "u_b", Op: GE, Val: relation.Int(0)}))
+
+	want, err := Eval(e, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		n, err := StreamCountOpts(e, cat, StreamOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if n != int64(want.Len()) {
+			t.Fatalf("workers=%d: got %d want %d", w, n, want.Len())
+		}
+	}
+}
