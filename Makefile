@@ -1,9 +1,9 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet lint test race cover golden memgate bench bench6 fuzz smoke
+.PHONY: check build vet lint lint-json lint-budget test race cover golden memgate bench bench6 fuzz smoke
 
-check: build vet lint test race cover golden memgate
+check: build vet lint lint-budget test race cover golden memgate
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific invariants (determinism, RNG discipline, concurrency);
-# exits nonzero on any unsuppressed finding. See internal/lint and the
+# Repo-specific invariants (determinism taint, view escape, context
+# flow, worker purity, plus the syntactic rules); exits nonzero on any
+# unsuppressed or stale-suppressed finding. See internal/lint and the
 # "Static analysis" section of DESIGN.md.
 lint:
 	$(GO) run ./cmd/relestlint
+
+# Same run, machine-readable: a JSON array of findings in LINT.json
+# (empty array when clean). The artifact is written even when findings
+# exist, but the target still fails so CI sees the gate.
+lint-json:
+	@$(GO) run ./cmd/relestlint -json > LINT.json; st=$$?; \
+	cat LINT.json; exit $$st
+
+# The interprocedural engine must stay cheap enough to run on every
+# change: full module load + call graph + taint fixpoint + all rules
+# inside the wall-clock budget asserted by TestLintRuntimeBudget.
+lint-budget:
+	$(GO) test -count=1 -run TestLintRuntimeBudget -v ./internal/lint | grep -v '^=== RUN\|^--- PASS'
 
 test:
 	$(GO) test ./...
@@ -24,10 +38,11 @@ race:
 	$(GO) test -race ./...
 
 # Coverage: report every package, enforce a floor where the contract is
-# "instrumentation must be fully exercised" (internal/obs) or "every
-# admission/shutdown path must be driven" (internal/server). Other
-# packages are report-only — their floors are the statistical tests
-# themselves.
+# "instrumentation must be fully exercised" (internal/obs), "every
+# admission/shutdown path must be driven" (internal/server), or "every
+# analyzer and the dataflow engine must be exercised by fixtures"
+# (internal/lint). Other packages are report-only — their floors are the
+# statistical tests themselves.
 cover:
 	$(GO) test -cover ./... | grep -v '\[no test files\]'
 	@pct=$$($(GO) test -cover ./internal/obs | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
@@ -36,6 +51,9 @@ cover:
 	@pct=$$($(GO) test -cover ./internal/server | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/server coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
 		printf "internal/server coverage %.1f%% (floor 70%%)\n", p }'
+	@pct=$$($(GO) test -cover ./internal/lint | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/lint coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
+		printf "internal/lint coverage %.1f%% (floor 70%%)\n", p }'
 
 # Service smoke test: build the daemon, walk the whole lifecycle against
 # the real binary (start, register, estimate, scrape /metrics, SIGTERM,

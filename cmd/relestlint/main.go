@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	relestlint [-root dir] [-pkg substring] [-rules r1,r2] [-list]
+//	relestlint [-root dir] [-pkg substring] [-rules r1,r2] [-json] [-list]
 //
 // Findings print as "file:line:col: [rule] message" with paths relative
-// to the module root; the exit status is 1 when any unsuppressed finding
-// exists, 2 on load/usage errors. Suppress a finding site with
+// to the module root, sorted by position; with -json they print instead
+// as a JSON array of {file,line,col,rule,msg} objects (one stable
+// machine-readable artifact per run — see `make lint-json`). The exit
+// status is 1 when any unsuppressed finding exists, 2 on load/usage
+// errors. Suppress a finding site with
 //
 //	//lint:ignore <rule> <reason>
 //
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,12 +29,27 @@ import (
 	"relest/internal/lint"
 )
 
+// jsonFinding is the -json wire shape for one finding.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	root := flag.String("root", ".", "directory inside the module to lint")
 	pkgFilter := flag.String("pkg", "", "only lint packages whose import path contains this substring")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	list := flag.Bool("list", false, "list available rules and exit")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "relestlint: unexpected argument %q (targets are selected with -root and -pkg)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	analyzers := lint.All()
 	if *list {
@@ -80,8 +99,21 @@ func main() {
 
 	findings := lint.Run(pkgs, analyzers)
 	lint.Relativize(findings, loader.ModuleRoot())
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Msg: f.Msg}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "relestlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "relestlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

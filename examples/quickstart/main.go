@@ -40,7 +40,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for name, q := range map[string]*relest.Expr{"Q1 (selection)": q1, "Q2 (select-join)": q2} {
+	queries := []struct {
+		name string
+		expr *relest.Expr
+	}{
+		{"Q1 (selection)", q1},
+		{"Q2 (select-join)", q2},
+	}
+	for _, qc := range queries {
+		name, q := qc.name, qc.expr
 		est, err := relest.Count(q, syn)
 		if err != nil {
 			log.Fatal(err)

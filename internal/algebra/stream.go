@@ -91,6 +91,7 @@ type buildSide struct {
 	once sync.Once
 	b    *relation.Batch
 	ix   *relation.BatchIndex
+	cols []relation.BatchCol
 	size int
 	err  error
 }
@@ -268,13 +269,24 @@ func (x *streamExec) buildSideFor(e *Expr, equi bool, keyCols []int) (*buildSide
 			}
 		}
 		bs.b = g
+		bs.cols = cols
 		bs.size = g.Bytes() + child.bytes()
 		if equi {
 			bs.ix = relation.BuildBatchIndex(g, keyCols)
 			bs.size += bs.ix.Bytes()
 		}
 	})
-	return bs, rels, cols
+	// Every partition after the first constructed its own child pipeline
+	// above, and pipeline-breaking subtrees (∪/∩/−/π) mint a fresh owned
+	// relation per construction — but the drained row indices in bs.b point
+	// into the relations of the pipeline that won the once. Adopt the
+	// winner's sources as the batch layout, or probe output batches would
+	// read build columns from an empty owned relation.
+	rels = make([]*relation.Relation, len(bs.b.Srcs))
+	for i := range bs.b.Srcs {
+		rels[i] = bs.b.Srcs[i].Rel
+	}
+	return bs, rels, bs.cols
 }
 
 // scanOp streams a base relation's rows in storage order over [pos, hi).

@@ -26,8 +26,9 @@ func TestReproBuildSideOwnedMismatch(t *testing.T) {
 	cat := MapCatalog{"R": r, "S1": s1, "S2": s2}
 	u := Must(Union(BaseOf(s1), BaseOf(s2)))
 	j := Must(Join(BaseOf(r), u, []On{{Left: "a", Right: "a"}}, nil, "u"))
-	// Selection above the join reading a build-side column.
-	e := Must(Select(j, Cmp{Col: "u_b", Op: GE, Val: relation.Int(0)}))
+	// Selection above the join reading a build-side column (colliding
+	// right-side names are prefixed "u.": see Join's rightPrefix doc).
+	e := Must(Select(j, Cmp{Col: "u.b", Op: GE, Val: relation.Int(0)}))
 
 	want, err := Eval(e, cat)
 	if err != nil {

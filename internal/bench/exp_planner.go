@@ -79,12 +79,16 @@ func A3Planner(seed int64, scale Scale) *Table {
 		if err != nil {
 			panic(err)
 		}
-		oracles := map[string]planner.CardinalityEstimator{
-			"sampling": planner.Sampling{Syn: syn},
-			"catalog":  catalogOracle,
-			"exact":    planner.Exact{Cat: cat},
+		oracles := []struct {
+			name   string
+			oracle planner.CardinalityEstimator
+		}{
+			{"sampling", planner.Sampling{Syn: syn}},
+			{"catalog", catalogOracle},
+			{"exact", planner.Exact{Cat: cat}},
 		}
-		for name, oracle := range oracles {
+		for _, oc := range oracles {
+			name, oracle := oc.name, oc.oracle
 			plan, err := planner.Optimize(q, oracle)
 			if err != nil {
 				panic(err)

@@ -64,6 +64,7 @@ func F3Deadline(seed int64, scale Scale) *Table {
 			}
 			es.Observe(est.Value, actual)
 			last := history[len(history)-1]
+			//lint:ignore detflow the A4 experiment measures how far the deadline estimator gets under a wall-clock budget; run-to-run variation is the quantity under study
 			finalN.Add(float64(last.SampleSizes["R1"]))
 			rounds.Add(float64(len(history)))
 		}

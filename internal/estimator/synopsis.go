@@ -237,7 +237,8 @@ func (s *Synopsis) AddDrawn(base *relation.Relation, n int, rng *rand.Rand) erro
 	}
 	rows := sampling.WithoutReplacement(rng, base.Len(), n)
 	s.rels[base.Name()] = &relSynopsis{
-		name:     base.Name(),
+		name: base.Name(),
+		//lint:ignore viewescape the synopsis IS a retained sample view by design: the capacity clamp snapshots the base at draw time, and bases are append-only
 		sample:   base.Subset(base.Name(), rows),
 		n:        n,
 		N:        base.Len(),
@@ -292,6 +293,7 @@ func (s *Synopsis) AddDrawnPages(base *relation.Relation, pageSize, pages int, r
 		}
 		rs.clusters = append(rs.clusters, cluster)
 	}
+	//lint:ignore viewescape the synopsis IS a retained sample view by design: the capacity clamp snapshots the base at draw time, and bases are append-only
 	rs.sample = base.Subset(base.Name(), positions)
 	rs.n = rs.sample.Len()
 	s.rels[base.Name()] = rs
@@ -365,6 +367,7 @@ func (s *Synopsis) AddDrawnStratified(base *relation.Relation, stratumOf func(re
 		}
 		rs.strata = append(rs.strata, st)
 	}
+	//lint:ignore viewescape the synopsis IS a retained sample view by design: the capacity clamp snapshots the base at draw time, and bases are append-only
 	rs.sample = base.Subset(base.Name(), positions)
 	rs.n = rs.sample.Len()
 	rs.m = rs.n
@@ -443,6 +446,7 @@ func (s *Synopsis) ExtendSample(name string, add int, rng *rand.Rand) error {
 	rs.units = sampling.Extend(rng, rs.M, rs.units, add)
 	rs.m = len(rs.units)
 	if rs.tupleDesign() {
+		//lint:ignore viewescape incremental extension re-derives the retained sample view from the kept base; the fresh clamp covers the newly drawn rows
 		rs.sample = rs.base.Subset(name, rs.units)
 		rs.n = rs.m
 		rs.clusters = singletonClusters(rs.n)
@@ -463,6 +467,7 @@ func (s *Synopsis) ExtendSample(name string, add int, rng *rand.Rand) error {
 		}
 		rs.clusters = append(rs.clusters, cluster)
 	}
+	//lint:ignore viewescape incremental extension re-derives the retained sample view from the kept base; the fresh clamp covers the newly drawn rows
 	rs.sample = rs.base.Subset(name, positions)
 	rs.n = rs.sample.Len()
 	return nil
@@ -494,7 +499,8 @@ func (s *Synopsis) subSynopsisUnits(unitSel map[string][]int) *Synopsis {
 			newUnitOf[u] = newU
 		}
 		sub := &relSynopsis{
-			name:     name,
+			name: name,
+			//lint:ignore viewescape replicate sub-synopses alias the parent sample on purpose: they are read-only throwaways that die with the variance pass
 			sample:   rs.sample.Subset(name, positions),
 			n:        len(positions),
 			N:        rs.N,

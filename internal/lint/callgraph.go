@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph the interprocedural
+// analyzers (detflow, ctxflow, workerpurity) run over. Nodes are function
+// bodies — declared functions and methods plus function literals — and
+// edges are resolved call sites. Resolution is deliberately conservative:
+//
+//   - direct calls to module functions resolve statically;
+//   - interface method calls resolve CHA-style to every concrete method in
+//     the module whose receiver type implements the interface (class
+//     hierarchy analysis: no points-to information, so every implementer
+//     is a possible callee);
+//   - an immediately-invoked function literal resolves to that literal;
+//   - calls through plain function values stay unresolved (Dynamic edge
+//     with a nil callee) — analyzers treat them as "anything may run";
+//   - a literal nested inside a body is linked to its enclosing node with
+//     a containment edge, so reachability over the graph includes closures
+//     a reachable function may hand out.
+//
+// The graph is a whole-run artifact: lint.Run builds it once over the
+// loaded package set and every module analyzer shares it.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call to a declared module function.
+	EdgeStatic EdgeKind = iota
+	// EdgeCHA is an interface method call resolved by class hierarchy
+	// analysis to one possible concrete method.
+	EdgeCHA
+	// EdgeLit is an immediately-invoked function literal.
+	EdgeLit
+	// EdgeContains links an enclosing body to a literal declared in it.
+	EdgeContains
+	// EdgeDynamic is a call through a function value the resolver cannot
+	// name; Callee is nil.
+	EdgeDynamic
+)
+
+// CGEdge is one resolved call site.
+type CGEdge struct {
+	Kind   EdgeKind
+	Site   *ast.CallExpr // nil for EdgeContains
+	Callee *CGNode       // nil for EdgeDynamic
+}
+
+// CGNode is one function body in the call graph.
+type CGNode struct {
+	// Fn is the declared function or method, nil for literals.
+	Fn *types.Func
+	// Decl is the declaration, nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the function literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Parent is the node lexically enclosing a literal, nil otherwise.
+	Parent *CGNode
+	// Pkg is the package the body lives in.
+	Pkg *Package
+	// Out are the node's resolved call sites in source order.
+	Out []CGEdge
+}
+
+// Body returns the node's statement body.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Type returns the node's signature.
+func (n *CGNode) Type() *types.Signature {
+	if n.Fn != nil {
+		return n.Fn.Type().(*types.Signature)
+	}
+	if t, ok := n.Pkg.Info.TypeOf(n.Lit).(*types.Signature); ok {
+		return t
+	}
+	return types.NewSignatureType(nil, nil, nil, nil, nil, false)
+}
+
+// Pos returns the body's source position.
+func (n *CGNode) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// Name renders a stable human-readable label: "pkg.Func",
+// "pkg.(Recv).Method", or "<enclosing>$litN" for literals.
+func (n *CGNode) Name() string {
+	if n.Lit != nil {
+		idx := 0
+		for _, e := range n.Parent.Out {
+			if e.Kind != EdgeContains {
+				continue
+			}
+			if e.Callee == n {
+				break
+			}
+			idx++
+		}
+		return fmt.Sprintf("%s$lit%d", n.Parent.Name(), idx+1)
+	}
+	name := n.Fn.Name()
+	if recv := n.Type().Recv(); recv != nil {
+		name = "(" + recvTypeName(recv.Type()) + ")." + name
+	}
+	short := n.Pkg.Path
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		short = short[i+1:]
+	}
+	return short + "." + name
+}
+
+// CallGraph is the module-wide graph over a loaded package set.
+type CallGraph struct {
+	// Nodes lists every body in deterministic (package, position) order.
+	Nodes []*CGNode
+	// ByFunc maps declared module functions with bodies to their nodes.
+	ByFunc map[*types.Func]*CGNode
+	// ByLit maps function literals to their nodes.
+	ByLit map[*ast.FuncLit]*CGNode
+
+	chaCache map[chaKey][]*CGNode
+	named    []types.Type // module named types, CHA candidate receivers
+}
+
+type chaKey struct {
+	iface  *types.Interface
+	method string
+}
+
+// BuildCallGraph constructs the graph over pkgs. It never fails: whatever
+// the resolver cannot name becomes a Dynamic edge.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		ByFunc:   map[*types.Func]*CGNode{},
+		ByLit:    map[*ast.FuncLit]*CGNode{},
+		chaCache: map[chaKey][]*CGNode{},
+	}
+	// Pass 1: one node per declared body, plus the CHA candidate set (every
+	// package-level named type could be an interface call's receiver).
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				g.named = append(g.named, tn.Type())
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CGNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes = append(g.Nodes, node)
+				g.ByFunc[fn] = node
+			}
+		}
+	}
+	// Pass 2a: register every nested literal (node + Parent link +
+	// containment edge) so call resolution can name them.
+	for _, node := range append([]*CGNode(nil), g.Nodes...) {
+		g.registerLits(node)
+	}
+	// Pass 2b: resolve each body's own call sites (nested literals own
+	// theirs).
+	for _, node := range g.Nodes {
+		g.resolveCalls(node)
+	}
+	return g
+}
+
+// registerLits creates nodes for the literals directly nested in node's
+// body, recursively.
+func (g *CallGraph) registerLits(node *CGNode) {
+	inspectOwn(node.Body(), func(n ast.Node) {
+		if x, ok := n.(*ast.FuncLit); ok {
+			lit := &CGNode{Lit: x, Parent: node, Pkg: node.Pkg}
+			g.Nodes = append(g.Nodes, lit)
+			g.ByLit[x] = lit
+			node.Out = append(node.Out, CGEdge{Kind: EdgeContains, Callee: lit})
+			g.registerLits(lit)
+		}
+	})
+}
+
+// resolveCalls adds edges for the call sites lexically owned by node (not
+// those inside nested literals).
+func (g *CallGraph) resolveCalls(node *CGNode) {
+	inspectOwn(node.Body(), func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			node.Out = append(node.Out, g.resolve(node.Pkg, call)...)
+		}
+	})
+}
+
+// inspectOwn visits body's nodes without descending into nested function
+// literals (each literal's subtree belongs to the literal's own node) —
+// except a literal's declaration expression itself, which is visited.
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		fn(n)
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+// resolve maps one call site to its edges.
+func (g *CallGraph) resolve(pkg *Package, call *ast.CallExpr) []CGEdge {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		// Registered as a containment edge when the walk reaches the
+		// literal; the invocation edge is added here.
+		if lit, ok := g.ByLit[fun]; ok {
+			return []CGEdge{{Kind: EdgeLit, Site: call, Callee: lit}}
+		}
+		// Literal not yet walked (it is our own subtree); defer to the
+		// containment edge for reachability.
+		return nil
+	case *ast.Ident:
+		obj := pkg.Info.Uses[fun]
+		switch o := obj.(type) {
+		case *types.Func:
+			if callee, ok := g.ByFunc[o]; ok {
+				return []CGEdge{{Kind: EdgeStatic, Site: call, Callee: callee}}
+			}
+			return nil // stdlib or bodiless
+		case *types.Builtin, *types.TypeName, nil:
+			return nil
+		default:
+			// A variable of function type.
+			return []CGEdge{{Kind: EdgeDynamic, Site: call}}
+		}
+	case *ast.SelectorExpr:
+		obj := pkg.Info.Uses[fun.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			if _, isVar := obj.(*types.Var); isVar {
+				return []CGEdge{{Kind: EdgeDynamic, Site: call}}
+			}
+			return nil
+		}
+		if callee, ok := g.ByFunc[fn]; ok {
+			return []CGEdge{{Kind: EdgeStatic, Site: call, Callee: callee}}
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return nil
+		}
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			var edges []CGEdge
+			for _, impl := range g.implementers(iface, fn.Name()) {
+				edges = append(edges, CGEdge{Kind: EdgeCHA, Site: call, Callee: impl})
+			}
+			if edges == nil {
+				edges = []CGEdge{{Kind: EdgeDynamic, Site: call}}
+			}
+			return edges
+		}
+		return nil // method on a non-module concrete type (stdlib)
+	default:
+		// Call through an arbitrary expression (map lookup, field read of
+		// function type, immediately-called result...).
+		if t := pkg.Info.TypeOf(call.Fun); t != nil {
+			if _, ok := t.Underlying().(*types.Signature); ok {
+				return []CGEdge{{Kind: EdgeDynamic, Site: call}}
+			}
+		}
+		return nil
+	}
+}
+
+// implementers resolves an interface method CHA-style: every module named
+// type (or pointer to one) that implements iface contributes its concrete
+// method, memoized per (interface, method).
+func (g *CallGraph) implementers(iface *types.Interface, method string) []*CGNode {
+	key := chaKey{iface, method}
+	if nodes, ok := g.chaCache[key]; ok {
+		return nodes
+	}
+	var nodes []*CGNode
+	for _, t := range g.named {
+		var recv types.Type
+		switch {
+		case types.Implements(t, iface):
+			recv = t
+		case types.Implements(types.NewPointer(t), iface):
+			recv = types.NewPointer(t)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, method)
+		if fn, ok := obj.(*types.Func); ok {
+			if node, ok := g.ByFunc[fn]; ok {
+				nodes = append(nodes, node)
+			}
+		}
+	}
+	g.chaCache[key] = nodes
+	return nodes
+}
+
+// Reachable returns the closure of roots over call and containment edges.
+// Dynamic edges contribute nothing (the analyzers that need "anything may
+// run" semantics check for them explicitly).
+func (g *CallGraph) Reachable(roots []*CGNode) map[*CGNode]bool {
+	seen := map[*CGNode]bool{}
+	var visit func(n *CGNode)
+	visit = func(n *CGNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range n.Out {
+			if e.Callee != nil {
+				visit(e.Callee)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}

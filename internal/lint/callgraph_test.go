@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadEngineFixture loads one package from testdata/engine (fixtures for
+// the callgraph/taint machinery itself, which have no want.txt and are
+// not golden-rule packages).
+func loadEngineFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDir("engine/"+name, filepath.Join("testdata", "engine", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// edgeStrings renders a graph's call edges as "caller -> callee [kind]"
+// lines, sorted, with containment edges included (they carry closure
+// reachability).
+func edgeStrings(g *CallGraph) []string {
+	kind := map[EdgeKind]string{
+		EdgeStatic:   "static",
+		EdgeCHA:      "cha",
+		EdgeLit:      "lit",
+		EdgeContains: "contains",
+		EdgeDynamic:  "dynamic",
+	}
+	var out []string
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			callee := "?"
+			if e.Callee != nil {
+				callee = e.Callee.Name()
+			}
+			out = append(out, fmt.Sprintf("%s -> %s [%s]", n.Name(), callee, kind[e.Kind]))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCallGraphEdges pins the resolver on the hand-computed fixture: every
+// edge kind appears, and the resolved set matches exactly — a missing CHA
+// edge means the interprocedural rules silently stop seeing code.
+func TestCallGraphEdges(t *testing.T) {
+	pkgs := loadEngineFixture(t, "callgraph")
+	g := BuildCallGraph(pkgs)
+	want := []string{
+		"callgraph.Immediate -> callgraph.Immediate$lit1 [contains]",
+		"callgraph.Immediate -> callgraph.Immediate$lit1 [lit]",
+		"callgraph.Immediate$lit1 -> callgraph.Helper [static]",
+		"callgraph.Top -> ? [dynamic]",
+		"callgraph.Top -> callgraph.Top$lit1 [contains]",
+		"callgraph.Top -> callgraph.Total [static]",
+		"callgraph.Top$lit1 -> callgraph.Helper [static]",
+		"callgraph.Total -> callgraph.(Circle).Area [cha]",
+		"callgraph.Total -> callgraph.(Square).Area [cha]",
+	}
+	got := edgeStrings(g)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("edge set mismatch\n got:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestCallGraphReachable checks closure-inclusive reachability: from Top
+// the whole fixture except Immediate's subgraph is live.
+func TestCallGraphReachable(t *testing.T) {
+	pkgs := loadEngineFixture(t, "callgraph")
+	g := BuildCallGraph(pkgs)
+	var top *CGNode
+	for _, n := range g.Nodes {
+		if n.Name() == "callgraph.Top" {
+			top = n
+		}
+	}
+	if top == nil {
+		t.Fatal("fixture node callgraph.Top not found")
+	}
+	reach := g.Reachable([]*CGNode{top})
+	var got []string
+	for n := range reach {
+		got = append(got, n.Name())
+	}
+	sort.Strings(got)
+	want := []string{
+		"callgraph.(Circle).Area",
+		"callgraph.(Square).Area",
+		"callgraph.Helper",
+		"callgraph.Top",
+		"callgraph.Top$lit1",
+		"callgraph.Total",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("reachable set mismatch\n got:  %v\nwant: %v", got, want)
+	}
+}

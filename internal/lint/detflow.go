@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// DetFlow is the interprocedural generalization of maprange-float: a
+// forward taint analysis (see taint.go) that follows values derived from
+// map iteration order, the wall clock, the process-global rand source, and
+// pointer identity through assignments and across call boundaries, and
+// reports when one reaches a determinism-critical sink:
+//
+//   - a float accumulation (`s += v`, `s = s + v`), whether the
+//     accumulation sits next to the source or three helpers away — the
+//     call-site report fires where the nondeterministic argument enters
+//     the accumulating callee;
+//   - the return value of an exported float-carrying function (an
+//     estimate leaving the package must be bit-reproducible);
+//   - an obs metric or span name (a nondeterministic name mints an
+//     unbounded, run-dependent set of series).
+//
+// Sorting is the sanitizer: sort.X(s) / slices.Sort(s) launder map-order
+// taint, which is exactly the sorted-map-merge idiom the per-package
+// maprange rules steer code toward. Control dependence is out of scope by
+// design (the deadline estimator's wall-clock round budget is documented
+// behavior, not a bug).
+var DetFlow = &Analyzer{
+	Name:      "detflow",
+	Doc:       "nondeterministic values must not flow into float accumulations, estimate returns, or metric names",
+	RunModule: runDetFlow,
+}
+
+func runDetFlow(mp *ModulePass) {
+	graph := mp.Graph()
+	eng := mp.Taint()
+	// The same sink can be hit on several taint paths (and the reporting
+	// pass may evaluate an expression twice); report each (pos, message)
+	// once.
+	seen := map[string]bool{}
+	emit := func(pos token.Pos, format string, args ...any) {
+		key := fmt.Sprintf("%v:%s", mp.Fset.Position(pos), fmt.Sprintf(format, args...))
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		mp.Reportf(pos, format, args...)
+	}
+	for _, n := range graph.Nodes {
+		if n.Fn == nil {
+			continue
+		}
+		eng.Report(n, &taintHooks{
+			accSink: func(pos token.Pos, kinds SrcKind, via string) {
+				emit(pos, "value derived from %s reaches the float accumulation %s; the result differs between runs (sort first, or suppress with //lint:ignore detflow <why deterministic>)", kinds, via)
+			},
+			labelSink: func(pos token.Pos, kinds SrcKind, via string) {
+				emit(pos, "metric name passed to %s derives from %s; nondeterministic names mint run-dependent series", via, kinds)
+			},
+			exportedReturn: func(pos token.Pos, kinds SrcKind, fn string) {
+				emit(pos, "exported %s returns a float derived from %s; estimates must be bit-reproducible across runs", fn, kinds)
+			},
+		})
+	}
+}

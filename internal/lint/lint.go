@@ -37,8 +37,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named rule. Run inspects a single type-checked package
-// and reports findings through the pass.
+// Analyzer is one named rule: either a per-package syntactic check (Run)
+// or a module-wide interprocedural one (RunModule), which sees every
+// loaded package at once and shares the call-graph/taint artifacts built
+// for the run.
 type Analyzer struct {
 	// Name is the rule name used in output ("[name]") and in
 	// //lint:ignore directives.
@@ -46,12 +48,18 @@ type Analyzer struct {
 	// Doc is a one-line description of the invariant the rule protects.
 	Doc string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded package set at once.
+	RunModule func(pass *ModulePass)
 }
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRangeFloat, MapRangeRand, RawRand, RawGo, FloatEq, ErrDrop, TupleCopy, Materialize}
+	return []*Analyzer{
+		MapRangeFloat, MapRangeRand, RawRand, RawGo, FloatEq, ErrDrop, TupleCopy, Materialize,
+		DetFlow, ViewEscape, CtxFlow, WorkerPurity,
+	}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -83,6 +91,52 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Pkg.Info.Defs[id]
 }
 
+// ModulePass carries a module analyzer's view of the whole loaded package
+// set, plus lazily-built shared artifacts (call graph, taint summaries)
+// every module analyzer in the run reuses.
+type ModulePass struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	analyzer *Analyzer
+	report   func(Finding)
+	art      *artifacts
+}
+
+// artifacts holds the per-Run interprocedural state shared across module
+// analyzers.
+type artifacts struct {
+	graph *CallGraph
+	taint *TaintEngine
+}
+
+// Graph returns the call graph over the pass's packages, building it on
+// first use.
+func (m *ModulePass) Graph() *CallGraph {
+	if m.art.graph == nil {
+		m.art.graph = BuildCallGraph(m.Pkgs)
+	}
+	return m.art.graph
+}
+
+// Taint returns the taint engine (summaries at fixpoint) over the pass's
+// call graph, building it on first use.
+func (m *ModulePass) Taint() *TaintEngine {
+	if m.art.taint == nil {
+		m.art.taint = NewTaintEngine(m.Graph())
+	}
+	return m.art.taint
+}
+
+// Reportf records a finding at pos under the pass's rule.
+func (m *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	m.report(Finding{
+		Pos:  m.Fset.Position(pos),
+		Rule: m.analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Finding is one rule violation at a source position.
 type Finding struct {
 	Pos  token.Position
@@ -100,6 +154,8 @@ type ignoreDirective struct {
 	rules  []string // rule names this directive suppresses
 	reason string   // mandatory free-text justification
 	line   int      // line the comment sits on
+	file   string   // file the comment sits in (set by Run)
+	used   bool     // suppressed at least one finding this run
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -156,32 +212,84 @@ func (d ignoreDirective) suppresses(rule string, line int) bool {
 
 // Run executes the analyzers over the packages and returns unsuppressed
 // findings sorted by file, line, column, rule. Malformed //lint:ignore
-// directives are reported as "bad-ignore" findings.
+// directives are reported as "bad-ignore" findings; directives that
+// suppressed nothing, even though every rule they name ran, are reported
+// as "stale-ignore" findings so dead suppressions cannot accumulate.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	// Parse every file's directives up front: module analyzers report
+	// across package boundaries, so suppression needs a global index.
+	ignoresByFile := map[string][]*ignoreDirective{}
+	var allDirs []*ignoreDirective
 	for _, pkg := range pkgs {
-		ignoresByFile := map[string][]ignoreDirective{}
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
 			dirs, bad := parseIgnores(pkg.Fset, f)
-			ignoresByFile[name] = dirs
 			findings = append(findings, bad...)
-		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:     pkg.Fset,
-				Pkg:      pkg,
-				analyzer: a,
-				report: func(f Finding) {
-					for _, d := range ignoresByFile[f.Pos.Filename] {
-						if d.suppresses(f.Rule, f.Pos.Line) {
-							return
-						}
-					}
-					findings = append(findings, f)
-				},
+			for i := range dirs {
+				d := &dirs[i]
+				d.file = name
+				ignoresByFile[name] = append(ignoresByFile[name], d)
+				allDirs = append(allDirs, d)
 			}
-			a.Run(pass)
+		}
+	}
+	report := func(f Finding) {
+		for _, d := range ignoresByFile[f.Pos.Filename] {
+			if d.suppresses(f.Rule, f.Pos.Line) {
+				d.used = true
+				return
+			}
+		}
+		findings = append(findings, f)
+	}
+	art := &artifacts{}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Fset: pkg.Fset, Pkg: pkg, analyzer: a, report: report})
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil || len(pkgs) == 0 {
+			continue
+		}
+		a.RunModule(&ModulePass{
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			analyzer: a,
+			report:   report,
+			art:      art,
+		})
+	}
+	// Stale-ignore audit: a directive is dead when every rule it names ran
+	// in this invocation and it still suppressed nothing. Directives naming
+	// a rule outside the run (e.g. under -rules) are left alone — they may
+	// be live for the full set.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, d := range allDirs {
+		if d.used {
+			continue
+		}
+		checkable := true
+		for _, r := range d.rules {
+			if !ran[r] {
+				checkable = false
+				break
+			}
+		}
+		if checkable {
+			findings = append(findings, Finding{
+				Pos:  token.Position{Filename: d.file, Line: d.line, Column: 1},
+				Rule: "stale-ignore",
+				Msg: fmt.Sprintf("//lint:ignore %s suppresses nothing on this line or the one below; delete the directive (or fix the rule name)",
+					strings.Join(d.rules, ",")),
+			})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -244,6 +352,15 @@ func carriesFloat(t types.Type) bool {
 		}
 	}
 	return false
+}
+
+// isInteger reports whether t's underlying type is an integer basic type.
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
 }
 
 // isErrorType reports whether t is the built-in error interface type.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 // fixtureAnalyzers maps each golden-fixture package under testdata/src to
@@ -21,6 +22,11 @@ var fixtureAnalyzers = map[string][]*Analyzer{
 	"badignore":     {ErrDrop},
 	"tuplecopy":     {TupleCopy},
 	"materialize":   {Materialize},
+	"detflow":       {DetFlow},
+	"viewescape":    {ViewEscape},
+	"ctxflow":       {CtxFlow},
+	"workerpurity":  {WorkerPurity},
+	"staleignore":   {FloatEq},
 }
 
 // TestFixtures loads every deliberately-broken package under testdata/src
@@ -115,10 +121,41 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerSet pins the shipped rule set: eight analyzers, stable
-// names, non-empty docs.
+// TestLintRuntimeBudget asserts the full lint run (module load, call
+// graph, taint fixpoint, all twelve rules) stays inside a wall-clock
+// budget. The interprocedural engine must remain cheap enough to sit in
+// `make check` on every change; a blowup here means the CHA resolver or
+// the taint fixpoint stopped converging quickly and the framework — not
+// the budget — is what needs fixing.
+func TestLintRuntimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	const budget = 30 * time.Second
+	start := time.Now()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(pkgs, All())
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("full lint run took %s, over the %s budget", elapsed.Round(time.Millisecond), budget)
+	} else {
+		t.Logf("full lint run: %s (budget %s)", elapsed.Round(time.Millisecond), budget)
+	}
+}
+
+// TestAnalyzerSet pins the shipped rule set: twelve analyzers, stable
+// names, non-empty docs, and exactly one of Run / RunModule each.
 func TestAnalyzerSet(t *testing.T) {
-	want := []string{"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop", "tuplecopy", "materialize"}
+	want := []string{
+		"maprange-float", "maprange-rand", "rawrand", "rawgo", "floateq", "errdrop", "tuplecopy", "materialize",
+		"detflow", "viewescape", "ctxflow", "workerpurity",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -127,8 +164,11 @@ func TestAnalyzerSet(t *testing.T) {
 		if a.Name != want[i] {
 			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
 		}
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q must have a doc line and a Run func", a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q must have a doc line", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must have exactly one of Run and RunModule", a.Name)
 		}
 	}
 }

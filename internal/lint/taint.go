@@ -1,0 +1,976 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the forward taint engine behind detflow. "Taint" here means
+// "this value can differ between two runs on the same inputs and seed":
+// the engine marks values derived from the nondeterminism sources below
+// and follows them through assignments, expressions, and — via per-function
+// summaries iterated to a fixpoint over the call graph — through calls, so
+// a nondeterministic value that crosses three helpers before reaching a
+// float accumulation is still caught.
+//
+// The lattice element is a pair (Params, Kinds): Kinds is the set of
+// nondeterminism sources the value definitely derives from, Params the set
+// of the enclosing function's parameters it derives from. Union is bitwise
+// or; the empty pair is "deterministic". Summaries record, per function,
+// the taint of each result (with Params expressed in the callee's own
+// parameter space, substituted at call sites) and the parameter sets that
+// reach a float-accumulation or metric-name sink inside the function —
+// which is what makes a call like acc.Add(v) a reportable sink when v
+// came out of a map range two frames up.
+//
+// The analysis is data-flow only: control dependence (a loop whose trip
+// count depends on time.Now, e.g. the deadline estimator's round budget)
+// is deliberately out of scope — wall-clock-bounded estimation is the
+// documented contract there, and tracking control taint would drown the
+// signal. Sorting is the sanitizer: sort.X(s) / slices.Sort(s) erase s's
+// map-order taint, which is exactly the repo's sorted-map-merge idiom.
+
+// SrcKind is a bitset of nondeterminism sources.
+type SrcKind uint8
+
+const (
+	// SrcMapOrder marks values bound by ranging over a map (and
+	// maps.Keys/Values iterators): the binding order is randomized per run.
+	SrcMapOrder SrcKind = 1 << iota
+	// SrcTime marks wall-clock reads (time.Now/Since/Until).
+	SrcTime
+	// SrcRand marks draws from the process-global math/rand source.
+	SrcRand
+	// SrcPtr marks pointer-identity formatting (%p and friends): addresses
+	// differ between runs.
+	SrcPtr
+)
+
+// String renders the source set for findings.
+func (k SrcKind) String() string {
+	var parts []string
+	if k&SrcMapOrder != 0 {
+		parts = append(parts, "map iteration order")
+	}
+	if k&SrcTime != 0 {
+		parts = append(parts, "wall-clock time")
+	}
+	if k&SrcRand != 0 {
+		parts = append(parts, "the process-global rand source")
+	}
+	if k&SrcPtr != 0 {
+		parts = append(parts, "pointer identity")
+	}
+	if len(parts) == 0 {
+		return "a deterministic value"
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Taint is the lattice element: the parameter set and source set a value
+// derives from. The zero Taint is "deterministic".
+type Taint struct {
+	// Params is a bitmask over the enclosing function's parameters
+	// (receiver first for methods; indexes clamp at 63).
+	Params uint64
+	// Kinds is the set of nondeterminism sources.
+	Kinds SrcKind
+}
+
+// Empty reports whether t carries no taint.
+func (t Taint) Empty() bool { return t.Params == 0 && t.Kinds == 0 }
+
+// Union joins two lattice elements.
+func (t Taint) Union(u Taint) Taint {
+	return Taint{Params: t.Params | u.Params, Kinds: t.Kinds | u.Kinds}
+}
+
+// FuncSummary is one function's interprocedural behavior.
+type FuncSummary struct {
+	// Results holds the taint of each result, Params in the function's own
+	// parameter space.
+	Results []Taint
+	// AccSinkParams are the parameters that (transitively) reach a float
+	// accumulation inside the function.
+	AccSinkParams uint64
+	// LabelSinkParams are the parameters that (transitively) become an obs
+	// metric name inside the function.
+	LabelSinkParams uint64
+}
+
+func (s *FuncSummary) equal(o *FuncSummary) bool {
+	if o == nil || len(s.Results) != len(o.Results) ||
+		s.AccSinkParams != o.AccSinkParams || s.LabelSinkParams != o.LabelSinkParams {
+		return false
+	}
+	for i := range s.Results {
+		if s.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// taintHooks receives sink events during a reporting pass. Any hook may be
+// nil.
+type taintHooks struct {
+	// accSink: a value tainted by kinds reaches the float accumulation
+	// described by via (an lvalue or a callee name) at pos.
+	accSink func(pos token.Pos, kinds SrcKind, via string)
+	// labelSink: a metric-name string tainted by kinds is registered at pos.
+	labelSink func(pos token.Pos, kinds SrcKind, via string)
+	// exportedReturn: an exported function returns a float-carrying value
+	// tainted by kinds.
+	exportedReturn func(pos token.Pos, kinds SrcKind, fn string)
+}
+
+// TaintEngine computes and serves per-function summaries over a call
+// graph.
+type TaintEngine struct {
+	graph *CallGraph
+	sums  map[*types.Func]*FuncSummary
+}
+
+// maxEngineIters bounds the interprocedural fixpoint; deep call chains in
+// this module converge in a handful of rounds, and a cycle that somehow
+// oscillates must not hang the linter.
+const maxEngineIters = 20
+
+// NewTaintEngine builds summaries for every declared function in the
+// graph, iterating to a fixpoint so taint flows through arbitrarily deep
+// call chains (and recursion).
+func NewTaintEngine(g *CallGraph) *TaintEngine {
+	e := &TaintEngine{graph: g, sums: map[*types.Func]*FuncSummary{}}
+	for iter := 0; iter < maxEngineIters; iter++ {
+		changed := false
+		for _, n := range g.Nodes {
+			if n.Fn == nil {
+				continue // literals are analyzed inline with their enclosers
+			}
+			sum := e.analyze(n, nil)
+			if !sum.equal(e.sums[n.Fn]) {
+				e.sums[n.Fn] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e
+}
+
+// Summary returns fn's summary, or nil for functions outside the graph.
+func (e *TaintEngine) Summary(fn *types.Func) *FuncSummary { return e.sums[fn] }
+
+// Report re-analyzes one declared function with hooks attached, firing a
+// sink event wherever taint with a concrete source reaches a sink.
+func (e *TaintEngine) Report(n *CGNode, hooks *taintHooks) {
+	if n.Fn != nil {
+		e.analyze(n, hooks)
+	}
+}
+
+// frame is one lexical function body under analysis: the declared function
+// or an inline-analyzed literal.
+type frame struct {
+	node    *CGNode
+	params  map[types.Object]int // param object → index (receiver = 0)
+	results []types.Object       // named result objects (nil entries when unnamed)
+	sig     *types.Signature
+	top     bool
+}
+
+// taintState is one analyze() invocation's mutable state. env is shared
+// across frames: objects are globally unique, and closures genuinely share
+// their captured variables with the enclosing body.
+type taintState struct {
+	eng   *TaintEngine
+	pkg   *Package
+	env   map[types.Object]Taint
+	sum   *FuncSummary
+	hooks *taintHooks
+	dirty bool // env grew this pass
+}
+
+// analyze runs the intraprocedural analysis on n (a declared function),
+// returning its summary. With hooks set, a final pass fires sink events
+// after the local fixpoint settles.
+func (e *TaintEngine) analyze(n *CGNode, hooks *taintHooks) *FuncSummary {
+	sig := n.Type()
+	st := &taintState{
+		eng: e,
+		pkg: n.Pkg,
+		env: map[types.Object]Taint{},
+		sum: &FuncSummary{Results: make([]Taint, sig.Results().Len())},
+	}
+	fr := st.newFrame(n, sig, true)
+	// Local fixpoint: loop-carried taint needs a second pass; a third
+	// catches taint that loops through a closure. Passes are cheap.
+	for pass := 0; pass < 3; pass++ {
+		st.dirty = false
+		st.block(fr, n.Body())
+		if !st.dirty {
+			break
+		}
+	}
+	if hooks != nil {
+		st.hooks = hooks
+		st.block(fr, n.Body())
+	}
+	return st.sum
+}
+
+// newFrame seeds a frame's parameter objects: env[param i] = {Params: bit i}.
+// Literal frames get no parameter bits (their arguments are unknown), but
+// their captured variables keep whatever taint the enclosing frame built.
+func (st *taintState) newFrame(n *CGNode, sig *types.Signature, top bool) *frame {
+	fr := &frame{node: n, params: map[types.Object]int{}, sig: sig, top: top}
+	idx := 0
+	if recv := sig.Recv(); recv != nil {
+		fr.params[recv] = idx
+		idx++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		fr.params[sig.Params().At(i)] = idx
+		idx++
+	}
+	if top {
+		for obj, i := range fr.params {
+			if _, ok := st.env[obj]; !ok {
+				st.env[obj] = Taint{Params: paramBit(i)}
+			}
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if r.Name() != "" && r.Name() != "_" {
+			fr.results = append(fr.results, r)
+		} else {
+			fr.results = append(fr.results, nil)
+		}
+	}
+	return fr
+}
+
+func paramBit(i int) uint64 {
+	if i > 63 {
+		i = 63
+	}
+	return 1 << uint(i)
+}
+
+// set updates obj's taint. Strong updates replace (last write wins within
+// a pass); weak updates union in.
+func (st *taintState) set(obj types.Object, t Taint, strong bool) {
+	if obj == nil {
+		return
+	}
+	old, had := st.env[obj]
+	if !strong {
+		t = t.Union(old)
+	}
+	if !had && t.Empty() && strong {
+		return
+	}
+	if t != old {
+		// Only growth forces another pass; a strong update shrinking taint
+		// is already stable (same result every pass).
+		if t.Union(old) != old {
+			st.dirty = true
+		}
+		st.env[obj] = t
+	}
+}
+
+// --- statements ---
+
+func (st *taintState) block(fr *frame, b *ast.BlockStmt) {
+	for _, s := range b.List {
+		st.stmt(fr, s)
+	}
+}
+
+func (st *taintState) stmt(fr *frame, s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		st.block(fr, x)
+	case *ast.ExprStmt:
+		st.expr(fr, x.X)
+	case *ast.AssignStmt:
+		st.assign(fr, x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				ts := st.tupleValues(fr, vs.Values, len(vs.Names))
+				for i, name := range vs.Names {
+					if i < len(ts) {
+						st.set(st.pkg.Info.Defs[name], ts[i], true)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		st.ret(fr, x)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st.stmt(fr, x.Init)
+		}
+		st.expr(fr, x.Cond)
+		st.block(fr, x.Body)
+		if x.Else != nil {
+			st.stmt(fr, x.Else)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st.stmt(fr, x.Init)
+		}
+		if x.Cond != nil {
+			st.expr(fr, x.Cond)
+		}
+		st.block(fr, x.Body)
+		if x.Post != nil {
+			st.stmt(fr, x.Post)
+		}
+	case *ast.RangeStmt:
+		st.rangeStmt(fr, x)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st.stmt(fr, x.Init)
+		}
+		if x.Tag != nil {
+			st.expr(fr, x.Tag)
+		}
+		st.block(fr, x.Body)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st.stmt(fr, x.Init)
+		}
+		st.stmt(fr, x.Assign)
+		st.block(fr, x.Body)
+	case *ast.CaseClause:
+		for _, e := range x.List {
+			st.expr(fr, e)
+		}
+		for _, s := range x.Body {
+			st.stmt(fr, s)
+		}
+	case *ast.SelectStmt:
+		st.block(fr, x.Body)
+	case *ast.CommClause:
+		if x.Comm != nil {
+			st.stmt(fr, x.Comm)
+		}
+		for _, s := range x.Body {
+			st.stmt(fr, s)
+		}
+	case *ast.GoStmt:
+		st.call(fr, x.Call)
+	case *ast.DeferStmt:
+		st.call(fr, x.Call)
+	case *ast.SendStmt:
+		st.expr(fr, x.Chan)
+		st.expr(fr, x.Value)
+	case *ast.LabeledStmt:
+		st.stmt(fr, x.Stmt)
+	}
+}
+
+// assign handles every AssignStmt form, including the two float
+// accumulation sink shapes: `x op= v` and `x = x + v`.
+func (st *taintState) assign(fr *frame, a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+		ts := st.tupleValues(fr, a.Rhs, len(a.Lhs))
+		if a.Tok == token.ASSIGN && len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+			st.checkSelfAccum(fr, a.Lhs[0], a.Rhs[0])
+		}
+		for i, lhs := range a.Lhs {
+			if i < len(ts) {
+				st.assignTo(fr, lhs, ts[i])
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		l := st.expr(fr, a.Lhs[0])
+		r := st.expr(fr, a.Rhs[0])
+		lt := st.pkg.Info.TypeOf(a.Lhs[0])
+		if isFloat(lt) {
+			st.sinkAcc(a.Pos(), r, types.ExprString(a.Lhs[0]))
+		} else if isInteger(lt) && a.Tok != token.QUO_ASSIGN {
+			// Exact commutative folds (integer +=, -=, *=) are determined
+			// by the multiset of operands, not their order: summing map
+			// values into an int launders map-iteration-order taint (the
+			// float case above is the opposite — rounding makes the order
+			// observable, which is the whole point of the sink).
+			l.Kinds &^= SrcMapOrder
+			r.Kinds &^= SrcMapOrder
+		}
+		st.assignTo(fr, a.Lhs[0], l.Union(r))
+	default: // remaining op= forms (%=, &=, <<=...): propagate only
+		l := st.expr(fr, a.Lhs[0])
+		r := st.expr(fr, a.Rhs[0])
+		st.assignTo(fr, a.Lhs[0], l.Union(r))
+	}
+}
+
+// checkSelfAccum catches the explicit accumulation form `x = x + v` on a
+// float x: the sink value is the taint of the non-x operands.
+func (st *taintState) checkSelfAccum(fr *frame, lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || !isFloat(st.pkg.Info.TypeOf(lhs)) {
+		return
+	}
+	obj := st.obj(id)
+	if obj == nil {
+		return
+	}
+	be, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	selfRead := false
+	var other Taint
+	var scan func(e ast.Expr)
+	scan = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if rid, ok := e.(*ast.Ident); ok && st.obj(rid) == obj {
+			selfRead = true
+			return
+		}
+		if b, ok := e.(*ast.BinaryExpr); ok {
+			scan(b.X)
+			scan(b.Y)
+			return
+		}
+		other = other.Union(st.expr(fr, e))
+	}
+	scan(be.X)
+	scan(be.Y)
+	if selfRead {
+		st.sinkAcc(be.Pos(), other, types.ExprString(lhs))
+	}
+}
+
+// sinkAcc registers taint arriving at a float accumulation: concrete
+// sources fire the hook; parameter-derived taint flows into the summary so
+// callers report at their call sites.
+func (st *taintState) sinkAcc(pos token.Pos, t Taint, via string) {
+	if t.Kinds != 0 && st.hooks != nil && st.hooks.accSink != nil {
+		st.hooks.accSink(pos, t.Kinds, via)
+	}
+	st.sum.AccSinkParams |= t.Params
+}
+
+// sinkLabel is sinkAcc for obs metric names.
+func (st *taintState) sinkLabel(pos token.Pos, t Taint, via string) {
+	if t.Kinds != 0 && st.hooks != nil && st.hooks.labelSink != nil {
+		st.hooks.labelSink(pos, t.Kinds, via)
+	}
+	st.sum.LabelSinkParams |= t.Params
+}
+
+// assignTo writes taint through an lvalue: plain identifiers get strong
+// updates, everything else (fields, elements, derefs) taints the root
+// object weakly — we cannot prove the rest of the aggregate is clean.
+func (st *taintState) assignTo(fr *frame, lhs ast.Expr, t Taint) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		st.set(st.obj(x), t, true)
+	default:
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if mt := st.pkg.Info.TypeOf(idx.X); mt != nil {
+				if _, isMap := mt.Underlying().(*types.Map); isMap {
+					// A map is an unordered container: rebuilding one map
+					// from another (`for k, v := range m { out[k] = f(v) }`)
+					// yields the same map whatever order the range took, so
+					// the store launders map-order taint. (Colliding keys
+					// with order-dependent overwrites would defeat this;
+					// the keyed-by-range-key shape that dominates real code
+					// has unique keys.)
+					t.Kinds &^= SrcMapOrder
+				}
+			}
+		}
+		if !t.Empty() {
+			st.set(rootObj(st.pkg, lhs), t, false)
+		}
+	}
+}
+
+// rootObj finds the base object of an lvalue chain (s.f[i].g → s).
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := pkg.Info.Uses[x]; o != nil {
+				return o
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ret folds a return statement into the summary and fires the
+// exported-estimate hook when a sourced float leaves a public entry point.
+func (st *taintState) ret(fr *frame, r *ast.ReturnStmt) {
+	var ts []Taint
+	if len(r.Results) == 0 {
+		ts = make([]Taint, len(fr.results))
+		for i, obj := range fr.results {
+			if obj != nil {
+				ts[i] = st.env[obj]
+			}
+		}
+	} else {
+		ts = st.tupleValues(fr, r.Results, fr.sig.Results().Len())
+	}
+	if !fr.top {
+		return // a literal's returns flow through dynamic call sites, not the summary
+	}
+	for i, t := range ts {
+		if i >= len(st.sum.Results) {
+			break
+		}
+		st.sum.Results[i] = st.sum.Results[i].Union(t)
+		if t.Kinds != 0 && st.hooks != nil && st.hooks.exportedReturn != nil &&
+			fr.node.Fn != nil && fr.node.Fn.Exported() &&
+			carriesFloat(fr.sig.Results().At(i).Type()) {
+			st.hooks.exportedReturn(r.Pos(), t.Kinds, fr.node.Fn.Name())
+		}
+	}
+}
+
+// rangeStmt binds the iteration variables: ranging over a map adds the
+// map-order source; ranging over a tainted container propagates its taint
+// to the element (index variables over slices stay clean — 0..n-1 is
+// deterministic).
+func (st *taintState) rangeStmt(fr *frame, r *ast.RangeStmt) {
+	t := st.expr(fr, r.X)
+	var keyT, valT Taint
+	switch st.pkg.Info.TypeOf(r.X).Underlying().(type) {
+	case *types.Map:
+		keyT = t.Union(Taint{Kinds: SrcMapOrder})
+		valT = keyT
+	case *types.Slice, *types.Array, *types.Pointer:
+		valT = t
+	case *types.Chan:
+		keyT = t
+	case *types.Basic: // string or go1.22 range-over-int
+		keyT, valT = Taint{}, t
+	default:
+		keyT, valT = t, t
+	}
+	if r.Key != nil {
+		st.assignTo(fr, r.Key, keyT)
+	}
+	if r.Value != nil {
+		st.assignTo(fr, r.Value, valT)
+	}
+	st.block(fr, r.Body)
+}
+
+// tupleValues evaluates an Rhs list that may be a single multi-result
+// call feeding several Lhs slots.
+func (st *taintState) tupleValues(fr *frame, rhs []ast.Expr, want int) []Taint {
+	if len(rhs) == 1 && want > 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			return pad(st.call(fr, call), want)
+		}
+		// v, ok := m[k] / x.(T) / <-ch: both slots get the source's taint.
+		t := st.expr(fr, rhs[0])
+		ts := make([]Taint, want)
+		for i := range ts {
+			ts[i] = t
+		}
+		return ts
+	}
+	ts := make([]Taint, 0, len(rhs))
+	for _, e := range rhs {
+		ts = append(ts, st.expr(fr, e))
+	}
+	return pad(ts, want)
+}
+
+func pad(ts []Taint, want int) []Taint {
+	for len(ts) < want {
+		ts = append(ts, Taint{})
+	}
+	return ts
+}
+
+// --- expressions ---
+
+func (st *taintState) obj(id *ast.Ident) types.Object {
+	if o := st.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return st.pkg.Info.Defs[id]
+}
+
+// expr returns the taint of a single-valued expression, walking nested
+// calls for their sink side effects.
+func (st *taintState) expr(fr *frame, e ast.Expr) Taint {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return st.env[st.obj(x)]
+	case *ast.BasicLit:
+		return Taint{}
+	case *ast.FuncLit:
+		// Analyze the literal inline: captured variables share env with
+		// this frame, so taint flows in and out of the closure; the
+		// literal's own params carry no bits.
+		if lit := st.eng.graph.ByLit[x]; lit != nil {
+			st.block(st.newFrame(lit, lit.Type(), false), lit.Body())
+		}
+		return Taint{}
+	case *ast.CallExpr:
+		ts := st.call(fr, x)
+		if len(ts) > 0 {
+			return ts[0]
+		}
+		return Taint{}
+	case *ast.BinaryExpr:
+		return st.expr(fr, x.X).Union(st.expr(fr, x.Y))
+	case *ast.UnaryExpr:
+		return st.expr(fr, x.X)
+	case *ast.ParenExpr:
+		return st.expr(fr, x.X)
+	case *ast.StarExpr:
+		return st.expr(fr, x.X)
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := st.obj(id).(*types.PkgName); isPkg {
+				return Taint{} // qualified identifier; globals are not tracked
+			}
+		}
+		return st.expr(fr, x.X)
+	case *ast.IndexExpr:
+		return st.expr(fr, x.X).Union(st.expr(fr, x.Index))
+	case *ast.IndexListExpr:
+		return st.expr(fr, x.X)
+	case *ast.SliceExpr:
+		t := st.expr(fr, x.X)
+		for _, ix := range []ast.Expr{x.Low, x.High, x.Max} {
+			if ix != nil {
+				t = t.Union(st.expr(fr, ix))
+			}
+		}
+		return t
+	case *ast.CompositeLit:
+		var t Taint
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t = t.Union(st.expr(fr, kv.Value))
+				continue
+			}
+			t = t.Union(st.expr(fr, elt))
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return st.expr(fr, x.X)
+	case *ast.KeyValueExpr:
+		return st.expr(fr, x.Value)
+	default:
+		return Taint{}
+	}
+}
+
+// call evaluates a call expression: sources, sanitizers, summary
+// substitution, sink parameters, and the conservative fallback for
+// everything the resolver cannot see into.
+func (st *taintState) call(fr *frame, call *ast.CallExpr) []Taint {
+	info := st.pkg.Info
+	// Type conversion: taint passes through unchanged.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []Taint{st.expr(fr, call.Args[0])}
+		}
+		return nil
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := st.obj(id).(*types.Builtin); isB {
+			return st.builtin(fr, id.Name, call)
+		}
+	}
+	// Evaluate arguments once (receiver of a method call is arg slot 0).
+	fn := calleeFuncInfo(info, call)
+	var argT []Taint
+	if fn != nil && fn.Type().(*types.Signature).Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			argT = append(argT, st.expr(fr, sel.X))
+		} else {
+			argT = append(argT, Taint{}) // method value call; receiver unknown
+		}
+	} else {
+		// Calls through arbitrary expressions still need their Fun walked
+		// (e.g. an immediately-invoked literal).
+		st.expr(fr, call.Fun)
+	}
+	for _, a := range call.Args {
+		argT = append(argT, st.expr(fr, a))
+	}
+	allArgs := Taint{}
+	for _, t := range argT {
+		allArgs = allArgs.Union(t)
+	}
+	nres := 1
+	if sig, ok := info.TypeOf(call).(*types.Tuple); ok {
+		nres = sig.Len()
+	}
+	if fn == nil {
+		return uniform(allArgs, nres) // dynamic call: anything the args carry may come back
+	}
+
+	// External sources, sanitizers, and the obs label sink.
+	if ts, handled := st.special(fr, fn, call, argT, allArgs, nres); handled {
+		return ts
+	}
+
+	// Module callee(s): substitute summaries. Interface calls union every
+	// CHA-resolved implementation.
+	sums := st.calleeSummaries(fn)
+	if len(sums) == 0 {
+		return uniform(allArgs, nres) // no body in view: conservative propagate
+	}
+	out := make([]Taint, nres)
+	var acc, label uint64
+	for _, sum := range sums {
+		for i := 0; i < nres && i < len(sum.Results); i++ {
+			out[i] = out[i].Union(st.substitute(sum.Results[i], argT))
+		}
+		acc |= sum.AccSinkParams
+		label |= sum.LabelSinkParams
+	}
+	st.callSinks(fn, call, argT, acc, label)
+	return out
+}
+
+// substitute maps a callee-space taint into the caller: source kinds pass
+// through, parameter bits pull in the corresponding argument taints.
+func (st *taintState) substitute(t Taint, argT []Taint) Taint {
+	out := Taint{Kinds: t.Kinds}
+	for i, at := range argT {
+		if t.Params&paramBit(i) != 0 {
+			out = out.Union(at)
+		}
+	}
+	// Arguments beyond bit 63 (or variadic overflow) fold into the last bit.
+	if len(argT) > 64 && t.Params&paramBit(63) != 0 {
+		for _, at := range argT[63:] {
+			out = out.Union(at)
+		}
+	}
+	return out
+}
+
+// callSinks fires/propagates the callee's sink parameters against the
+// actual arguments.
+func (st *taintState) callSinks(fn *types.Func, call *ast.CallExpr, argT []Taint, acc, label uint64) {
+	for i, at := range argT {
+		if at.Empty() {
+			continue
+		}
+		if acc&paramBit(i) != 0 {
+			st.sinkAcc(call.Pos(), at, fn.Name())
+		}
+		if label&paramBit(i) != 0 {
+			st.sinkLabel(call.Pos(), at, fn.Name())
+		}
+	}
+}
+
+// calleeSummaries resolves a callee to its summary set: one for a static
+// module call, the CHA union for interface methods, none for externals.
+func (st *taintState) calleeSummaries(fn *types.Func) []*FuncSummary {
+	if n := st.eng.graph.ByFunc[fn]; n != nil {
+		if s := st.eng.sums[fn]; s != nil {
+			return []*FuncSummary{s}
+		}
+		return []*FuncSummary{{}} // first iteration: optimistic empty summary
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			var out []*FuncSummary
+			for _, impl := range st.eng.graph.implementers(iface, fn.Name()) {
+				if s := st.eng.sums[impl.Fn]; s != nil {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// special handles well-known external callees: nondeterminism sources,
+// sort sanitizers, and the obs metric-name sink. Returns handled=false for
+// everything else.
+func (st *taintState) special(fr *frame, fn *types.Func, call *ast.CallExpr, argT []Taint, allArgs Taint, nres int) ([]Taint, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil, false
+	}
+	path := pkg.Path()
+	recv := fn.Type().(*types.Signature).Recv()
+	switch path {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return uniform(allArgs.Union(Taint{Kinds: SrcTime}), nres), true
+		}
+	case "math/rand", "math/rand/v2":
+		if recv == nil {
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf", "NewChaCha8", "NewPCG":
+				// Constructors: rawrand polices these; the value itself is a
+				// seeded generator, not a draw.
+			default:
+				return uniform(allArgs.Union(Taint{Kinds: SrcRand}), nres), true
+			}
+		}
+	case "sort", "slices":
+		if recv == nil && len(call.Args) > 0 && isSortName(fn.Name()) {
+			// Sorting establishes a deterministic order: cleanse the sorted
+			// container's object.
+			if obj := rootObj(st.pkg, call.Args[0]); obj != nil {
+				st.set(obj, Taint{}, true)
+			}
+			return uniform(Taint{}, nres), true
+		}
+	case "maps":
+		switch fn.Name() {
+		case "Keys", "Values":
+			return uniform(allArgs.Union(Taint{Kinds: SrcMapOrder}), nres), true
+		}
+	case "fmt":
+		if recv == nil && (strings.HasPrefix(fn.Name(), "Sprint") || strings.HasPrefix(fn.Name(), "Append")) {
+			t := allArgs
+			if formatsPointer(st.pkg, call) {
+				t = t.Union(Taint{Kinds: SrcPtr})
+			}
+			return uniform(t, nres), true
+		}
+	}
+	if strings.HasSuffix(path, "internal/obs") {
+		if idx, ok := obsNameArg(fn); ok && idx < len(argT) {
+			st.sinkLabel(call.Pos(), argT[idx], fn.Name())
+		}
+	}
+	return nil, false
+}
+
+// isSortName matches the sort/slices entry points that impose an order.
+func isSortName(name string) bool {
+	switch name {
+	case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable",
+		"SortFunc", "SortStableFunc":
+		return true
+	}
+	return false
+}
+
+// obsNameArg returns the index (in receiver-first arg space) of the metric
+// or span name parameter of an internal/obs entry point.
+func obsNameArg(fn *types.Func) (int, bool) {
+	sig := fn.Type().(*types.Signature)
+	switch fn.Name() {
+	case "Add", "Set", "Observe", "Span", "Counter", "Gauge", "Histogram":
+		if sig.Params().Len() > 0 && types.Identical(sig.Params().At(0).Type(), types.Typ[types.String]) {
+			if sig.Recv() != nil {
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// formatsPointer reports whether a fmt call renders pointer identity: a %p
+// verb, or a bare pointer/func/channel operand (printed as an address).
+func formatsPointer(pkg *Package, call *ast.CallExpr) bool {
+	for i, a := range call.Args {
+		if i == 0 {
+			if lit, ok := ast.Unparen(a).(*ast.BasicLit); ok && lit.Kind == token.STRING &&
+				strings.Contains(lit.Value, "%p") {
+				return true
+			}
+		}
+		switch pkg.Info.TypeOf(a).Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Signature:
+			return true
+		}
+	}
+	return false
+}
+
+// builtin models the builtins that matter for flow.
+func (st *taintState) builtin(fr *frame, name string, call *ast.CallExpr) []Taint {
+	switch name {
+	case "len", "cap", "make", "new", "delete", "clear", "close", "panic", "recover", "print", "println":
+		for _, a := range call.Args {
+			st.expr(fr, a) // walk for nested call side effects
+		}
+		return []Taint{{}}
+	case "copy":
+		if len(call.Args) == 2 {
+			src := st.expr(fr, call.Args[1])
+			if !src.Empty() {
+				st.set(rootObj(st.pkg, call.Args[0]), src, false)
+			}
+		}
+		return []Taint{{}}
+	default: // append, min, max, complex, real, imag...
+		var t Taint
+		for _, a := range call.Args {
+			t = t.Union(st.expr(fr, a))
+		}
+		return []Taint{t}
+	}
+}
+
+// uniform returns n copies of t.
+func uniform(t Taint, n int) []Taint {
+	if n <= 0 {
+		n = 1
+	}
+	ts := make([]Taint, n)
+	for i := range ts {
+		ts[i] = t
+	}
+	return ts
+}
+
+// calleeFuncInfo resolves a call's static callee from a types.Info (the
+// Pass-independent version of calleeFunc).
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

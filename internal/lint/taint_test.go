@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestTaintPropagation pins the engine's fixpoint summaries on the
+// taintprop fixture: which parameters flow to the result, which source
+// kinds survive which call chains, where sorting launders taint, and
+// which parameters reach a float-accumulation sink.
+func TestTaintPropagation(t *testing.T) {
+	pkgs := loadEngineFixture(t, "taintprop")
+	g := BuildCallGraph(pkgs)
+	eng := NewTaintEngine(g)
+
+	byName := map[string]*types.Func{}
+	for _, n := range g.Nodes {
+		if n.Fn != nil {
+			byName[n.Fn.Name()] = n.Fn
+		}
+	}
+
+	cases := []struct {
+		fn            string
+		resultParams  uint64  // Results[0].Params; 0 when no results
+		resultKinds   SrcKind // Results[0].Kinds
+		accSinkParams uint64
+	}{
+		{"Identity", 1 << 0, 0, 0},
+		{"Second", 1 << 1, 0, 0},
+		{"Clock", 0, SrcTime, 0},
+		{"Draw", 0, SrcRand, 0},
+		{"Chain", 0, SrcRand, 0},
+		{"KeySum", 1 << 0, SrcMapOrder, 1 << 0},
+		{"Sorted", 0, 0, 0},
+		{"Accumulate", 0, 0, 1 << 1},
+		{"CountValues", 1 << 0, 0, 0},
+		{"Rekey", 1 << 0, 0, 0},
+	}
+	for _, c := range cases {
+		fn, ok := byName[c.fn]
+		if !ok {
+			t.Errorf("%s: not in the call graph", c.fn)
+			continue
+		}
+		sum := eng.Summary(fn)
+		if sum == nil {
+			t.Errorf("%s: no summary", c.fn)
+			continue
+		}
+		var got Taint
+		if len(sum.Results) > 0 {
+			got = sum.Results[0]
+		}
+		if got.Params != c.resultParams || got.Kinds != c.resultKinds {
+			t.Errorf("%s: result taint = {Params:%b Kinds:%v}, want {Params:%b Kinds:%v}",
+				c.fn, got.Params, got.Kinds, c.resultParams, c.resultKinds)
+		}
+		if sum.AccSinkParams != c.accSinkParams {
+			t.Errorf("%s: AccSinkParams = %b, want %b", c.fn, sum.AccSinkParams, c.accSinkParams)
+		}
+	}
+}
+
+// TestSrcKindString pins the finding vocabulary.
+func TestSrcKindString(t *testing.T) {
+	if got := (SrcMapOrder | SrcRand).String(); got != "map iteration order and the process-global rand source" {
+		t.Errorf("SrcKind string = %q", got)
+	}
+	if got := SrcKind(0).String(); got != "a deterministic value" {
+		t.Errorf("zero SrcKind string = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+// Package callgraph is the hand-computed fixture for the call-graph
+// resolver: callgraph_test.go asserts the resolved edge set of this file
+// matches the expectation exactly (static, CHA, literal, containment, and
+// dynamic edges).
+package callgraph
+
+// Shape is dispatched through an interface so the CHA resolver has to
+// fan the call out to both implementations.
+type Shape interface{ Area() float64 }
+
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+type Square struct{ S float64 }
+
+func (s Square) Area() float64 { return s.S * s.S }
+
+// Total's s.Area() call must resolve to Circle.Area and Square.Area.
+func Total(shapes []Shape) float64 {
+	t := 0.0
+	for _, s := range shapes {
+		t += s.Area()
+	}
+	return t
+}
+
+func Helper(x float64) float64 { return x + 1 }
+
+// Top exercises a static call, a closure containment edge, and a dynamic
+// call through a function-typed variable.
+func Top(shapes []Shape) float64 {
+	f := func(v float64) float64 { return Helper(v) }
+	total := Total(shapes)
+	return f(total)
+}
+
+// Immediate exercises the immediately-invoked literal edge.
+func Immediate() float64 {
+	return func() float64 { return Helper(2) }()
+}

@@ -1,0 +1,75 @@
+// Package taintprop exercises the taint engine's interprocedural
+// summaries: parameter flow, source kinds, sanitizers, and sink
+// parameters.
+package taintprop
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Identity returns its argument: result derives from param 0.
+func Identity(x float64) float64 { return x }
+
+// Second returns only its second argument.
+func Second(a, b float64) float64 { return b }
+
+// Clock derives its result from the wall clock.
+func Clock() float64 { return float64(time.Now().UnixNano()) }
+
+// Draw derives its result from the process-global rand source.
+func Draw() float64 { return rand.Float64() }
+
+// Chain routes Draw through Identity: the source kind survives two calls.
+func Chain() float64 { return Identity(Draw()) }
+
+// KeySum folds map keys in iteration order: the result carries both the
+// map parameter and the map-order source, and the parameter reaches a
+// float accumulation.
+func KeySum(m map[float64]bool) float64 {
+	var s float64
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Sorted collects, sorts, then folds: the sort launders the map-order
+// taint, so the summary is clean.
+func Sorted(m map[float64]bool) float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	var s float64
+	for _, k := range keys {
+		s += k
+	}
+	return s
+}
+
+// Accumulate folds v into *acc: parameter 1 reaches a float accumulation.
+func Accumulate(acc *float64, v float64) { *acc += v }
+
+// CountValues sums map values into an int: the exact commutative fold is
+// order-independent, so the map-order taint is laundered (and an integer
+// target is no accumulation sink).
+func CountValues(m map[string]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// Rekey rebuilds one map from another: the element stores launder the
+// map-order taint because the result is the same map in any order.
+func Rekey(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

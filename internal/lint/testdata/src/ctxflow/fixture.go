@@ -1,0 +1,59 @@
+// Package ctxflow is the golden fixture for the cancellation-contract
+// rule: Background substitution and dropped ctx parameters.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// run is the context-aware leaf every entry point should thread into.
+func run(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+// step is a context-free helper on the path from Dropped to run; the
+// Background here is legal (step holds no caller context).
+func step(n int) int {
+	return run(context.Background(), n)
+}
+
+// Detached holds the caller's ctx but hands its callee a fresh one.
+func Detached(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return run(context.Background(), n) // want: Background substitution
+}
+
+// handle carries the client's context on the request yet mints its own.
+func handle(w http.ResponseWriter, r *http.Request) {
+	run(context.TODO(), 1) // want: TODO substitution
+}
+
+// Dropped promises cancellation it cannot deliver: the ctx goes unused
+// while context-aware code sits two calls away.
+func Dropped(ctx context.Context, n int) int { // want: dropped ctx
+	return step(n)
+}
+
+// Threaded is the sanctioned shape.
+func Threaded(ctx context.Context, n int) int {
+	return run(ctx, n)
+}
+
+// Leaf keeps an unused ctx but reaches nothing context-aware: an
+// interface-compat signature, left alone.
+func Leaf(ctx context.Context) int {
+	return 42
+}
+
+//lint:ignore ctxflow fixture: interface compatibility requires the parameter
+func Compat(ctx context.Context, n int) int {
+	return step(n)
+}

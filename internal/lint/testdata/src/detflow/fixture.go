@@ -1,0 +1,93 @@
+// Package detflow is the golden fixture for the interprocedural
+// determinism-taint rule: nondeterministic values flowing into float
+// accumulations, exported estimate returns, and metric names.
+package detflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"relest/internal/obs"
+)
+
+// mapOrderSum accumulates in map iteration order — the intraprocedural
+// base case.
+func mapOrderSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want: map iteration order reaches accumulation
+	}
+	return s
+}
+
+// globalRandSum folds draws from the process-global source.
+func globalRandSum(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total += rand.Float64() // want: rand source reaches accumulation
+	}
+	return total
+}
+
+// meter is an accumulator two hops from the nondeterminism.
+type meter struct{ total float64 }
+
+func (m *meter) add(v float64) { m.total += v } // sink on a clean param: no report here
+
+// viaHelper routes map-order taint through meter.add — the report fires
+// at the call site, not inside the helper.
+func viaHelper(m map[string]float64) float64 {
+	mt := &meter{}
+	for _, v := range m {
+		mt.add(v) // want: interprocedural accumulation
+	}
+	return mt.total
+}
+
+func jitter() float64 { return rand.Float64() } // unexported: no return-sink here
+
+// Estimate returns a value derived from the global rand source — an
+// exported estimate must be bit-reproducible.
+func Estimate() float64 {
+	return jitter() // want: exported return of rand-derived float
+}
+
+var epoch = time.Now()
+
+// Elapsed leaks the wall clock through an exported float return.
+func Elapsed() float64 {
+	d := time.Since(epoch)
+	return d.Seconds() // want: exported return of wall-clock-derived float
+}
+
+// record mints a metric name from pointer identity: every run gets a
+// fresh series.
+func record(rec obs.Recorder, trackID *int) {
+	rec.Add(fmt.Sprintf("track-%p", trackID), 1) // want: pointer identity in metric name
+}
+
+// SortedSum is the sanctioned idiom: collect, sort, then fold — the sort
+// launders the map-order taint, so this is clean.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //lint:ignore detflow fixture: suppression coverage for the taint rule
+	}
+	return s
+}

@@ -1,0 +1,18 @@
+// Package staleignore is the golden fixture for the stale-ignore audit:
+// a directive that suppresses nothing, while its rule ran, is dead.
+package staleignore
+
+func eq(a, b float64) bool {
+	//lint:ignore floateq fixture: live suppression
+	return a == b
+}
+
+func lt(a, b float64) bool {
+	//lint:ignore floateq fixture: stale, the comparison below is ordered not equality
+	return a < b
+}
+
+func unrelated(a, b float64) bool {
+	//lint:ignore rawgo fixture: names a rule outside this run, left alone
+	return a < b
+}

@@ -1,0 +1,81 @@
+// Package viewescape is the golden fixture for the zero-copy view escape
+// rule: Rows and Subset/Clone views must not outlive their statement.
+package viewescape
+
+import (
+	"relest/internal/parallel"
+	"relest/internal/relation"
+)
+
+// cache retains relation state across calls.
+type cache struct {
+	rows *relation.Relation
+	row  relation.Row
+}
+
+// buildCache pins a zero-copy view in a struct field via composite
+// literal.
+func buildCache(r *relation.Relation) *cache {
+	v := r.Subset("v", []int{0})
+	return &cache{rows: v} // want: view stored in struct field
+}
+
+// stashRow stores a Row alias through a field assignment.
+func stashRow(c *cache, r *relation.Relation) {
+	c.row = r.Row(1) // want: Row stored in struct field
+}
+
+// stashClone stores a fresh Clone view through a field assignment.
+func stashClone(c *cache, r *relation.Relation) {
+	c.rows = r.Clone("copy") // want: view stored in struct field
+}
+
+// spawn hands a view to a goroutine that reads it concurrently with the
+// spawner.
+func spawn(r *relation.Relation, done chan int) {
+	v := r.Subset("v", nil)
+	go func() {
+		done <- v.Len() // want: view captured by goroutine
+	}()
+}
+
+// fanOut captures a Row inside a parallel worker closure.
+func fanOut(r *relation.Relation, out []float64) {
+	row := r.Row(0)
+	parallel.For(len(out), 2, func(i int) {
+		out[i] = float64(row.Index()) // want: Row captured by worker
+	})
+}
+
+// appendPastView grows the base while a capacity-clamped view is still
+// live — the view silently misses the appended rows.
+func appendPastView(r *relation.Relation, t relation.Tuple) int {
+	v := r.Subset("v", nil)
+	r.MustAppend(t) // want: append past live view
+	return v.Len()
+}
+
+// Peek hands an alias into column storage across the package boundary.
+func Peek(r *relation.Relation) relation.Row {
+	return r.Row(0) // want: exported Row return
+}
+
+// Take is the sanctioned shape: materialize before returning.
+func Take(r *relation.Relation) relation.Tuple {
+	return r.Row(0).Materialize()
+}
+
+// scratchView is the legal pattern: the view lives and dies inside one
+// statement sequence, append happens after its last use.
+func scratchView(r *relation.Relation, t relation.Tuple) int {
+	v := r.Subset("v", nil)
+	n := v.Len()
+	r.MustAppend(t)
+	return n
+}
+
+// retained documents a deliberate long-lived sample view.
+func retained(c *cache, r *relation.Relation) {
+	//lint:ignore viewescape fixture: deliberate retention with justification
+	c.rows = r.Subset("sample", nil)
+}

@@ -1,0 +1,79 @@
+// Package workerpurity is the golden fixture for the worker-purity
+// rule: parallel workers write only index-addressed slots.
+package workerpurity
+
+import (
+	"sync"
+
+	"relest/internal/parallel"
+)
+
+var total float64
+
+// bump mutates process-global state; reachable from reduceSlots's worker.
+func bump(v float64) {
+	total = total + v // want: package-level write
+}
+
+var hits int
+
+// work is a named worker function: same rules apply.
+func work(i int) {
+	hits++ // want: package-level write
+}
+
+func namedWorker(n int) {
+	parallel.For(n, 2, work)
+}
+
+// reduceRace accumulates into captured locals from inside the workers.
+func reduceRace(xs []float64) float64 {
+	var sum float64
+	var last int
+	counts := map[int]int{}
+	parallel.For(len(xs), 2, func(i int) {
+		sum += xs[i]  // want: captured accumulation
+		last = i      // want: captured assignment
+		counts[i] = i // want: captured map write
+	})
+	_ = last
+	return sum + float64(counts[0])
+}
+
+// tally is shared mutable state.
+type tally struct{ n int }
+
+func fieldRace(xs []float64, t *tally, p *float64) {
+	parallel.For(len(xs), 2, func(i int) {
+		t.n++      // want: field write
+		*p = xs[i] // want: pointer store
+	})
+}
+
+// reduceSlots is the sanctioned pattern: per-task slots, index-ordered
+// reduction after the join.
+func reduceSlots(xs []float64) float64 {
+	slots := make([]float64, len(xs))
+	parallel.For(len(xs), 2, func(i int) {
+		slots[i] = xs[i] * 2 // clean: index-addressed slot
+		bump(xs[i])
+	})
+	var sum float64
+	for _, v := range slots {
+		sum += v
+	}
+	return sum
+}
+
+// guarded is race-free behind a mutex; the deliberate exception carries
+// its justification.
+func guarded(xs []float64, mu *sync.Mutex) float64 {
+	var sum float64
+	parallel.For(len(xs), 2, func(i int) {
+		mu.Lock()
+		//lint:ignore workerpurity fixture: mutex-guarded accumulation, race-free by construction
+		sum += xs[i]
+		mu.Unlock()
+	})
+	return sum
+}

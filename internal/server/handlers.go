@@ -370,6 +370,7 @@ func (s *Server) doEstimate(ctx context.Context, req EstimateRequest) (int, any)
 			return http.StatusBadRequest, ErrorResponse{Error: "deadline mode needs budget_ms or a request deadline"}
 		}
 		dopts := estimator.DeadlineOptions{Budget: budget, Estimate: opts, Seed: req.Seed}
+		//lint:ignore detflow deadline mode spends the request's remaining wall clock by contract: the budget bounds how many rounds run, and the round count rides on the trace span name
 		est, steps, err := estimator.DeadlineCountContext(ctx, st.Expr, syn, dopts)
 		if err != nil {
 			return estimateErrorStatus(err), ErrorResponse{Error: err.Error()}
@@ -437,8 +438,7 @@ func toResult(est estimator.Estimate) EstimateResult {
 // isNaN is math.IsNaN without the import weight; NaN is the only value
 // that differs from itself.
 func isNaN(v float64) bool {
-	//lint:ignore floateq NaN self-comparison is the definition, not a tolerance bug
-	return v != v
+	return v != v // floateq recognizes the NaN self-comparison idiom
 }
 
 // consumedSamples reports the per-relation sample sizes a plain estimate
