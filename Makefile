@@ -1,9 +1,9 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet lint lint-json lint-budget test race cover golden memgate bench bench6 fuzz smoke
+.PHONY: check build vet lint lint-json lint-budget test race cover golden memgate bench bench6 fuzz smoke soak-short
 
-check: build vet lint lint-budget test race cover golden memgate
+check: build vet lint lint-budget test race cover golden memgate soak-short
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,15 @@ cover:
 	@pct=$$($(GO) test -cover ./internal/lint | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/lint coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
 		printf "internal/lint coverage %.1f%% (floor 70%%)\n", p }'
+
+# Adversarial soak slice: the five workload scenarios (zipf-mix, bursty,
+# hot-key eviction churn, churn-heavy streams, cancellation storm) each
+# run against a live relestd while a calibration probe stream holds the
+# PR-3 bias/coverage bands. Seed-pinned and bounded well under a minute;
+# the full-length soak is the same test with the knobs in
+# internal/server/soak_test.go raised.
+soak-short:
+	$(GO) test -count=1 -run TestSoakScenarios -v ./internal/server | grep -v '^=== RUN'
 
 # Service smoke test: build the daemon, walk the whole lifecycle against
 # the real binary (start, register, estimate, scrape /metrics, SIGTERM,

@@ -21,6 +21,8 @@
 //	POST /v1/synopses/{name}/stream  feed one insert/delete event
 //	GET  /v1/synopses                list synopses
 //	POST /v1/estimate                estimate count/sum/avg from a synopsis
+//	POST /v1/estimate/batch          many estimates in one admitted request
+//	POST /v1/snapshot                persist state to -snapshot-dir
 //	GET  /metrics                    Prometheus text metrics
 //	GET  /healthz                    liveness and drain state
 //
@@ -56,6 +58,10 @@ func run(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request wall-clock cap")
 	workers := fs.Int("workers", 0, "per-estimate evaluation parallelism (0 = library default); estimates are identical for every setting")
 	maxUpload := fs.Int64("max-upload-bytes", 0, "CSV upload size cap in bytes; imports stream, so this bounds upload memory (0 = 64 MiB default)")
+	snapshotDir := fs.String("snapshot-dir", "", "directory for snapshot/restore and the append-only stream log; restored on start, saved on POST /v1/snapshot and on shutdown (empty = persistence off)")
+	synBudget := fs.Int64("synopsis-budget-bytes", 0, "total resident static synopsis bytes before LRU eviction; evicted synopses rebuild transparently on next use (0 = unlimited)")
+	tenantSlots := fs.Int("tenant-queue-slots", 0, "concurrently admitted estimation requests per tenant before 429 (0 = unlimited)")
+	tenantBytes := fs.Int64("tenant-synopsis-bytes", 0, "resident static synopsis bytes per tenant before creations are rejected with 413 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,12 +71,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	srv := server.New(server.Config{
-		Addr:             *addr,
-		Concurrency:      *concurrency,
-		QueueDepth:       *queue,
-		RequestTimeout:   *timeout,
-		EstimatorWorkers: *workers,
-		MaxUploadBytes:   *maxUpload,
+		Addr:                *addr,
+		Concurrency:         *concurrency,
+		QueueDepth:          *queue,
+		RequestTimeout:      *timeout,
+		EstimatorWorkers:    *workers,
+		MaxUploadBytes:      *maxUpload,
+		SnapshotDir:         *snapshotDir,
+		SynopsisBytesBudget: *synBudget,
+		TenantQueueSlots:    *tenantSlots,
+		TenantSynopsisBytes: *tenantBytes,
 	})
 	if err := srv.Start(); err != nil {
 		return err

@@ -50,9 +50,13 @@ type engine struct {
 // pass.
 func newEngine(ctx context.Context, opts Options) *engine {
 	rec := obs.Or(opts.Recorder)
+	plans := opts.Plans
+	if plans == nil {
+		plans = algebra.NewPlanCacheRec(rec)
+	}
 	return &engine{
 		workers:    parallel.Resolve(opts.Workers),
-		plans:      algebra.NewPlanCacheRec(rec),
+		plans:      plans,
 		rec:        rec,
 		ctx:        ctx,
 		disableCSE: opts.DisableCSE,

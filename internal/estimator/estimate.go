@@ -113,6 +113,15 @@ type Options struct {
 	// are bit-identical either way (the sharing layer preserves the exact
 	// reduction order); the switch exists for debugging and benchmarking.
 	DisableCSE bool
+	// Plans, when non-nil, is used as the call's plan cache instead of a
+	// fresh one, letting several estimation calls over the same synopsis
+	// share compiled plans and materialized CSE prefixes (the batched
+	// estimate API passes one cache for the whole batch). Sharing never
+	// changes values — cached plans and shared prefixes reproduce the
+	// uncached reduction order exactly — but the caller must not mutate
+	// any relation the cache's plans were compiled over while the cache
+	// lives (Invalidate after mutation, or scope the cache accordingly).
+	Plans *algebra.PlanCache
 }
 
 func (o Options) withDefaults() Options {

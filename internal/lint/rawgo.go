@@ -27,7 +27,13 @@ var RawGo = &Analyzer{
 //     touches the reduction order; keeping all goroutine spawning inside
 //     this package is what lets cmd/relestd and the examples stay free of
 //     raw `go` statements.
-var goAllowedPkgs = []string{"internal/parallel", "internal/server"}
+//   - internal/workload: the load-harness driver's client goroutines
+//     (Fanout), which only issue HTTP requests against a live relestd and
+//     write disjoint per-trial result slots. They never touch estimate
+//     reductions — those run on the server, through the parallel pool —
+//     and the static round-robin job assignment keeps collected results
+//     independent of goroutine completion order.
+var goAllowedPkgs = []string{"internal/parallel", "internal/server", "internal/workload"}
 
 func runRawGo(p *Pass) {
 	for _, allowed := range goAllowedPkgs {

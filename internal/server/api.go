@@ -71,7 +71,12 @@ type SynopsisRequest struct {
 type SynopsisInfo struct {
 	Name      string         `json:"name"`
 	Kind      string         `json:"kind"`
+	Tenant    string         `json:"tenant,omitempty"`
 	Relations map[string]int `json:"relations"` // name → current sample size
+	// Evicted reports that the synopsis's sample is currently dropped
+	// under the byte budget; the next estimate referencing it rebuilds it
+	// transparently from its creation spec (byte-identical redraw).
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // StreamRequest feeds one insert or delete event to an incremental
@@ -147,6 +152,43 @@ type EstimateResponse struct {
 	TargetMet *bool           `json:"target_met,omitempty"`
 	// Rounds is the number of estimation rounds completed (deadline mode).
 	Rounds int `json:"rounds,omitempty"`
+}
+
+// BatchEstimateRequest is the body of POST /v1/estimate/batch: many
+// estimation queries admitted as one task, sharing one queue slot and one
+// plan cache, so compiled plans and materialized CSE prefixes are reused
+// across the batch's queries.
+type BatchEstimateRequest struct {
+	Queries []EstimateRequest `json:"queries"`
+	// TimeoutMS caps the whole batch's wall-clock time; 0 uses the server
+	// default, and values above the server maximum are clamped to it.
+	// Individual queries may set their own (smaller) TimeoutMS too.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one query's outcome inside a batch response. Exactly
+// one of Estimate/Error is set, mirroring the singleton endpoint's bodies;
+// Status is the HTTP status the query would have received on its own.
+type BatchItemResult struct {
+	Status   int               `json:"status"`
+	Estimate *EstimateResponse `json:"estimate,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// BatchEstimateResponse is the body of POST /v1/estimate/batch. The
+// request itself answers 200 whenever the batch ran (partial success is
+// the contract); per-item failures live in Results.
+type BatchEstimateResponse struct {
+	Results   []BatchItemResult `json:"results"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+// SnapshotResponse is the body of POST /v1/snapshot.
+type SnapshotResponse struct {
+	Dir       string `json:"dir"`
+	Relations int    `json:"relations"`
+	Synopses  int    `json:"synopses"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -37,6 +37,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/synopses", s.handleListSynopses)
 	mux.HandleFunc("POST /v1/synopses/{name}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/estimate/batch", s.handleBatchEstimate)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -144,13 +146,25 @@ func (s *Server) handleCreateSynopsis(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.reg.addSynopsis(name, req); err != nil {
-		_ = writeError(w, http.StatusBadRequest, err.Error())
+	if err := s.reg.addSynopsis(name, requestTenant(r), req); err != nil {
+		status := http.StatusBadRequest
+		var qerr *quotaError
+		if errors.As(err, &qerr) {
+			status = qerr.status
+		}
+		_ = writeError(w, status, err.Error())
 		return
 	}
-	s.col.Set(mSynopsisBytes, float64(s.reg.synopsisBytes()))
 	entry, _ := s.reg.synopsis(name)
 	_ = writeJSON(w, http.StatusCreated, entry.info(name))
+}
+
+// requestTenant resolves the tenant a request is accounted to.
+func requestTenant(r *http.Request) string {
+	if t := r.Header.Get("X-Relest-Tenant"); t != "" {
+		return t
+	}
+	return defaultTenant
 }
 
 func (s *Server) handleListSynopses(w http.ResponseWriter, r *http.Request) {
@@ -170,7 +184,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := entry.apply(s.reg, req); err != nil {
+	if err := entry.apply(s.reg, name, req); err != nil {
 		_ = writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -210,9 +224,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	t := &task{
-		ctx:  ctx,
-		do:   func(ctx context.Context) (int, any) { return s.doEstimate(ctx, req) },
-		done: make(chan struct{}),
+		ctx:    ctx,
+		do:     func(ctx context.Context) (int, any) { return s.doEstimate(ctx, req) },
+		tenant: requestTenant(r),
+		done:   make(chan struct{}),
 	}
 	if ok, status, msg := s.admit(t); !ok {
 		s.col.Add(reqMetric(status), 1)
@@ -227,6 +242,123 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.col.Add(reqMetric(t.status), 1)
 	s.col.Observe(latencyMetric(mode), time.Since(start).Seconds())
 	_ = writeJSON(w, t.status, t.body)
+}
+
+// handleBatchEstimate admits a whole batch of estimation queries as one
+// task: one queue slot, one tenant slot, one worker, and one shared plan
+// cache, so admission control and plan-compilation/CSE work are amortized
+// across the batch. The batch answers 200 whenever it ran; per-query
+// failures are reported per item (partial success).
+func (s *Server) handleBatchEstimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req BatchEstimateRequest
+	if !decodeBody(w, r, &req) {
+		s.col.Add(reqMetric(http.StatusBadRequest), 1)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.col.Add(reqMetric(http.StatusBadRequest), 1)
+		_ = writeError(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		s.col.Add(reqMetric(http.StatusBadRequest), 1)
+		_ = writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d queries; the server caps batches at %d", len(req.Queries), s.cfg.MaxBatchQueries))
+		return
+	}
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	t := &task{
+		ctx:    ctx,
+		do:     func(ctx context.Context) (int, any) { return s.doBatch(ctx, req) },
+		tenant: requestTenant(r),
+		done:   make(chan struct{}),
+	}
+	if ok, status, msg := s.admit(t); !ok {
+		s.col.Add(reqMetric(status), 1)
+		_ = writeError(w, status, msg)
+		return
+	}
+	<-t.done
+
+	s.col.Add(mBatch, 1)
+	s.col.Add(reqMetric(t.status), 1)
+	s.col.Observe(latencyMetric("batch"), time.Since(start).Seconds())
+	_ = writeJSON(w, t.status, t.body)
+}
+
+// doBatch runs the batch's queries in order on one worker, all sharing
+// one plan cache. A query that fails does not abort the batch — its item
+// records the status the singleton endpoint would have answered — but
+// once the batch context dies, every remaining item answers the
+// cancellation status immediately: the ctx check at the top of
+// doEstimateShared guarantees no sampling starts (and therefore no
+// partial estimate is ever surfaced) after a cancel.
+func (s *Server) doBatch(ctx context.Context, req BatchEstimateRequest) (int, any) {
+	plans := algebra.NewPlanCacheRec(s.col)
+	resp := BatchEstimateResponse{Results: make([]BatchItemResult, len(req.Queries))}
+	for i := range req.Queries {
+		q := req.Queries[i]
+		if q.Mode == "" {
+			q.Mode = "plain"
+		}
+		qctx := ctx
+		var qcancel context.CancelFunc
+		if q.TimeoutMS > 0 {
+			// A per-item timeout bounds that item only; the batch keeps
+			// running afterwards.
+			qctx, qcancel = context.WithTimeout(ctx, time.Duration(q.TimeoutMS)*time.Millisecond)
+		}
+		status, body := s.doEstimateShared(qctx, q, plans)
+		if qcancel != nil {
+			qcancel()
+		}
+		item := BatchItemResult{Status: status}
+		if status == http.StatusOK {
+			er, ok := body.(EstimateResponse)
+			if !ok {
+				status = http.StatusInternalServerError
+				item = BatchItemResult{Status: status, Error: "internal: unexpected estimate body shape"}
+				resp.Failed++
+			} else {
+				item.Estimate = &er
+				resp.Succeeded++
+			}
+		} else {
+			if eresp, ok := body.(ErrorResponse); ok {
+				item.Error = eresp.Error
+			}
+			resp.Failed++
+		}
+		s.col.Add(batchQueryMetric(status), 1)
+		resp.Results[i] = item
+	}
+	return http.StatusOK, resp
+}
+
+// handleSnapshot persists the current registry (relations, synopsis
+// specs) to the configured snapshot directory. The WAL is already on
+// disk; a save never truncates it.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotDir == "" {
+		_ = writeError(w, http.StatusBadRequest, "snapshots are disabled: the server has no snapshot directory")
+		return
+	}
+	rels, syns, err := s.reg.saveSnapshot(s.cfg.SnapshotDir)
+	if err != nil {
+		_ = writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.col.Add(mSnapshotSaves, 1)
+	_ = writeJSON(w, http.StatusOK, SnapshotResponse{Dir: s.cfg.SnapshotDir, Relations: rels, Synopses: syns})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -273,6 +405,24 @@ func (p synopsisSchemas) Schema(name string) (*relation.Schema, bool) {
 // deterministic for a pinned seed: the response is byte-identical to
 // what the library produces directly.
 func (s *Server) doEstimate(ctx context.Context, req EstimateRequest) (int, any) {
+	return s.doEstimateShared(ctx, req, nil)
+}
+
+// doEstimateShared is doEstimate with an optional shared plan cache: the
+// batch endpoint passes one cache for its whole run so compiled plans and
+// materialized CSE prefixes are reused across the batch's queries (the
+// cache keys on term and relation-instance identity, so sharing never
+// changes values).
+func (s *Server) doEstimateShared(ctx context.Context, req EstimateRequest, plans *algebra.PlanCache) (int, any) {
+	// A context that is already dead — the request deadline expired or the
+	// client cancelled while the task sat in the queue, or an earlier batch
+	// item consumed the batch budget — must answer with the cancellation
+	// status before any sampling work, never with a confusing validation
+	// error (the deadline path below would otherwise see a non-positive
+	// budget and answer 400) and never with a partial estimate.
+	if err := ctx.Err(); err != nil {
+		return estimateErrorStatus(err), ErrorResponse{Error: err.Error()}
+	}
 	if req.Query == "" {
 		return http.StatusBadRequest, ErrorResponse{Error: "no query given"}
 	}
@@ -288,7 +438,7 @@ func (s *Server) doEstimate(ctx context.Context, req EstimateRequest) (int, any)
 	default:
 		return http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown mode %q (want plain, sequential or deadline)", req.Mode)}
 	}
-	syn, err := entry.estimationSynopsis(req.Mode)
+	syn, err := s.reg.estimationSynopsis(req.Synopsis, entry, req.Mode)
 	if err != nil {
 		return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
 	}
@@ -313,6 +463,7 @@ func (s *Server) doEstimate(ctx context.Context, req EstimateRequest) (int, any)
 		Seed:       req.Seed,
 		Workers:    workers,
 		Recorder:   s.col,
+		Plans:      plans,
 	}
 
 	resp := EstimateResponse{Query: req.Query, Synopsis: req.Synopsis, Mode: req.Mode}
@@ -367,6 +518,12 @@ func (s *Server) doEstimate(ctx context.Context, req EstimateRequest) (int, any)
 			budget = remaining * 9 / 10
 		}
 		if budget <= 0 {
+			if _, hasDeadline := ctx.Deadline(); hasDeadline {
+				// The request had a deadline but nothing of it remains (it
+				// expired after the entry check above): that is a timeout,
+				// not a malformed request.
+				return http.StatusGatewayTimeout, ErrorResponse{Error: context.DeadlineExceeded.Error()}
+			}
 			return http.StatusBadRequest, ErrorResponse{Error: "deadline mode needs budget_ms or a request deadline"}
 		}
 		dopts := estimator.DeadlineOptions{Budget: budget, Estimate: opts, Seed: req.Seed}

@@ -27,6 +27,32 @@ const (
 	// estimation mode.
 	mLatency = "relestd_request_seconds"
 
+	// mEvictions counts static synopses whose samples were dropped under
+	// the synopsis byte budget.
+	mEvictions = "relestd_synopsis_evictions_total"
+	// mRebuilds counts transparent rebuilds of evicted synopses on their
+	// next reference.
+	mRebuilds = "relestd_synopsis_rebuilds_total"
+	// mTenantShed counts requests rejected with 429 because the tenant's
+	// queue slots were exhausted.
+	mTenantShed = "relestd_tenant_shed_total"
+	// mQuotaRejected counts synopsis creations rejected with 413 because
+	// they would exceed the tenant's synopsis byte quota.
+	mQuotaRejected = "relestd_quota_rejected_total"
+	// mBatch counts batched estimate requests (each admitted once,
+	// regardless of how many queries it carries).
+	mBatch = "relestd_batch_requests_total"
+	// mBatchQueries counts individual queries inside batch requests,
+	// labelled by per-item HTTP status.
+	mBatchQueries = "relestd_batch_queries_total"
+	// mSnapshotSaves / mSnapshotRestores count snapshot round-trips.
+	mSnapshotSaves    = "relestd_snapshot_saves_total"
+	mSnapshotRestores = "relestd_snapshot_restores_total"
+	// mWALEvents counts stream events appended to the append-only log;
+	// mWALReplayed counts events replayed into synopses at restore.
+	mWALEvents   = "relestd_wal_events_total"
+	mWALReplayed = "relestd_wal_replayed_total"
+
 	// Storage-footprint gauges, shared names with the estimator and
 	// cmd/relest (see obs.MetricRelationBytes / obs.MetricSynopsisBytes).
 	mRelationBytes = obs.MetricRelationBytes
@@ -41,4 +67,10 @@ func reqMetric(status int) string {
 // latencyMetric labels the latency histogram with the estimation mode.
 func latencyMetric(mode string) string {
 	return obs.L(mLatency, "mode", mode)
+}
+
+// batchQueryMetric labels the per-item batch counter with the item's
+// HTTP status code.
+func batchQueryMetric(status int) string {
+	return obs.L(mBatchQueries, "code", strconv.Itoa(status))
 }

@@ -38,6 +38,28 @@ type Config struct {
 	// an upload never buffers more than this many raw bytes regardless of
 	// how large the resulting relation would be (default 64 MiB).
 	MaxUploadBytes int64
+	// SynopsisBytesBudget caps the summed resident bytes of static
+	// synopses (the relest_synopsis_bytes gauge); past it, the
+	// least-recently-used synopses are evicted and transparently rebuilt
+	// from their creation specs on the next reference. 0 = unlimited.
+	SynopsisBytesBudget int64
+	// TenantQueueSlots caps the number of concurrently admitted
+	// estimation requests per tenant (X-Relest-Tenant header, default
+	// tenant when absent); requests past it are shed with 429 before they
+	// reach the shared queue. 0 = unlimited.
+	TenantQueueSlots int
+	// TenantSynopsisBytes caps each tenant's resident static synopsis
+	// bytes; synopsis creations past it are rejected with 413.
+	// 0 = unlimited.
+	TenantSynopsisBytes int64
+	// SnapshotDir enables persistence: on Start the directory's snapshot
+	// (if any) is restored and the append-only stream log is replayed and
+	// then appended to; POST /v1/snapshot and Shutdown save the current
+	// state. Empty disables persistence.
+	SnapshotDir string
+	// MaxBatchQueries caps the queries in one POST /v1/estimate/batch
+	// request (default 256).
+	MaxBatchQueries int
 	// Collector receives both the daemon's metrics and the estimator's;
 	// a fresh one is created when nil. /metrics serves its contents.
 	Collector *obs.Collector
@@ -59,8 +81,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = defaultMaxUploadBytes
 	}
+	if c.MaxBatchQueries <= 0 {
+		c.MaxBatchQueries = 256
+	}
 	return c
 }
+
+// defaultTenant is the tenant requests without an X-Relest-Tenant header
+// are accounted to.
+const defaultTenant = "default"
 
 // Server is the relestd daemon. Create with New, run with Start, stop
 // with Shutdown. All goroutines the daemon needs are spawned inside this
@@ -84,6 +113,11 @@ type Server struct {
 	stop     chan struct{}
 	draining atomic.Bool
 
+	// tenantMu guards tenantInflight: admitted-but-not-finished tasks per
+	// tenant, capped by Config.TenantQueueSlots.
+	tenantMu       sync.Mutex
+	tenantInflight map[string]int
+
 	serveErrMu sync.Mutex
 	serveErr   error
 }
@@ -94,6 +128,7 @@ type Server struct {
 type task struct {
 	ctx      context.Context
 	do       func(ctx context.Context) (int, any)
+	tenant   string
 	status   int
 	body     any
 	panicked bool
@@ -107,12 +142,16 @@ func New(cfg Config) *Server {
 	if col == nil {
 		col = obs.NewCollector()
 	}
+	reg := newRegistry(col)
+	reg.budget = cfg.SynopsisBytesBudget
+	reg.tenantBudget = cfg.TenantSynopsisBytes
 	s := &Server{
-		cfg:   cfg,
-		reg:   newRegistry(),
-		col:   col,
-		tasks: make(chan *task, cfg.QueueDepth),
-		stop:  make(chan struct{}),
+		cfg:            cfg,
+		reg:            reg,
+		col:            col,
+		tasks:          make(chan *task, cfg.QueueDepth),
+		stop:           make(chan struct{}),
+		tenantInflight: map[string]int{},
 	}
 	s.httpSrv = &http.Server{Handler: s.routes()}
 	return s
@@ -121,6 +160,25 @@ func New(cfg Config) *Server {
 // Start binds the listener (synchronously, so Addr is valid on return)
 // and spawns the serve loop and the estimation workers.
 func (s *Server) Start() error {
+	if s.cfg.SnapshotDir != "" {
+		// Restore before the listener binds, so no request ever observes a
+		// partially restored registry; only then start appending to the WAL.
+		replayed, restored, err := s.reg.restoreSnapshot(s.cfg.SnapshotDir)
+		if err != nil {
+			return fmt.Errorf("server: restoring snapshot from %s: %w", s.cfg.SnapshotDir, err)
+		}
+		if restored {
+			s.col.Add(mSnapshotRestores, 1)
+			s.col.Add(mWALReplayed, float64(replayed))
+			s.col.Set(mRelationBytes, float64(s.reg.relationBytes()))
+			s.col.Set(mSynopsisBytes, float64(s.reg.synopsisBytes()))
+		}
+		wal, err := openStreamLog(s.cfg.SnapshotDir)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		s.reg.wal = wal
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
@@ -176,6 +234,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.stop)
 	s.workerWG.Wait()
 	s.serveWG.Wait()
+	if s.cfg.SnapshotDir != "" {
+		// Save after the drain so the snapshot reflects every acknowledged
+		// mutation, then stop appending to the WAL.
+		if _, _, serr := s.reg.saveSnapshot(s.cfg.SnapshotDir); serr != nil && err == nil {
+			err = fmt.Errorf("server: saving snapshot: %w", serr)
+		} else if serr == nil {
+			s.col.Add(mSnapshotSaves, 1)
+		}
+		if s.reg.wal != nil {
+			if cerr := s.reg.wal.close(); cerr != nil && err == nil {
+				err = fmt.Errorf("server: closing stream log: %w", cerr)
+			}
+		}
+	}
 	s.serveErrMu.Lock()
 	defer s.serveErrMu.Unlock()
 	if err == nil {
@@ -184,12 +256,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// admit enqueues an estimation task unless the daemon is draining or the
-// queue is full. It reports the admission verdict; on success the caller
-// must wait on t.done.
+// admit enqueues an estimation task unless the daemon is draining, the
+// tenant's queue slots are exhausted, or the shared queue is full. It
+// reports the admission verdict; on success the caller must wait on
+// t.done.
 func (s *Server) admit(t *task) (ok bool, status int, msg string) {
 	if s.draining.Load() {
 		return false, http.StatusServiceUnavailable, "server is draining"
+	}
+	if !s.acquireTenantSlot(t.tenant) {
+		s.col.Add(mTenantShed, 1)
+		return false, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q has no free queue slots, retry later", t.tenant)
 	}
 	s.tasksWG.Add(1)
 	select {
@@ -198,8 +276,37 @@ func (s *Server) admit(t *task) (ok bool, status int, msg string) {
 		return true, 0, ""
 	default:
 		s.tasksWG.Done()
+		s.releaseTenantSlot(t.tenant)
 		s.col.Add(mShed, 1)
 		return false, http.StatusTooManyRequests, "estimation queue full, retry later"
+	}
+}
+
+// acquireTenantSlot claims one of the tenant's queue slots; it reports
+// false when the tenant is already at its cap.
+func (s *Server) acquireTenantSlot(tenant string) bool {
+	if s.cfg.TenantQueueSlots <= 0 {
+		return true
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if s.tenantInflight[tenant] >= s.cfg.TenantQueueSlots {
+		return false
+	}
+	s.tenantInflight[tenant]++
+	return true
+}
+
+func (s *Server) releaseTenantSlot(tenant string) {
+	if s.cfg.TenantQueueSlots <= 0 {
+		return
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if s.tenantInflight[tenant] <= 1 {
+		delete(s.tenantInflight, tenant)
+	} else {
+		s.tenantInflight[tenant]--
 	}
 }
 
@@ -237,6 +344,7 @@ func (s *Server) runTask(t *task) {
 			t.body = ErrorResponse{Error: fmt.Sprintf("estimation panicked: %v", r)}
 		}
 		s.col.Set(mQueueDepth, float64(s.depth.Add(-1)))
+		s.releaseTenantSlot(t.tenant)
 		s.tasksWG.Done()
 		close(t.done)
 	}()

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"relest/internal/algebra"
 	"relest/internal/estimator"
+	"relest/internal/obs"
 	"relest/internal/relation"
 	"relest/internal/sampling"
 )
@@ -15,16 +17,51 @@ import (
 // named synopses. A coarse RWMutex guards the maps; per-synopsis locks
 // serialize stream updates and snapshotting so estimation never observes
 // a half-applied event.
+//
+// The registry also owns the synopsis lifecycle: every entry retains the
+// request spec it was built from, so a static synopsis evicted under the
+// relest_synopsis_bytes budget can be rebuilt deterministically (same
+// seed, same sorted-name draw order, same append-only base relations →
+// byte-identical samples) the next time an estimate references it.
 type registry struct {
 	mu   sync.RWMutex
 	cat  algebra.MapCatalog
 	syns map[string]*synopsisEntry
+
+	// clock is the logical LRU clock: every synopsis reference ticks it
+	// and stamps the entry, so eviction order is deterministic per
+	// reference sequence and never reads the wall clock.
+	clock atomic.Int64
+
+	// budget caps the summed Bytes() of resident static synopses; 0 is
+	// unlimited. Incremental entries are pinned: they carry live stream
+	// state that only the WAL can reconstruct, and their reservoirs
+	// contribute nothing to the resident-bytes gauge anyway.
+	budget int64
+	// tenantBudget caps each tenant's resident static synopsis bytes;
+	// 0 is unlimited.
+	tenantBudget int64
+
+	// wal, when non-nil, receives every applied stream event (under the
+	// entry lock, so log order equals application order per synopsis).
+	wal *streamLog
+	// replaying suppresses WAL appends while the WAL itself is being
+	// replayed into freshly restored synopses.
+	replaying bool
+
+	rec obs.Recorder
 }
 
-// synopsisEntry is one named synopsis. Exactly one of static/inc is set.
+// synopsisEntry is one named synopsis. Exactly one of static/inc is set
+// while resident; an evicted static entry has static == nil until the
+// next reference rebuilds it from spec.
 type synopsisEntry struct {
-	mu   sync.Mutex
-	kind string
+	mu     sync.Mutex
+	kind   string
+	tenant string
+	// spec is the creation request, retained for deterministic rebuild
+	// after eviction and for snapshot manifests.
+	spec SynopsisRequest
 	// static is a drawn synopsis shared by plain estimates (read-only
 	// concurrent access) and cloned per sequential/deadline request so
 	// sample extensions stay private.
@@ -32,10 +69,20 @@ type synopsisEntry struct {
 	// inc is an incrementally-maintained synopsis; estimates run over
 	// Snapshot() taken under mu.
 	inc *estimator.Incremental
+	// evicted marks a static entry whose sample was dropped under the
+	// byte budget (guarded by mu).
+	evicted bool
+	// lastUse is the registry clock tick of the most recent reference.
+	lastUse atomic.Int64
 }
 
-func newRegistry() *registry {
-	return &registry{cat: algebra.MapCatalog{}, syns: map[string]*synopsisEntry{}}
+func newRegistry(rec obs.Recorder) *registry {
+	return &registry{cat: algebra.MapCatalog{}, syns: map[string]*synopsisEntry{}, rec: obs.Or(rec)}
+}
+
+// touch stamps the entry with a fresh logical-clock tick.
+func (reg *registry) touch(e *synopsisEntry) {
+	e.lastUse.Store(reg.clock.Add(1))
 }
 
 // addRelation registers r under its name; duplicate names are an error.
@@ -60,24 +107,48 @@ func (reg *registry) relationBytes() int {
 	return total
 }
 
+// entryBytes reports the entry's resident sample bytes (0 when evicted or
+// incremental — incremental reservoirs materialize only at estimate time).
+func (e *synopsisEntry) entryBytes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.static == nil {
+		return 0
+	}
+	return e.static.Bytes()
+}
+
 // synopsisBytes sums the resident sample storage of registered synopses.
 // Static synopses hold zero-copy sample views (index vectors); incremental
 // ones report their reservoir snapshots only when estimated, so they
 // contribute nothing here.
 func (reg *registry) synopsisBytes() int {
-	reg.mu.RLock()
-	entries := make([]*synopsisEntry, 0, len(reg.syns))
-	for _, e := range reg.syns {
-		entries = append(entries, e)
-	}
-	reg.mu.RUnlock()
 	total := 0
-	for _, e := range entries {
-		e.mu.Lock()
-		if e.static != nil {
-			total += e.static.Bytes()
+	for _, e := range reg.entries() {
+		total += e.entryBytes()
+	}
+	return total
+}
+
+// entries snapshots the entry pointers under the registry lock.
+func (reg *registry) entries() []*synopsisEntry {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]*synopsisEntry, 0, len(reg.syns))
+	for _, e := range reg.syns {
+		out = append(out, e)
+	}
+	return out
+}
+
+// tenantSynopsisBytes sums the resident static synopsis bytes owned by a
+// tenant.
+func (reg *registry) tenantSynopsisBytes(tenant string) int {
+	total := 0
+	for _, e := range reg.entries() {
+		if e.tenant == tenant {
+			total += e.entryBytes()
 		}
-		e.mu.Unlock()
 	}
 	return total
 }
@@ -94,47 +165,65 @@ func (reg *registry) relations() []RelationInfo {
 	return out
 }
 
-// addSynopsis creates the named synopsis from the request spec. Static
-// draws iterate the spec's relations in sorted-name order so the seed
-// pins the synopsis exactly (sampling consumes a shared stream).
-func (reg *registry) addSynopsis(name string, req SynopsisRequest) error {
-	if len(req.Relations) == 0 {
-		return fmt.Errorf("synopsis %q: no relations given", name)
-	}
+// quotaError marks a rejection caused by a tenant quota; the handlers map
+// it to its HTTP status instead of a generic 400.
+type quotaError struct {
+	status int
+	msg    string
+}
+
+func (e *quotaError) Error() string { return e.msg }
+
+// buildStatic draws the static synopsis a spec describes. Draws iterate
+// the spec's relations in sorted-name order so the seed pins the synopsis
+// exactly; called with reg.mu held (create) or over the immutable catalog
+// (rebuild — relations are append-only and never replaced, so reading the
+// map under RLock suffices).
+func (reg *registry) buildStatic(name string, req SynopsisRequest, cat map[string]*relation.Relation) (*estimator.Synopsis, error) {
 	names := make([]string, 0, len(req.Relations))
 	for rel := range req.Relations {
 		names = append(names, rel)
 	}
 	sort.Strings(names)
+	rng := sampling.NewSource(req.Seed).Rand(0)
+	syn := estimator.NewSynopsis()
+	for _, rel := range names {
+		r, ok := cat[rel]
+		if !ok {
+			return nil, fmt.Errorf("synopsis %q: relation %q not registered", name, rel)
+		}
+		n := req.Relations[rel]
+		if n < 1 {
+			return nil, fmt.Errorf("synopsis %q: sample size %d for %q (want ≥ 1)", name, n, rel)
+		}
+		if n > r.Len() {
+			n = r.Len()
+		}
+		if err := syn.AddDrawn(r, n, rng); err != nil {
+			return nil, fmt.Errorf("synopsis %q: %v", name, err)
+		}
+	}
+	return syn, nil
+}
 
+// addSynopsis creates the named synopsis from the request spec for the
+// given tenant, enforcing the tenant byte quota and then the global byte
+// budget (evicting colder entries when needed).
+func (reg *registry) addSynopsis(name, tenant string, req SynopsisRequest) error {
+	if len(req.Relations) == 0 {
+		return fmt.Errorf("synopsis %q: no relations given", name)
+	}
 	reg.mu.Lock()
-	defer reg.mu.Unlock()
 	if _, dup := reg.syns[name]; dup {
+		reg.mu.Unlock()
 		return fmt.Errorf("synopsis %q already exists", name)
 	}
-	entry := &synopsisEntry{kind: req.Kind}
+	entry := &synopsisEntry{kind: req.Kind, tenant: tenant, spec: req}
+	var err error
 	switch req.Kind {
 	case "", "static":
 		entry.kind = "static"
-		rng := sampling.NewSource(req.Seed).Rand(0)
-		syn := estimator.NewSynopsis()
-		for _, rel := range names {
-			r, ok := reg.cat[rel]
-			if !ok {
-				return fmt.Errorf("synopsis %q: relation %q not registered", name, rel)
-			}
-			n := req.Relations[rel]
-			if n < 1 {
-				return fmt.Errorf("synopsis %q: sample size %d for %q (want ≥ 1)", name, n, rel)
-			}
-			if n > r.Len() {
-				n = r.Len()
-			}
-			if err := syn.AddDrawn(r, n, rng); err != nil {
-				return fmt.Errorf("synopsis %q: %v", name, err)
-			}
-		}
-		entry.static = syn
+		entry.static, err = reg.buildStatic(name, req, reg.cat)
 	case "incremental":
 		capacity := req.Capacity
 		if capacity <= 0 {
@@ -143,21 +232,100 @@ func (reg *registry) addSynopsis(name string, req SynopsisRequest) error {
 		inc := estimator.NewIncrementalWithOptions(estimator.IncrementalOptions{
 			Capacity: capacity, Seed: req.Seed,
 		})
+		names := make([]string, 0, len(req.Relations))
+		for rel := range req.Relations {
+			names = append(names, rel)
+		}
+		sort.Strings(names)
 		for _, rel := range names {
 			r, ok := reg.cat[rel]
 			if !ok {
-				return fmt.Errorf("synopsis %q: relation %q not registered", name, rel)
+				err = fmt.Errorf("synopsis %q: relation %q not registered", name, rel)
+				break
 			}
-			if err := inc.Track(rel, r.Schema()); err != nil {
-				return fmt.Errorf("synopsis %q: %v", name, err)
+			if terr := inc.Track(rel, r.Schema()); terr != nil {
+				err = fmt.Errorf("synopsis %q: %v", name, terr)
+				break
 			}
 		}
 		entry.inc = inc
 	default:
-		return fmt.Errorf("synopsis %q: unknown kind %q (want static or incremental)", name, req.Kind)
+		err = fmt.Errorf("synopsis %q: unknown kind %q (want static or incremental)", name, req.Kind)
+	}
+	if err != nil {
+		reg.mu.Unlock()
+		return err
+	}
+	reg.mu.Unlock()
+
+	// Tenant quota: a tenant may not hold more resident synopsis bytes
+	// than its allowance. Checked against the entry's own cost before it
+	// is published, so an over-quota create leaves no trace.
+	if reg.tenantBudget > 0 && entry.static != nil {
+		have := reg.tenantSynopsisBytes(tenant)
+		if add := entry.static.Bytes(); int64(have+add) > reg.tenantBudget {
+			reg.rec.Add(mQuotaRejected, 1)
+			return &quotaError{
+				status: 413,
+				msg: fmt.Sprintf("tenant %q synopsis bytes %d + %d exceed the %d-byte quota",
+					tenant, have, add, reg.tenantBudget),
+			}
+		}
+	}
+
+	reg.mu.Lock()
+	if _, dup := reg.syns[name]; dup {
+		reg.mu.Unlock()
+		return fmt.Errorf("synopsis %q already exists", name)
 	}
 	reg.syns[name] = entry
+	reg.mu.Unlock()
+	reg.touch(entry)
+	reg.enforceBudget(entry)
+	reg.rec.Set(mSynopsisBytes, float64(reg.synopsisBytes()))
 	return nil
+}
+
+// enforceBudget evicts least-recently-used resident static synopses until
+// the summed resident bytes fit the budget. The entry just referenced
+// (keep) is never evicted — the budget is a pressure valve, not a ban on
+// any single synopsis — and incremental entries are pinned. Eviction
+// drops only the entry's sample storage; in-flight estimates holding the
+// evicted *estimator.Synopsis keep it alive until they finish, so
+// eviction never races an answer.
+func (reg *registry) enforceBudget(keep *synopsisEntry) {
+	if reg.budget <= 0 {
+		return
+	}
+	for {
+		entries := reg.entries()
+		total := 0
+		var victim *synopsisEntry
+		for _, e := range entries {
+			b := e.entryBytes()
+			total += b
+			if b == 0 || e == keep || e.inc != nil {
+				continue
+			}
+			if victim == nil || e.lastUse.Load() < victim.lastUse.Load() {
+				victim = e
+			}
+		}
+		if int64(total) <= reg.budget || victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		// Re-check under the lock: a concurrent rebuild may have touched
+		// the entry since it was chosen; eviction of a just-rebuilt entry
+		// is still correct (the next reference rebuilds again), so only
+		// the already-evicted case is skipped.
+		if victim.static != nil && !victim.evicted {
+			victim.static = nil
+			victim.evicted = true
+			reg.rec.Add(mEvictions, 1)
+		}
+		victim.mu.Unlock()
+	}
 }
 
 // synopsis returns the named entry.
@@ -168,8 +336,8 @@ func (reg *registry) synopsis(name string) (*synopsisEntry, bool) {
 	return e, ok
 }
 
-// synopses lists synopsis infos in sorted-name order.
-func (reg *registry) synopses() []SynopsisInfo {
+// synopsisNames lists synopsis names, sorted.
+func (reg *registry) synopsisNames() []string {
 	reg.mu.RLock()
 	names := make([]string, 0, len(reg.syns))
 	for name := range reg.syns {
@@ -177,6 +345,12 @@ func (reg *registry) synopses() []SynopsisInfo {
 	}
 	reg.mu.RUnlock()
 	sort.Strings(names)
+	return names
+}
+
+// synopses lists synopsis infos in sorted-name order.
+func (reg *registry) synopses() []SynopsisInfo {
+	names := reg.synopsisNames()
 	out := make([]SynopsisInfo, 0, len(names))
 	for _, name := range names {
 		e, ok := reg.synopsis(name)
@@ -205,7 +379,7 @@ func (e *synopsisEntry) info(name string) SynopsisInfo {
 			sizes[rel] = n
 		}
 	}
-	return SynopsisInfo{Name: name, Kind: e.kind, Relations: sizes}
+	return SynopsisInfo{Name: name, Kind: e.kind, Tenant: e.tenant, Relations: sizes, Evicted: e.evicted}
 }
 
 // incNames lists the incremental synopsis's tracked relations via a
@@ -218,8 +392,11 @@ func (e *synopsisEntry) incNames() []string {
 	return syn.Names()
 }
 
-// apply feeds one stream event to an incremental synopsis.
-func (e *synopsisEntry) apply(reg *registry, req StreamRequest) error {
+// apply feeds one stream event to an incremental synopsis, appending it
+// to the WAL (when persistence is on) inside the same critical section,
+// so the log order matches the application order per synopsis and a
+// replay reconstructs the identical reservoir state.
+func (e *synopsisEntry) apply(reg *registry, name string, req StreamRequest) error {
 	if e.inc == nil {
 		return fmt.Errorf("synopsis is %s; stream updates need kind incremental", e.kind)
 	}
@@ -245,25 +422,39 @@ func (e *synopsisEntry) apply(reg *registry, req StreamRequest) error {
 		}
 		tup[i] = v
 	}
+	reg.touch(e)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var err error
 	switch req.Op {
 	case "insert":
-		return e.inc.Insert(req.Relation, tup)
+		err = e.inc.Insert(req.Relation, tup)
 	case "delete":
-		return e.inc.Delete(req.Relation, tup)
+		err = e.inc.Delete(req.Relation, tup)
 	default:
 		return fmt.Errorf("unknown op %q (want insert or delete)", req.Op)
 	}
+	if err != nil {
+		return err
+	}
+	if reg.wal != nil && !reg.replaying {
+		if werr := reg.wal.append(walEvent{Synopsis: name, Op: req.Op, Relation: req.Relation, Tuple: req.Tuple}); werr != nil {
+			return fmt.Errorf("appending stream log: %v", werr)
+		}
+		reg.rec.Add(mWALEvents, 1)
+	}
+	return nil
 }
 
-// estimationSynopsis resolves the synopsis an estimate should run over.
+// estimationSynopsis resolves the synopsis an estimate should run over,
+// transparently rebuilding an evicted static entry from its spec first.
 // Static plain estimates share the stored synopsis (estimation is
 // read-only); sequential and deadline modes get a private clone because
 // they extend samples in place. Incremental synopses are snapshotted
 // under the entry lock and support plain mode only: a snapshot holds
 // samples without base relations, so it cannot be extended.
-func (e *synopsisEntry) estimationSynopsis(mode string) (*estimator.Synopsis, error) {
+func (reg *registry) estimationSynopsis(name string, e *synopsisEntry, mode string) (*estimator.Synopsis, error) {
+	reg.touch(e)
 	if e.inc != nil {
 		if mode != "plain" {
 			return nil, fmt.Errorf("mode %q needs a static synopsis (incremental snapshots cannot extend their samples)", mode)
@@ -272,10 +463,33 @@ func (e *synopsisEntry) estimationSynopsis(mode string) (*estimator.Synopsis, er
 		defer e.mu.Unlock()
 		return e.inc.Snapshot()
 	}
+	e.mu.Lock()
+	if e.evicted {
+		// Transparent rebuild: the spec's seed and the append-only base
+		// relations make the redraw byte-identical to the evicted sample,
+		// so callers cannot tell an eviction ever happened (beyond the
+		// metrics). The catalog map is read under RLock; relations are
+		// never replaced once registered.
+		reg.mu.RLock()
+		syn, err := reg.buildStatic(name, e.spec, reg.cat)
+		reg.mu.RUnlock()
+		if err != nil {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("rebuilding evicted synopsis: %v", err)
+		}
+		e.static = syn
+		e.evicted = false
+		reg.rec.Add(mRebuilds, 1)
+		e.mu.Unlock()
+		// Rebuilding may push the total back over budget: shed colder
+		// entries, never the one just rebuilt.
+		reg.enforceBudget(e)
+		reg.rec.Set(mSynopsisBytes, float64(reg.synopsisBytes()))
+		e.mu.Lock()
+	}
+	defer e.mu.Unlock()
 	if mode == "plain" {
 		return e.static, nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.static.Clone(), nil
 }

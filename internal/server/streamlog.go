@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// walEvent is one logged stream event, in application order. The log is
+// the milvus-msgstream shape reduced to what incremental synopses need:
+// an append-only sequence that, replayed from synopsis creation, drives
+// each per-synopsis seeded RNG through the identical decision sequence
+// and so reconstructs reservoir state exactly.
+type walEvent struct {
+	Synopsis string   `json:"synopsis"`
+	Op       string   `json:"op"`
+	Relation string   `json:"relation"`
+	Tuple    []string `json:"tuple"`
+}
+
+// streamLog is the append-only stream event log: one JSON event per line,
+// fsynced per append. Appends happen inside the synopsis entry's critical
+// section, so per-synopsis log order always equals application order.
+type streamLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// walPath is the log's location inside a snapshot directory.
+func walPath(dir string) string { return filepath.Join(dir, "wal.jsonl") }
+
+// openStreamLog opens (creating if needed) the append-only log in dir.
+func openStreamLog(dir string) (*streamLog, error) {
+	f, err := os.OpenFile(walPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening stream log: %w", err)
+	}
+	return &streamLog{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// append writes one event and syncs it to stable storage before
+// acknowledging, so an acknowledged stream update is never lost to a
+// crash.
+func (l *streamLog) append(ev walEvent) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(ev); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *streamLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// readWAL decodes every event in dir's log, in append order. A missing
+// log is an empty history, not an error.
+func readWAL(dir string) ([]walEvent, error) {
+	f, err := os.Open(walPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("opening stream log: %w", err)
+	}
+	// Read-only handle; the close error carries no data-loss signal.
+	defer func() { _ = f.Close() }()
+	var events []walEvent
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var ev walEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return nil, fmt.Errorf("decoding stream log: %w", err)
+		}
+		events = append(events, ev)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Scenario generators for the adversarial load harness. Every generator
+// is a pure function of its spec (and, where randomness is involved, an
+// explicit *rand.Rand), so a pinned seed reproduces the exact request
+// schedule a soak run executed — the harness's analogue of the
+// estimator's determinism contract.
+
+// BurstSpec shapes a bursty arrival envelope: each cycle of Period ticks
+// opens with Duty ticks at Peak trials per tick and relaxes to Base for
+// the rest. The envelope is deterministic — burstiness comes from the
+// shape, not from jitter — so a failing soak run can be replayed tick
+// for tick.
+type BurstSpec struct {
+	// Base is the trials per quiet tick (default 1).
+	Base int
+	// Peak is the trials per burst tick (default 8).
+	Peak int
+	// Period is the cycle length in ticks (default 8).
+	Period int
+	// Duty is how many ticks at the head of each cycle burst (default 2).
+	Duty int
+}
+
+func (s BurstSpec) withDefaults() BurstSpec {
+	if s.Base <= 0 {
+		s.Base = 1
+	}
+	if s.Peak <= 0 {
+		s.Peak = 8
+	}
+	if s.Period <= 0 {
+		s.Period = 8
+	}
+	if s.Duty <= 0 {
+		s.Duty = 2
+	}
+	if s.Duty > s.Period {
+		s.Duty = s.Period
+	}
+	return s
+}
+
+// Envelope returns the per-tick trial counts for the given horizon.
+func (s BurstSpec) Envelope(ticks int) []int {
+	s = s.withDefaults()
+	env := make([]int, ticks)
+	for i := range env {
+		if i%s.Period < s.Duty {
+			env[i] = s.Peak
+		} else {
+			env[i] = s.Base
+		}
+	}
+	return env
+}
+
+// PickSpec draws Zipf-skewed key indexes: key 0 is the hottest, with
+// frequency ∝ 1/(rank+1)^Z over Keys ranks. Z = 0 is uniform; large Z
+// concentrates almost all picks on key 0 (the hot-key scenario).
+type PickSpec struct {
+	Keys int
+	Z    float64
+}
+
+// Picks returns n key indexes drawn from the spec's Zipf weights.
+func (s PickSpec) Picks(rng *rand.Rand, n int) []int {
+	keys := s.Keys
+	if keys < 1 {
+		keys = 1
+	}
+	// Reuse the integer Zipf weights the dataset generators use, with a
+	// resolution high enough that every key keeps nonzero mass at Z ≤ 3.
+	weights := ZipfFrequencies(s.Z, keys, 1<<16)
+	cum := make([]int, len(weights))
+	total := 0
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Intn(total)
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] > u {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		out[i] = lo
+	}
+	return out
+}
+
+// CancelPlan is one trial's cancellation decision: whether the client
+// abandons the request, and after how long.
+type CancelPlan struct {
+	Cancel bool
+	After  time.Duration
+}
+
+// CancelSpec shapes a cancellation storm: a fraction of trials are
+// abandoned mid-flight after a delay uniform in [MinAfter, MaxAfter].
+// The schedule is drawn up front so the storm's shape is pinned by the
+// seed; only the server's reaction happens in real time.
+type CancelSpec struct {
+	N        int
+	Frac     float64
+	MinAfter time.Duration
+	MaxAfter time.Duration
+}
+
+// Schedule returns one CancelPlan per trial.
+func (s CancelSpec) Schedule(rng *rand.Rand) []CancelPlan {
+	if s.MaxAfter < s.MinAfter {
+		s.MaxAfter = s.MinAfter
+	}
+	plans := make([]CancelPlan, s.N)
+	for i := range plans {
+		if rng.Float64() >= s.Frac {
+			continue
+		}
+		after := s.MinAfter
+		if span := s.MaxAfter - s.MinAfter; span > 0 {
+			after += time.Duration(rng.Int63n(int64(span)))
+		}
+		plans[i] = CancelPlan{Cancel: true, After: after}
+	}
+	return plans
+}
