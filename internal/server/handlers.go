@@ -50,6 +50,14 @@ func (s *Server) routes() http.Handler {
 // connection on oversized bodies instead of draining them).
 func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// The Go 1.22 mux matches the *escaped* path, so "..%2F..%2Fx"
+	// reaches PathValue as "../../x"; under -snapshot-dir the name
+	// becomes a file name inside the snapshot directory, so anything
+	// outside the safe charset is rejected before the import starts.
+	if !validName(name) {
+		_ = writeError(w, http.StatusBadRequest, errBadName("relation", name).Error())
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	rel, err := relation.ImportCSVOptions(name, body, relation.ImportOptions{MaxBytes: s.cfg.MaxUploadBytes})
 	if err != nil {
@@ -142,6 +150,10 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCreateSynopsis(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if !validName(name) {
+		_ = writeError(w, http.StatusBadRequest, errBadName("synopsis", name).Error())
+		return
+	}
 	var req SynopsisRequest
 	if !decodeBody(w, r, &req) {
 		return

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"relest/internal/obs"
+)
+
+// TestTraversalNamesRejected pins the upload/create name gate: a
+// URL-escaped traversal name ("..%2F..%2Fx" reaches PathValue as
+// "../../x" under the Go 1.22 mux) must be rejected with 400 before it
+// can ever become a file name inside -snapshot-dir, and the same charset
+// rule covers synopsis names and plain separators.
+func TestTraversalNamesRejected(t *testing.T) {
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "snap")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, base, _ := startSnapServer(t, snapDir)
+
+	for _, name := range []string{"..%2F..%2Fescape", "..%2fescape", "a%2Fb", "%2e%2e", "a.b", "sp%20ace"} {
+		status, raw := postJSON(t, base+"/v1/relations/"+name, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("upload %q: want 400, got %d %s", name, status, raw)
+		}
+		status, raw = postJSON(t, base+"/v1/synopses/"+name, SynopsisRequest{Relations: map[string]int{"R1": 10}})
+		if status != http.StatusBadRequest {
+			t.Errorf("create synopsis %q: want 400, got %d %s", name, status, raw)
+		}
+	}
+
+	// Names inside the charset still work end to end, and a snapshot
+	// writes only inside its own directory.
+	setupDataset(t, base, 500, 50)
+	if status, raw := postJSON(t, base+"/v1/snapshot", nil); status != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", status, raw)
+	}
+	escaped, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escaped) != 0 {
+		t.Errorf("snapshot wrote outside its directory: %v", escaped)
+	}
+}
+
+// TestRestoreRejectsManifestTraversal pins the read side of the same
+// gate: a hand-edited manifest with a traversal relation name must fail
+// the restore instead of opening files outside the snapshot directory.
+func TestRestoreRejectsManifestTraversal(t *testing.T) {
+	dir := t.TempDir()
+	manifest := `{"version":1,"relations":[{"name":"../../../etc/passwd","columns":[{"name":"a","kind":"int"}],"rows":0}],"synopses":[]}`
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry(nil)
+	if _, _, err := reg.restoreSnapshot(dir); err == nil || !strings.Contains(err.Error(), "invalid relation name") {
+		t.Fatalf("restore of traversal manifest: want invalid-name error, got %v", err)
+	}
+}
+
+// TestTornWALTailRecovered pins crash recovery at the exact point the
+// durability contract protects: a crash between a WAL record's write and
+// its fsync leaves a partial last line. The restore must keep every
+// acknowledged (fully synced) event, drop the torn tail, truncate it
+// away so later appends stay decodable, and count the repair.
+func TestTornWALTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+
+	sA, baseA, stopA := startSnapServer(t, dir)
+	setupDataset(t, baseA, 500, 50)
+	status, raw := postJSON(t, baseA+"/v1/synopses/live", SynopsisRequest{
+		Kind: "incremental", Relations: map[string]int{"R1": 0}, Seed: 11, Capacity: 16,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create live: %d %s", status, raw)
+	}
+	streamEvents(t, baseA, 0, 20)
+	_ = sA
+	stopA()
+
+	// Simulate the torn write: a record that got its bytes partially to
+	// disk but never its fsync acknowledgment.
+	f, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"synopsis":"live","op":"ins`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sB, baseB, stopB := startSnapServer(t, dir)
+	if got := sB.col.Metrics().Counter(mWALTorn).Value(); got != 1 {
+		t.Errorf("torn-WAL counter = %v, want 1", got)
+	}
+	if got := sB.col.Metrics().Counter(mWALReplayed).Value(); got != 20 {
+		t.Errorf("WAL replayed = %v, want 20", got)
+	}
+	// The log must keep extending cleanly after the truncation: stream
+	// more, estimate, restart again, and hold the answer to byte identity.
+	streamEvents(t, baseB, 20, 15)
+	liveReq := EstimateRequest{Query: "count(R1)", Synopsis: "live", Seed: 3}
+	status, liveB := postJSON(t, baseB+"/v1/estimate", liveReq)
+	if status != http.StatusOK {
+		t.Fatalf("live estimate on B: %d %s", status, liveB)
+	}
+	stopB()
+
+	sC, baseC, _ := startSnapServer(t, dir)
+	if got := sC.col.Metrics().Counter(mWALTorn).Value(); got != 0 {
+		t.Errorf("generation C torn-WAL counter = %v, want 0 (tail was truncated)", got)
+	}
+	if got := sC.col.Metrics().Counter(mWALReplayed).Value(); got != 35 {
+		t.Errorf("generation C WAL replayed = %v, want 35", got)
+	}
+	status, liveC := postJSON(t, baseC+"/v1/estimate", liveReq)
+	if status != http.StatusOK {
+		t.Fatalf("live estimate on C: %d %s", status, liveC)
+	}
+	if !bytes.Equal(liveB, liveC) {
+		t.Errorf("estimate forked across torn-tail recovery:\nB %s\nC %s", liveB, liveC)
+	}
+}
+
+// TestWALCreationSurvivesCrash pins creation durability: a synopsis
+// created *after* the last snapshot exists only as a WAL creation record,
+// and a crash (no shutdown save) must not lose it — the restore replays
+// the creation and then its stream events. The crash is simulated by
+// restoring the directory into a fresh registry while the live server
+// never gets to save again.
+func TestWALCreationSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	sA, baseA, _ := startSnapServer(t, dir)
+	setupDataset(t, baseA, 500, 50)
+	// Snapshot now: the manifest holds the relations and "main", but
+	// nothing created afterwards.
+	if status, raw := postJSON(t, baseA+"/v1/snapshot", nil); status != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", status, raw)
+	}
+	status, raw := postJSON(t, baseA+"/v1/synopses/live", SynopsisRequest{
+		Kind: "incremental", Relations: map[string]int{"R1": 0}, Seed: 11, Capacity: 16,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create live: %d %s", status, raw)
+	}
+	streamEvents(t, baseA, 0, 10)
+
+	col := obs.NewCollector()
+	reg := newRegistry(col)
+	replayed, restored, err := reg.restoreSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("restore found nothing")
+	}
+	// 1 creation + 10 stream events; "main"'s creation record is a
+	// duplicate of the manifest rebuild and replays as a no-op.
+	if replayed != 11 {
+		t.Errorf("replayed = %d, want 11", replayed)
+	}
+	if got := col.Metrics().Counter(mWALSkipped).Value(); got != 0 {
+		t.Errorf("skipped counter = %v, want 0", got)
+	}
+	e, ok := reg.synopsis("live")
+	if !ok {
+		t.Fatal("post-snapshot synopsis lost on crash restore")
+	}
+	want, _ := sA.reg.synopsis("live")
+	if !reflect.DeepEqual(e.info("live"), want.info("live")) {
+		t.Errorf("restored synopsis diverged:\nlive     %+v\nrestored %+v", want.info("live"), e.info("live"))
+	}
+	if _, ok := reg.synopsis("main"); !ok {
+		t.Error("manifest synopsis missing after crash restore")
+	}
+}
+
+// TestWALSkippedEventsCounted pins the loss-visibility contract: events
+// whose synopsis can never become resident (its base relations were not
+// snapshotted, so the WAL creation record cannot rebuild it) are counted
+// in relestd_wal_skipped_total instead of silently vanishing or failing
+// the whole restore.
+func TestWALSkippedEventsCounted(t *testing.T) {
+	dir := t.TempDir()
+	sA, baseA, _ := startSnapServer(t, dir)
+	setupDataset(t, baseA, 500, 50)
+	status, raw := postJSON(t, baseA+"/v1/synopses/live", SynopsisRequest{
+		Kind: "incremental", Relations: map[string]int{"R1": 0}, Seed: 11, Capacity: 16,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create live: %d %s", status, raw)
+	}
+	streamEvents(t, baseA, 0, 5)
+	_ = sA
+
+	// No snapshot was ever saved: the WAL alone cannot rebuild "live"
+	// (its base relations are gone), so the creation and its 5 events are
+	// lost — but visibly, and without refusing to start.
+	col := obs.NewCollector()
+	reg := newRegistry(col)
+	replayed, restored, err := reg.restoreSnapshot(dir)
+	if err != nil {
+		t.Fatalf("restore with unrecoverable WAL entries failed: %v", err)
+	}
+	if !restored || replayed != 0 {
+		t.Errorf("restored/replayed = %v/%d, want true/0", restored, replayed)
+	}
+	// 2 creations ("main", "live") + 5 events, all unrecoverable.
+	if got := col.Metrics().Counter(mWALSkipped).Value(); got != 7 {
+		t.Errorf("skipped counter = %v, want 7", got)
+	}
+}
+
+// TestConcurrentCreatesRespectQuota pins the admission serialization: N
+// racing creates for one tenant must never leave the tenant over its
+// synopsis-byte quota, however they interleave — the quota check and the
+// publish are one atomic unit under admitMu.
+func TestConcurrentCreatesRespectQuota(t *testing.T) {
+	s, base := startServer(t, Config{})
+	setupDataset(t, base, 2000, 200)
+
+	// Measure the candidate size with a probe, then leave head room for
+	// exactly one more synopsis of the same spec.
+	spec := SynopsisRequest{Kind: "static", Relations: map[string]int{"R1": 100, "R2": 100}, Seed: 31}
+	if status, raw := postJSON(t, base+"/v1/synopses/probe", spec); status != http.StatusCreated {
+		t.Fatalf("probe create: %d %s", status, raw)
+	}
+	probe, _ := s.reg.synopsis("probe")
+	one := probe.entryBytes()
+	if one <= 0 {
+		t.Fatalf("probe bytes = %d", one)
+	}
+	s.reg.tenantBudget = int64(s.reg.tenantSynopsisBytes(defaultTenant) + one + one/2)
+
+	const racers = 8
+	statuses := make([]int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _ = postJSON(t, fmt.Sprintf("%s/v1/synopses/racer-%d", base, i), spec)
+		}(i)
+	}
+	wg.Wait()
+
+	created, rejected := 0, 0
+	for i, status := range statuses {
+		switch status {
+		case http.StatusCreated:
+			created++
+		case http.StatusRequestEntityTooLarge:
+			rejected++
+		default:
+			t.Errorf("racer %d: unexpected status %d", i, status)
+		}
+	}
+	if created != 1 || rejected != racers-1 {
+		t.Errorf("created/rejected = %d/%d, want 1/%d", created, rejected, racers-1)
+	}
+	if have := s.reg.tenantSynopsisBytes(defaultTenant); int64(have) > s.reg.tenantBudget {
+		t.Errorf("tenant over quota after racing creates: %d > %d", have, s.reg.tenantBudget)
+	}
+}
+
+// TestRebuildUnderEvictionPressure hammers the evicted-entry rebuild
+// path while a hostile budget keeps only one synopsis resident at a
+// time: every estimate must still answer 200 — a rebuild that loses the
+// race with a concurrent eviction retries instead of returning a nil
+// synopsis (plain mode) or panicking on Clone (sequential/deadline).
+func TestRebuildUnderEvictionPressure(t *testing.T) {
+	s, base := startServer(t, Config{})
+	setupDataset(t, base, 2000, 200)
+	if status, raw := postJSON(t, base+"/v1/synopses/other", SynopsisRequest{
+		Kind: "static", Relations: map[string]int{"R1": 200, "R2": 200}, Seed: 21,
+	}); status != http.StatusCreated {
+		t.Fatalf("create other: %d %s", status, raw)
+	}
+	// Room for one synopsis, never two: every cross-synopsis reference
+	// evicts the other side.
+	s.reg.budget = int64(s.reg.synopsisBytes()/2 + 10)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			synopsis := "main"
+			if g%2 == 1 {
+				synopsis = "other"
+			}
+			for i := 0; i < 15; i++ {
+				req := EstimateRequest{Query: "count(R1)", Synopsis: synopsis, Seed: 3, Variance: "none"}
+				if i%3 == 2 {
+					req = EstimateRequest{Query: "count(R1)", Synopsis: synopsis, Mode: "sequential", TargetRelErr: 0.5, Seed: 3, Variance: "none"}
+				}
+				status, raw := postJSON(t, base+"/v1/estimate", req)
+				if status != http.StatusOK {
+					t.Errorf("goroutine %d iter %d (%s): %d %s", g, i, synopsis, status, raw)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

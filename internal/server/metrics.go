@@ -49,9 +49,18 @@ const (
 	mSnapshotSaves    = "relestd_snapshot_saves_total"
 	mSnapshotRestores = "relestd_snapshot_restores_total"
 	// mWALEvents counts stream events appended to the append-only log;
-	// mWALReplayed counts events replayed into synopses at restore.
+	// mWALReplayed counts events (including logged synopsis creations)
+	// replayed into synopses at restore.
 	mWALEvents   = "relestd_wal_events_total"
 	mWALReplayed = "relestd_wal_replayed_total"
+	// mWALTorn counts restores that found (and truncated away) a torn
+	// trailing WAL record — the signature of a crash between a record's
+	// write and its fsync; every acknowledged event before it replayed.
+	mWALTorn = "relestd_wal_torn_total"
+	// mWALSkipped counts WAL events dropped at restore because their
+	// synopsis could not be made resident (e.g. its base relations were
+	// never snapshotted); nonzero means acknowledged updates were lost.
+	mWALSkipped = "relestd_wal_skipped_total"
 
 	// Storage-footprint gauges, shared names with the estimator and
 	// cmd/relest (see obs.MetricRelationBytes / obs.MetricSynopsisBytes).

@@ -161,23 +161,49 @@ func sortBy[T any](xs []T, key func(T) string) {
 
 // restoreSnapshot loads dir into an empty registry: relations are
 // re-imported with their pinned schemas, synopses are rebuilt from their
-// creation specs, and the WAL is replayed into the incremental ones.
-// Returns the number of WAL events replayed; a dir with no manifest is an
-// empty snapshot, not an error.
+// creation specs (manifest first, then WAL-logged creations the manifest
+// predates), and the WAL is replayed into the incremental ones. Returns
+// the number of WAL events replayed; a dir with neither a manifest nor
+// WAL events is an empty snapshot, not an error. A torn trailing WAL
+// record (crash between write and fsync) is dropped and truncated away;
+// events that cannot apply (their synopsis is unrecoverable) are counted
+// in relestd_wal_skipped_total rather than failing the whole restore.
 func (reg *registry) restoreSnapshot(dir string) (replayed int, restored bool, err error) {
+	var m manifest
+	haveManifest := true
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, false, nil
+		if !os.IsNotExist(err) {
+			return 0, false, fmt.Errorf("reading manifest: %w", err)
 		}
-		return 0, false, fmt.Errorf("reading manifest: %w", err)
-	}
-	var m manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
+		haveManifest = false
+	} else if err := json.Unmarshal(raw, &m); err != nil {
 		return 0, false, fmt.Errorf("decoding manifest: %w", err)
 	}
 
+	events, tornAt, err := readWAL(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	if tornAt >= 0 {
+		// Drop the torn tail before the server reopens the log for
+		// appending: new records written after the partial bytes would
+		// corrupt every later replay.
+		if terr := os.Truncate(walPath(dir), tornAt); terr != nil {
+			return 0, false, fmt.Errorf("truncating torn stream log tail: %w", terr)
+		}
+		reg.rec.Add(mWALTorn, 1)
+	}
+	if !haveManifest && len(events) == 0 {
+		return 0, false, nil
+	}
+
 	for _, mr := range m.Relations {
+		// The name becomes a path component below: a hand-edited manifest
+		// must not be able to read files outside the snapshot directory.
+		if !validName(mr.Name) {
+			return 0, false, errBadName("relation", mr.Name)
+		}
 		cols := make([]relation.Column, 0, len(mr.Columns))
 		for _, mc := range mr.Columns {
 			kind, err := parseKind(mc.Kind)
@@ -212,41 +238,70 @@ func (reg *registry) restoreSnapshot(dir string) (replayed int, restored bool, e
 	// change into data loss. The global byte budget still applies, and
 	// losslessly: enforceBudget evicts cold entries, which rebuild
 	// transparently on next reference. Restore runs before the listener
-	// starts, so the temporary lift cannot race an admission.
+	// starts, so the temporary lift cannot race an admission. The
+	// replaying flag covers both the manifest rebuilds and the WAL replay
+	// below: creations and events already in the log must not re-log.
 	quota := reg.tenantBudget
 	reg.tenantBudget = 0
+	reg.replaying = true
+	defer func() {
+		reg.tenantBudget = quota
+		reg.replaying = false
+	}()
 	for _, ms := range m.Synopses {
 		tenant := ms.Tenant
 		if tenant == "" {
 			tenant = defaultTenant
 		}
 		if err := reg.addSynopsis(ms.Name, tenant, ms.Spec); err != nil {
-			reg.tenantBudget = quota
 			return 0, false, fmt.Errorf("rebuilding synopsis %q: %w", ms.Name, err)
 		}
 	}
-	reg.tenantBudget = quota
 
-	events, err := readWAL(dir)
-	if err != nil {
-		return 0, false, err
-	}
-	// Replay without re-logging: the events are already in the WAL.
-	reg.replaying = true
-	defer func() { reg.replaying = false }()
+	skipped := 0
 	for i, ev := range events {
+		if ev.Op == "create" {
+			if _, exists := reg.synopsis(ev.Synopsis); exists {
+				// Already rebuilt from the manifest (or an earlier creation
+				// record for the same name): nothing to replay.
+				continue
+			}
+			if ev.Spec == nil {
+				// A creation logged by an older binary without spec
+				// support; unrecoverable, like its events below.
+				skipped++
+				continue
+			}
+			tenant := ev.Tenant
+			if tenant == "" {
+				tenant = defaultTenant
+			}
+			if cerr := reg.addSynopsis(ev.Synopsis, tenant, *ev.Spec); cerr != nil {
+				// Typically a base relation that was never snapshotted:
+				// the synopsis cannot rebuild, so its stream events below
+				// skip too. Counted, not fatal — the rest of the restore
+				// stays usable.
+				skipped++
+				continue
+			}
+			replayed++
+			continue
+		}
 		e, ok := reg.synopsis(ev.Synopsis)
 		if !ok {
-			// The synopsis was created after the last save; its spec is
-			// gone, so its events cannot apply. Skipping keeps the rest of
-			// the restore usable (documented limitation: snapshot after
-			// creating synopses).
+			// The synopsis never became resident (creation skipped above,
+			// or an event predating spec logging): count the loss so
+			// operators can see it instead of silently dropping it.
+			skipped++
 			continue
 		}
 		if err := e.apply(reg, ev.Synopsis, StreamRequest{Op: ev.Op, Relation: ev.Relation, Tuple: ev.Tuple}); err != nil {
 			return replayed, true, fmt.Errorf("replaying stream log event %d: %w", i, err)
 		}
 		replayed++
+	}
+	if skipped > 0 {
+		reg.rec.Add(mWALSkipped, float64(skipped))
 	}
 	return replayed, true, nil
 }

@@ -42,6 +42,15 @@ type registry struct {
 	// 0 is unlimited.
 	tenantBudget int64
 
+	// admitMu serializes synopsis admission: the duplicate check, the
+	// tenant quota check, the WAL creation record, and the publish into
+	// syns happen under it as one unit, so two concurrent creates can
+	// never both pass the same quota reading, and the WAL's creation
+	// order always equals the publish order. It is the outermost lock on
+	// the create path and is never taken while mu or an entry lock is
+	// held.
+	admitMu sync.Mutex
+
 	// wal, when non-nil, receives every applied stream event (under the
 	// entry lock, so log order equals application order per synopsis).
 	wal *streamLog
@@ -85,8 +94,38 @@ func (reg *registry) touch(e *synopsisEntry) {
 	e.lastUse.Store(reg.clock.Add(1))
 }
 
-// addRelation registers r under its name; duplicate names are an error.
+// validName reports whether a client-supplied relation or synopsis name
+// is safe to use as a registry key and, under -snapshot-dir, as a file
+// name inside the snapshot directory: letters, digits, underscore and
+// hyphen only. The charset has no path separators and cannot spell
+// "..", so a name can never escape the directory it is joined into.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// errBadName is the rejection message for names outside validName's
+// charset, shared by the upload and create handlers.
+func errBadName(kind, name string) error {
+	return fmt.Errorf("invalid %s name %q: want 1-128 characters from [A-Za-z0-9_-]", kind, name)
+}
+
+// addRelation registers r under its name; duplicate or invalid names are
+// an error.
 func (reg *registry) addRelation(r *relation.Relation) error {
+	if !validName(r.Name()) {
+		return errBadName("relation", r.Name())
+	}
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	if _, dup := reg.cat[r.Name()]; dup {
@@ -208,8 +247,14 @@ func (reg *registry) buildStatic(name string, req SynopsisRequest, cat map[strin
 
 // addSynopsis creates the named synopsis from the request spec for the
 // given tenant, enforcing the tenant byte quota and then the global byte
-// budget (evicting colder entries when needed).
+// budget (evicting colder entries when needed). When persistence is on,
+// the creation itself is WAL-logged before the entry is published, so a
+// synopsis created after the last snapshot survives a crash: restore
+// replays the creation record and then its stream events in order.
 func (reg *registry) addSynopsis(name, tenant string, req SynopsisRequest) error {
+	if !validName(name) {
+		return errBadName("synopsis", name)
+	}
 	if len(req.Relations) == 0 {
 		return fmt.Errorf("synopsis %q: no relations given", name)
 	}
@@ -258,9 +303,24 @@ func (reg *registry) addSynopsis(name, tenant string, req SynopsisRequest) error
 	}
 	reg.mu.Unlock()
 
+	// Admission is serialized: every publish into syns goes through
+	// admitMu, so the duplicate and quota checks below read a state no
+	// concurrent create can invalidate before this entry is published.
+	reg.admitMu.Lock()
+	defer reg.admitMu.Unlock()
+
+	reg.mu.RLock()
+	_, dup := reg.syns[name]
+	reg.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("synopsis %q already exists", name)
+	}
+
 	// Tenant quota: a tenant may not hold more resident synopsis bytes
 	// than its allowance. Checked against the entry's own cost before it
-	// is published, so an over-quota create leaves no trace.
+	// is published, so an over-quota create leaves no trace. Concurrent
+	// evictions can only shrink the reading, which keeps the check
+	// conservative-safe.
 	if reg.tenantBudget > 0 && entry.static != nil {
 		have := reg.tenantSynopsisBytes(tenant)
 		if add := entry.static.Bytes(); int64(have+add) > reg.tenantBudget {
@@ -273,11 +333,19 @@ func (reg *registry) addSynopsis(name, tenant string, req SynopsisRequest) error
 		}
 	}
 
-	reg.mu.Lock()
-	if _, dup := reg.syns[name]; dup {
-		reg.mu.Unlock()
-		return fmt.Errorf("synopsis %q already exists", name)
+	// Log the creation before publishing: stream events for this synopsis
+	// can only be accepted once it is visible in the map, so the WAL's
+	// creation record always precedes every event that replays into it.
+	// A failed append refuses the create — an acknowledged creation is
+	// durable, like an acknowledged stream event.
+	if reg.wal != nil && !reg.replaying {
+		spec := req
+		if err := reg.wal.append(walEvent{Synopsis: name, Op: "create", Tenant: tenant, Spec: &spec}); err != nil {
+			return fmt.Errorf("synopsis %q: appending creation to stream log: %v", name, err)
+		}
 	}
+
+	reg.mu.Lock()
 	reg.syns[name] = entry
 	reg.mu.Unlock()
 	reg.touch(entry)
@@ -464,7 +532,7 @@ func (reg *registry) estimationSynopsis(name string, e *synopsisEntry, mode stri
 		return e.inc.Snapshot()
 	}
 	e.mu.Lock()
-	if e.evicted {
+	for e.evicted {
 		// Transparent rebuild: the spec's seed and the append-only base
 		// relations make the redraw byte-identical to the evicted sample,
 		// so callers cannot tell an eviction ever happened (beyond the
@@ -486,6 +554,11 @@ func (reg *registry) estimationSynopsis(name string, e *synopsisEntry, mode stri
 		reg.enforceBudget(e)
 		reg.rec.Set(mSynopsisBytes, float64(reg.synopsisBytes()))
 		e.mu.Lock()
+		// Loop rather than fall through: while the lock was released for
+		// enforceBudget, a concurrent create's or rebuild's enforceBudget
+		// (which exempts only its own entry) may have evicted this one
+		// again, leaving e.static nil. Each iteration re-checks under the
+		// lock, so the estimate below always reads a resident sample.
 	}
 	defer e.mu.Unlock()
 	if mode == "plain" {

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -10,16 +11,21 @@ import (
 	"sync"
 )
 
-// walEvent is one logged stream event, in application order. The log is
-// the milvus-msgstream shape reduced to what incremental synopses need:
-// an append-only sequence that, replayed from synopsis creation, drives
+// walEvent is one logged event, in application order. The log is the
+// milvus-msgstream shape reduced to what incremental synopses need: an
+// append-only sequence that, replayed from synopsis creation, drives
 // each per-synopsis seeded RNG through the identical decision sequence
-// and so reconstructs reservoir state exactly.
+// and so reconstructs reservoir state exactly. Op "insert"/"delete"
+// carries Relation and Tuple; op "create" carries Tenant and Spec and
+// records the synopsis creation itself, so a synopsis created after the
+// last snapshot (absent from the manifest) still restores.
 type walEvent struct {
-	Synopsis string   `json:"synopsis"`
-	Op       string   `json:"op"`
-	Relation string   `json:"relation"`
-	Tuple    []string `json:"tuple"`
+	Synopsis string           `json:"synopsis"`
+	Op       string           `json:"op"`
+	Relation string           `json:"relation,omitempty"`
+	Tuple    []string         `json:"tuple,omitempty"`
+	Tenant   string           `json:"tenant,omitempty"`
+	Spec     *SynopsisRequest `json:"spec,omitempty"`
 }
 
 // streamLog is the append-only stream event log: one JSON event per line,
@@ -62,27 +68,40 @@ func (l *streamLog) close() error {
 }
 
 // readWAL decodes every event in dir's log, in append order. A missing
-// log is an empty history, not an error.
-func readWAL(dir string) ([]walEvent, error) {
+// log is an empty history, not an error. A torn final record — a crash
+// between append's write and its Sync leaves a partial last line — is
+// tolerated, not fatal: every fsync-acknowledged event before it decoded
+// fine, which is exactly what the durability contract promised. tornAt
+// is the byte offset where the torn record starts (for the caller to
+// truncate before appending again), or -1 when the log ended cleanly.
+func readWAL(dir string) (events []walEvent, tornAt int64, err error) {
 	f, err := os.Open(walPath(dir))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, -1, nil
 		}
-		return nil, fmt.Errorf("opening stream log: %w", err)
+		return nil, -1, fmt.Errorf("opening stream log: %w", err)
 	}
 	// Read-only handle; the close error carries no data-loss signal.
 	defer func() { _ = f.Close() }()
-	var events []walEvent
 	dec := json.NewDecoder(bufio.NewReader(f))
+	var good int64
 	for {
 		var ev walEvent
 		if err := dec.Decode(&ev); err != nil {
 			if err == io.EOF {
-				return events, nil
+				return events, -1, nil
 			}
-			return nil, fmt.Errorf("decoding stream log: %w", err)
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// Truncation can only produce a proper prefix of a valid
+				// record, and every proper prefix of a JSON object fails
+				// with ErrUnexpectedEOF — any other decode error means
+				// corruption, not a torn write, and stays fatal.
+				return events, good, nil
+			}
+			return nil, -1, fmt.Errorf("decoding stream log: %w", err)
 		}
+		good = dec.InputOffset()
 		events = append(events, ev)
 	}
 }
