@@ -1,7 +1,7 @@
 # Pre-PR gate: `make check` must pass before any change lands.
 GO ?= go
 
-.PHONY: check build vet lint lint-json lint-budget test race cover golden memgate bench bench6 fuzz smoke soak-short
+.PHONY: check build vet lint lint-json lint-budget test race cover golden memgate bench bench6 bench9 fuzz smoke soak-short
 
 check: build vet lint lint-budget test race cover golden memgate soak-short
 
@@ -41,8 +41,9 @@ race:
 # "instrumentation must be fully exercised" (internal/obs), "every
 # admission/shutdown path must be driven" (internal/server), or "every
 # analyzer and the dataflow engine must be exercised by fixtures"
-# (internal/lint). Other packages are report-only — their floors are the
-# statistical tests themselves.
+# (internal/lint), or "every estimator path of the sketch tier must be
+# exercised" (internal/sketch). Other packages are report-only — their
+# floors are the statistical tests themselves.
 cover:
 	$(GO) test -cover ./... | grep -v '\[no test files\]'
 	@pct=$$($(GO) test -cover ./internal/obs | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
@@ -54,6 +55,9 @@ cover:
 	@pct=$$($(GO) test -cover ./internal/lint | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/lint coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
 		printf "internal/lint coverage %.1f%% (floor 70%%)\n", p }'
+	@pct=$$($(GO) test -cover ./internal/sketch | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	awk -v p="$$pct" 'BEGIN { if (p+0 < 70) { printf "internal/sketch coverage %.1f%% is below the 70%% floor\n", p; exit 1 } \
+		printf "internal/sketch coverage %.1f%% (floor 70%%)\n", p }'
 
 # Adversarial soak slice: the five workload scenarios (zipf-mix, bursty,
 # hot-key eviction churn, churn-heavy streams, cancellation storm) each
@@ -128,6 +132,24 @@ bench6:
 		-note "BenchmarkStreamCountCeiling reports peak-bytes (the streaming executor's high-water working set: operator batches + hash build side, from relest_stream_peak_bytes) on a probe relation of 40x1024 rows, and peak-ratio-10x = peak at 40x batches / peak at 4x batches. ~1.0 means the heap ceiling is independent of relation size; the 10.0 baseline is how a materializing evaluator scales over the same 10x growth, so metric_improvement ~= 10 is the constant-memory property. The regression gate is TestStreamMemoryCeiling (make memgate)." \
 		> BENCH_6.json
 	cat BENCH_6.json
+
+# Tier-planner benchmarks. Emits BENCH_9.json: the same sketch-eligible
+# equi-join COUNT answered by the sketch tier versus the sample-based
+# counting polynomial, from one prepared Estimator handle. The baseline
+# is BenchmarkTierSampleCount measured identically on this host, so
+# speedup = sample/sketch is the per-query win of sketch-first
+# answering; the sample benchmark is included in each run so the ratio
+# can be re-derived from current numbers. Acceptance floor: >=5x.
+bench9:
+	$(GO) test -run XXX -bench 'TierSketchCount|TierSampleCount' -benchtime 30x . \
+	| $(GO) run ./cmd/benchjson \
+		-issue 9 \
+		-title "Tiered hybrid synopses behind a unified Estimator facade" \
+		-command "make bench9" \
+		-baseline BenchmarkTierSketchCount=343027 \
+		-note "Both benchmarks answer COUNT of the same equi-join (zipf 0.5 pair, domain 2000, 20k rows per relation) through relest.New handles differing only in tier policy. The sketch tier reads the prebuilt hashed-AGMS counters (9 groups x 512 buckets per column); the sample tier runs the counting polynomial over n=1000-per-relation samples. The baseline for BenchmarkTierSketchCount is BenchmarkTierSampleCount measured identically on this host, so speedup = sample-tier/sketch-tier latency; the acceptance floor is 5x." \
+		> BENCH_9.json
+	cat BENCH_9.json
 
 # Memory-ceiling regression gate: the streaming executor's peak working
 # set must stay flat when the probe relation grows 10x (see

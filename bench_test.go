@@ -5,6 +5,7 @@
 package relest_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -402,3 +403,39 @@ func BenchmarkA1Stratified(b *testing.B)   { experimentBench(b, "A1") }
 func BenchmarkA2PageSampling(b *testing.B) { experimentBench(b, "A2") }
 
 func BenchmarkA3Planner(b *testing.B) { experimentBench(b, "A3") }
+
+// Tier benchmarks (BENCH_9.json): the same sketch-eligible equi-join
+// COUNT answered by each tier of one prepared Estimator handle. The
+// sketch tier reads 2·Groups·GroupSize prebuilt counters; the sample
+// tier runs the counting polynomial over the n=1000-per-relation
+// samples. Their ratio is the per-query win that pays for keeping the
+// sketches resident.
+func benchTierCount(b *testing.B, policy relest.TierPolicy) {
+	b.Helper()
+	rng := relest.Seeded(19)
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 2_000, N1: 20_000, N2: 20_000,
+		Correlation: relest.Independent,
+	})
+	syn, err := relest.Draw([]*relest.Relation{r1, r2}, 0.05, 20, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+	h := relest.New(syn, relest.WithTierPolicy(policy), relest.WithPrecision(0.5))
+	ctx := context.Background()
+	req := relest.Request{Expr: e}
+	if _, err := h.Count(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Count(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTierSketchCount(b *testing.B) { benchTierCount(b, relest.TierSketchOnly) }
+func BenchmarkTierSampleCount(b *testing.B) { benchTierCount(b, relest.TierSampleOnly) }

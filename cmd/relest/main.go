@@ -21,7 +21,10 @@
 // -target 0.05 for double sampling to a ±5% goal, or -deadline 50ms for a
 // time-budgeted answer. Sampling designs: -page-size 100 samples whole
 // pages (cluster sampling), -stratify rel=column draws a stratified sample
-// of that relation.
+// of that relation. Plain count queries may opt into the tiered planner
+// with -tier auto (sketch-first with per-term escalation) or -tier sketch,
+// and -precision 0.05 sets the sketch acceptance band; the default
+// -tier sample keeps the legacy byte-identical output.
 //
 // Observability: -metrics PATH writes the run's metrics on exit as
 // Prometheus text followed by a JSON snapshot ("-" = stderr); -trace PATH
@@ -31,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +92,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	pageSize := fs.Int("page-size", 0, "page-level sampling: rows per page (0 = tuple-level SRSWOR)")
 	stratify := fs.String("stratify", "", "stratified sampling as rel=column (proportional allocation by column value)")
 	workers := fs.Int("workers", 0, "evaluation goroutines (0 = all CPUs, 1 = serial); estimates are identical for every setting")
+	tier := fs.String("tier", "sample", "synopsis tiers for plain count queries: auto (sketch first, escalate per term), sketch (sketch only), sample (exact legacy path)")
+	precision := fs.Float64("precision", 0, "target relative CI half-width for accepting a sketch-tier answer (0 = default 0.1); implies -tier auto unless one is given")
 	noCSE := fs.Bool("no-cse", false, "disable cross-term subexpression sharing (estimates are bit-identical either way)")
 	metricsOut := fs.String("metrics", "", `write metrics on exit (Prometheus text + JSON snapshot) to this file; "-" = stderr`)
 	traceOut := fs.String("trace", "", `write the span trace on exit to this file; "-" = stderr`)
@@ -153,6 +159,17 @@ func run(args []string, stdout io.Writer) (err error) {
 	st, err := query.Parse(*queryText, query.CatalogSchemas{Cat: cat})
 	if err != nil {
 		return err
+	}
+
+	tierPolicy, err := estimator.ParseTierPolicy(*tier)
+	if err != nil {
+		return err
+	}
+	// The tier planner answers plain counts only; -tier sample (the
+	// default) keeps every other query shape on its legacy path.
+	tiered := (tierPolicy != estimator.TierDefault && tierPolicy != estimator.TierSampleOnly) || *precision > 0
+	if tiered && (st.IsDistinct() || st.Agg != "count" || *deadline > 0 || *target > 0) {
+		return fmt.Errorf("-tier/-precision apply to plain count queries only")
 	}
 
 	stratRel, stratCol := "", ""
@@ -307,9 +324,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	switch {
 	case *deadline > 0:
-		est, history, err := estimator.DeadlineCount(st.Expr, syn, rng, estimator.DeadlineOptions{
+		est, history, err := estimator.DeadlineCountContext(context.Background(), st.Expr, syn, estimator.DeadlineOptions{
 			Budget:   *deadline,
 			Estimate: opts,
+			RNG:      rng,
 		})
 		if err != nil {
 			return err
@@ -317,10 +335,11 @@ func run(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintf(stdout, "\ndeadline estimate after %d rounds: %.1f\n", len(history), est.Value)
 		printCI(stdout, est)
 	case *target > 0:
-		res, err := estimator.SequentialCount(st.Expr, syn, rng, estimator.SequentialOptions{
+		res, err := estimator.SequentialCountContext(context.Background(), st.Expr, syn, estimator.SequentialOptions{
 			TargetRelErr: *target,
 			Confidence:   *confidence,
 			Estimate:     opts,
+			RNG:          rng,
 		})
 		if err != nil {
 			return err
@@ -331,12 +350,27 @@ func run(args []string, stdout io.Writer) (err error) {
 		printCI(stdout, res.Final)
 		fmt.Fprintf(stdout, "target met:      %v\n", res.TargetMet)
 	default:
-		est, err := estimator.CountWithOptions(st.Expr, syn, opts)
+		// Every plain count goes through the unified handle; -tier sample
+		// (the default) pins the legacy sample-only path bit for bit, so
+		// the output is byte-identical to earlier releases.
+		policy := tierPolicy
+		if !tiered {
+			policy = estimator.TierSampleOnly
+		}
+		h := estimator.NewEstimator(syn,
+			estimator.WithOptions(opts),
+			estimator.WithTierPolicy(policy),
+			estimator.WithPrecision(*precision))
+		res, err := h.Count(context.Background(), estimator.Request{Expr: st.Expr})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "\nestimate: %.1f\n", est.Value)
-		printCI(stdout, est)
+		fmt.Fprintf(stdout, "\nestimate: %.1f\n", res.Value)
+		printCI(stdout, res.Estimate)
+		if tiered {
+			fmt.Fprintf(stdout, "tier:     %s (%d sketch, %d sample terms)\n",
+				res.Tier.Answered, res.Tier.SketchTerms, res.Tier.SampleTerms)
+		}
 	}
 
 	if *exact {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -37,7 +38,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			est, err := relest.Count(e, syn)
+			// Sample-only pins the sampling estimator this example is
+			// about; relest.New(syn) without the option would answer the
+			// plain equi-join from the sketch tier instead.
+			h := relest.New(syn, relest.WithTierPolicy(relest.TierSampleOnly))
+			est, err := h.Count(context.Background(), relest.Request{Expr: e})
 			if err != nil {
 				log.Fatal(err)
 			}

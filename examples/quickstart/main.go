@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,6 +41,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One estimation handle serves every query. The default tier policy
+	// (auto) answers each counting-polynomial term from the cheapest
+	// synopsis tier that meets the precision target — sketches for plain
+	// equi-joins, the sample otherwise — and reports which tier answered.
+	est := relest.New(syn)
+	ctx := context.Background()
+
 	queries := []struct {
 		name string
 		expr *relest.Expr
@@ -49,7 +57,7 @@ func main() {
 	}
 	for _, qc := range queries {
 		name, q := qc.name, qc.expr
-		est, err := relest.Count(q, syn)
+		res, err := est.Count(ctx, relest.Request{Expr: q})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,11 +66,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s\n", name)
-		fmt.Printf("  estimate: %10.0f   (stderr %.0f, variance via %s)\n",
-			est.Value, est.StdErr, est.VarianceMethod)
-		fmt.Printf("  95%% CI:   [%10.0f, %10.0f]\n", est.Lo, est.Hi)
+		fmt.Printf("  estimate: %10.0f   (stderr %.0f, variance via %s, tier %s)\n",
+			res.Value, res.StdErr, res.VarianceMethod, res.Tier.Answered)
+		fmt.Printf("  95%% CI:   [%10.0f, %10.0f]\n", res.Lo, res.Hi)
 		fmt.Printf("  exact:    %10d   (inside CI: %v)\n\n",
-			exact, est.Lo <= float64(exact) && float64(exact) <= est.Hi)
+			exact, res.Lo <= float64(exact) && float64(exact) <= res.Hi)
 	}
 
 	// Distinct department count from the employees sample alone.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,7 +21,7 @@ func main() {
 	const ops = 200_000
 	const capacity = 2_000 // sampled tuples kept per relation
 
-	inc := relest.NewIncremental(capacity, rng)
+	inc := relest.NewIncrementalWithOptions(relest.IncrementalOptions{Capacity: capacity, RNG: rng})
 	for _, name := range []string{"R", "S"} {
 		if err := inc.Track(name, relest.JoinSchema()); err != nil {
 			log.Fatal(err)
@@ -76,7 +77,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-12s %-12s %-14s %-14s %-10s\n", "events", "population", "estimate", "exact", "rel.err")
+	fmt.Printf("%-12s %-12s %-14s %-14s %-10s %-8s\n", "events", "population", "estimate", "exact", "rel.err", "tier")
 	const checkpoints = 8
 	per := ops / checkpoints
 	for cp := 1; cp <= checkpoints; cp++ {
@@ -88,16 +89,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := relest.CountWithOptions(join, syn, relest.Options{Variance: relest.VarNone})
+		// The snapshot carries the stream-maintained sketches, so the
+		// default auto tier policy answers this plain equi-join from the
+		// sketch tier — summarizing the whole stream, not just the bounded
+		// sample — and escalates to the sample for anything else.
+		h := relest.New(syn, relest.WithOptions(relest.Options{Variance: relest.VarNone}))
+		res, err := h.Count(context.Background(), relest.Request{Expr: join})
 		if err != nil {
 			log.Fatal(err)
 		}
 		rel := math.NaN()
 		if joinSize > 0 {
-			rel = math.Abs(est.Value-float64(joinSize)) / float64(joinSize)
+			rel = math.Abs(res.Value-float64(joinSize)) / float64(joinSize)
 		}
-		fmt.Printf("%-12d %-12d %-14.0f %-14d %-10.4f\n",
-			2*cp*per, popR, est.Value, joinSize, rel)
+		fmt.Printf("%-12d %-12d %-14.0f %-14d %-10.4f %-8s\n",
+			2*cp*per, popR, res.Value, joinSize, rel, res.Tier.Answered)
 	}
 	fmt.Printf("\nsynopsis held at most %d tuples per relation throughout.\n", capacity)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,10 +42,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, history, err := relest.DeadlineCount(e, syn, rng, relest.DeadlineOptions{
+		est, history, err := relest.DeadlineCountContext(context.Background(), e, syn, relest.DeadlineOptions{
 			Budget:      budget,
 			InitialSize: 200,
 			Estimate:    relest.Options{Variance: relest.VarNone},
+			RNG:         rng,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -61,9 +63,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := relest.SequentialCount(e, syn, rng, relest.SequentialOptions{
+		res, err := relest.SequentialCountContext(context.Background(), e, syn, relest.SequentialOptions{
 			TargetRelErr: target,
 			PilotSize:    500,
+			RNG:          rng,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -54,7 +54,7 @@ func F4Incremental(seed int64, scale Scale) *Table {
 		rng := src.Rand(25000 + tr)
 		streamR := workload.Stream(rng, workload.StreamSpec{Rel: "R", Ops: ops / 2, DeleteFrac: deleteFrac, Z: 0.8, Domain: domain})
 		streamS := workload.Stream(rng, workload.StreamSpec{Rel: "S", Ops: ops / 2, DeleteFrac: deleteFrac, Z: 0.8, Domain: domain})
-		inc := estimator.NewIncremental(capacity, rng)
+		inc := estimator.NewIncrementalWithOptions(estimator.IncrementalOptions{Capacity: capacity, RNG: rng})
 		if err := inc.Track("R", schema); err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,10 +55,11 @@ func F3Deadline(seed int64, scale Scale) *Table {
 			if err := syn.AddDrawn(r2, 20, rng); err != nil {
 				panic(err)
 			}
-			est, history, err := estimator.DeadlineCount(e, syn, rng, estimator.DeadlineOptions{
+			est, history, err := estimator.DeadlineCountContext(context.Background(), e, syn, estimator.DeadlineOptions{
 				Budget:      budget,
 				InitialSize: 100,
 				Estimate:    estimator.Options{Variance: estimator.VarNone},
+				RNG:         rng,
 			})
 			if err != nil {
 				panic(err)
@@ -84,9 +86,10 @@ func F3Deadline(seed int64, scale Scale) *Table {
 			if err := syn.AddDrawn(r2, 50, rng); err != nil {
 				panic(err)
 			}
-			res, err := estimator.SequentialCount(e, syn, rng, estimator.SequentialOptions{
+			res, err := estimator.SequentialCountContext(context.Background(), e, syn, estimator.SequentialOptions{
 				TargetRelErr: target,
 				PilotSize:    scale.pick(100, 300),
+				RNG:          rng,
 			})
 			if err != nil {
 				panic(err)

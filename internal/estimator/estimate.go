@@ -51,6 +51,12 @@ const (
 	// VarJackknife uses delete-one replicates over every relation sample.
 	// Exact-ish and expensive: O(Σ n_i) re-evaluations.
 	VarJackknife
+	// VarSketch marks an estimate answered entirely by the sketch tier:
+	// the variance is the coefficient-weighted sum of the per-term
+	// median-of-means variances (see tier.go). It is reported, never
+	// requested — Options.Variance still selects the sample-tier method
+	// used for any escalated terms.
+	VarSketch
 )
 
 // String names the method.
@@ -66,6 +72,8 @@ func (m VarianceMethod) String() string {
 		return "split-sample"
 	case VarJackknife:
 		return "jackknife"
+	case VarSketch:
+		return "sketch"
 	default:
 		return fmt.Sprintf("VarianceMethod(%d)", int(m))
 	}
@@ -196,13 +204,7 @@ func countPoly(ctx context.Context, poly algebra.Polynomial, syn *Synopsis, opts
 	if method != VarNone {
 		est.Variance = variance
 		est.StdErr = math.Sqrt(math.Max(variance, 0))
-		var z float64
-		switch opts.CI {
-		case CIChebyshev:
-			z = stats.ChebyshevZ(1 - opts.Confidence)
-		default:
-			z = stats.NormalQuantile(1 - (1-opts.Confidence)/2)
-		}
+		z := ciZ(opts)
 		est.Lo = value - z*est.StdErr
 		est.Hi = value + z*est.StdErr
 	}

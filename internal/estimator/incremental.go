@@ -38,6 +38,12 @@ type Incremental struct {
 type incRel struct {
 	schema    *relation.Schema
 	reservoir *sampling.PairedReservoir[relation.Tuple]
+	// sketches is the always-on sketch tier over the full stream (not the
+	// reservoir): AGMS column sketches are exactly linear, so maintaining
+	// them per event equals a rebuild atom for atom. The updates consume
+	// no randomness, leaving the reservoir's sampling decisions — and
+	// therefore every sample-tier estimate — bit-identical.
+	sketches *relSketches
 }
 
 // IncrementalOptions configures an incremental synopsis.
@@ -86,6 +92,7 @@ func (inc *Incremental) Track(name string, schema *relation.Schema) error {
 		schema: schema,
 		reservoir: sampling.NewPairedReservoir[relation.Tuple](inc.rng, inc.capacity,
 			func(t relation.Tuple) string { return t.Key(nil) }),
+		sketches: newRelSketches(schema.Len()),
 	}
 	return nil
 }
@@ -100,6 +107,7 @@ func (inc *Incremental) Insert(name string, t relation.Tuple) error {
 		return fmt.Errorf("estimator: tuple arity %d != schema arity %d for %q", len(t), ir.schema.Len(), name)
 	}
 	ir.reservoir.Insert(t)
+	ir.sketches.insert(t)
 	return nil
 }
 
@@ -114,6 +122,7 @@ func (inc *Incremental) Delete(name string, t relation.Tuple) error {
 	if !ir.reservoir.Delete(t) {
 		return fmt.Errorf("estimator: delete from empty relation %q", name)
 	}
+	ir.sketches.remove(t)
 	return nil
 }
 
@@ -150,6 +159,11 @@ func (inc *Incremental) Snapshot() (*Synopsis, error) {
 		if err := syn.AddSample(sample, int(ir.reservoir.PopulationSize())); err != nil {
 			return nil, err
 		}
+		// Transplant a deep copy of the stream's sketch tier so the
+		// snapshot stays independent of later updates; the tier planner
+		// can then answer sketch-shaped terms from this snapshot even
+		// though its relations carry no base (AddSample).
+		syn.attachSketches(name, ir.sketches.clone())
 	}
 	return syn, nil
 }

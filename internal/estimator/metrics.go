@@ -31,6 +31,11 @@ const (
 	mDeadlineRounds  = "relest_deadline_rounds_total"
 	mDeadHalfwidth   = "relest_deadline_halfwidth"   // labeled round=...
 	mDeadSampleRows  = "relest_deadline_sample_rows" // labeled round=..., rel=...
+
+	// Tier planner (handle requests with a sketch-capable policy only, so
+	// legacy sample-only paths emit exactly the families they always did).
+	mTierAnswered = "relest_tier_answered_total" // labeled tier=...
+	mSketchBytes  = "relest_sketch_bytes"
 )
 
 // Precomputed label strings keep the recording sites free of obs.L calls
@@ -41,10 +46,28 @@ var (
 	mVarMethodAnalytic  = obs.L(mVarianceMethod, "method", "analytic")
 	mVarMethodSplit     = obs.L(mVarianceMethod, "method", "split-sample")
 	mVarMethodJackknife = obs.L(mVarianceMethod, "method", "jackknife")
+	mVarMethodSketch    = obs.L(mVarianceMethod, "method", "sketch")
 
 	mRepSplit     = obs.L(mReplicatesTotal, "method", "split-sample")
 	mRepJackknife = obs.L(mReplicatesTotal, "method", "jackknife")
+
+	mTierSketch = obs.L(mTierAnswered, "tier", TierAnsweredSketch)
+	mTierSample = obs.L(mTierAnswered, "tier", TierAnsweredSample)
+	mTierMixed  = obs.L(mTierAnswered, "tier", TierAnsweredMixed)
 )
+
+// tierAnsweredMetric maps a TierReport.Answered value to its counter
+// series (the label set is closed).
+func tierAnsweredMetric(answered string) string {
+	switch answered {
+	case TierAnsweredSketch:
+		return mTierSketch
+	case TierAnsweredMixed:
+		return mTierMixed
+	default:
+		return mTierSample
+	}
+}
 
 // varianceMethodMetric maps a method to its counter series.
 func varianceMethodMetric(m VarianceMethod) string {
@@ -57,6 +80,8 @@ func varianceMethodMetric(m VarianceMethod) string {
 		return mVarMethodSplit
 	case VarJackknife:
 		return mVarMethodJackknife
+	case VarSketch:
+		return mVarMethodSketch
 	default:
 		return mVarMethodAuto
 	}

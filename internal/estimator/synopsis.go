@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"relest/internal/relation"
 	"relest/internal/sampling"
@@ -137,6 +138,14 @@ func singletonClusters(n int) [][]int {
 // the counting-polynomial machinery run unchanged over samples.
 type Synopsis struct {
 	rels map[string]*relSynopsis
+
+	// sketches is the optional sketch tier (per-relation AGMS column
+	// sketches plus KMV distinct summaries over the FULL relation), built
+	// lazily by EnsureSketches or transplanted by Incremental.Snapshot.
+	// Guarded by sketchMu so concurrent server requests can share one
+	// synopsis; entries are immutable once present (clones share them).
+	sketchMu sync.Mutex
+	sketches map[string]*relSketches
 }
 
 // NewSynopsis creates an empty synopsis.
@@ -418,6 +427,8 @@ func (s *Synopsis) Clone() *Synopsis {
 		cp.strata = append([]stratumInfo(nil), rs.strata...)
 		out.rels[name] = &cp
 	}
+	// Built sketches are immutable; the clone shares them by reference.
+	s.cloneSketchRefs(out)
 	return out
 }
 

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Deprecated keeps the repo off its own legacy surface: once an entry
+// point's doc comment carries a "Deprecated:" paragraph (the standard Go
+// convention), no in-repo production code may call it. The facade's own
+// thin wrappers are the sanctioned exceptions — the deprecated free
+// functions in relest.go forward to the Estimator handle and to each
+// other, so calls made from relest.go or from inside a function that is
+// itself deprecated are exempt. Everything else must use the replacement
+// the doc comment names; without this rule, migrated call sites quietly
+// regress back to the legacy spellings and the deprecation can never be
+// retired.
+var Deprecated = &Analyzer{
+	Name:      "deprecated",
+	Doc:       "in-repo code must not call deprecated entry points outside relest.go and deprecated wrappers",
+	RunModule: runDeprecated,
+}
+
+func runDeprecated(mp *ModulePass) {
+	// Pass 1: every in-module function or method whose doc comment has a
+	// "Deprecated:" paragraph, keyed by the defining identifier's position
+	// (positions are stable across packages under the shared FileSet,
+	// which is how a use in one package matches a def in another).
+	deprecated := map[token.Pos]string{}
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDeprecatedDoc(fd.Doc) {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					deprecated[obj.Pos()] = obj.Name()
+				}
+			}
+		}
+	}
+	if len(deprecated) == 0 {
+		return
+	}
+	// Pass 2: flag calls that resolve to the deprecated set, skipping the
+	// facade file and the bodies of deprecated functions (wrapper chains).
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			if filepath.Base(mp.Fset.Position(f.Pos()).Filename) == "relest.go" {
+				continue
+			}
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && hasDeprecatedDoc(fd.Doc) {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var id *ast.Ident
+					switch fun := ast.Unparen(call.Fun).(type) {
+					case *ast.Ident:
+						id = fun
+					case *ast.SelectorExpr:
+						id = fun.Sel
+					default:
+						return true
+					}
+					fn, _ := pkg.Info.Uses[id].(*types.Func)
+					if fn == nil {
+						return true
+					}
+					if name, ok := deprecated[fn.Pos()]; ok {
+						mp.Reportf(call.Pos(), "call to deprecated %s; use the replacement named in its doc comment", name)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// hasDeprecatedDoc reports whether a doc comment carries a "Deprecated:"
+// paragraph per the standard Go convention.
+func hasDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

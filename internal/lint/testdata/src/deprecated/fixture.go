@@ -1,0 +1,43 @@
+// Package deprecated exercises the deprecated-call rule: calls to
+// functions whose doc comment carries a "Deprecated:" paragraph are
+// flagged, except in relest.go (the facade's own wrapper file) and inside
+// functions that are themselves deprecated (wrapper chains).
+package deprecated
+
+// OldCount is the legacy spelling.
+//
+// Deprecated: use NewCount.
+func OldCount(n int) int { return NewCount(n) }
+
+// NewCount is the supported replacement.
+func NewCount(n int) int { return n }
+
+// OlderCount predates even OldCount; deprecated wrappers may chain into
+// each other without findings.
+//
+// Deprecated: use NewCount.
+func OlderCount(n int) int { return OldCount(n) } // ok: caller is itself deprecated
+
+type handle struct{}
+
+// Old is a legacy method.
+//
+// Deprecated: use Run.
+func (handle) Old() int { return 0 }
+
+// Run is the supported method.
+func (handle) Run() int { return 0 }
+
+func user() int {
+	a := OldCount(1) // want: deprecated function call
+	var h handle
+	b := h.Old() // want: deprecated method call
+	return a + b + NewCount(2) + h.Run()
+}
+
+var fromInitializer = OldCount(3) // want: package-level initializers count too
+
+func suppressed() int {
+	//lint:ignore deprecated migration to NewCount is scheduled with the next schema change
+	return OldCount(4)
+}

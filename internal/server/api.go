@@ -120,6 +120,16 @@ type EstimateRequest struct {
 	// TimeoutMS caps this request's wall-clock time; 0 uses the server
 	// default, and values above the server maximum are clamped to it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TierPolicy selects the synopsis tiers a plain count query may use:
+	// "auto" (sketch first, escalate per term), "sketch" (sketch only,
+	// 422 when a term cannot be answered) or "sample" (the exact legacy
+	// path, the default). Setting it (or Precision) routes the query
+	// through the tier planner and fills the response's Tier field.
+	TierPolicy string `json:"tier_policy,omitempty"`
+	// Precision is the target relative CI half-width under which a
+	// sketch-tier answer is accepted (default 0.1). Setting it implies
+	// tier_policy "auto" unless one is given.
+	Precision float64 `json:"precision,omitempty"`
 }
 
 // EstimateResult is the JSON shape of one estimate. Variance is a pointer
@@ -152,6 +162,11 @@ type EstimateResponse struct {
 	TargetMet *bool           `json:"target_met,omitempty"`
 	// Rounds is the number of estimation rounds completed (deadline mode).
 	Rounds int `json:"rounds,omitempty"`
+	// Tier reports which synopsis tier(s) answered a tier-routed plain
+	// count query: "sketch", "sample" or "mixed". Absent on legacy
+	// requests (no tier_policy/precision), whose bodies stay byte-
+	// identical to earlier releases.
+	Tier string `json:"tier,omitempty"`
 }
 
 // BatchEstimateRequest is the body of POST /v1/estimate/batch: many

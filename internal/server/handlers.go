@@ -465,6 +465,14 @@ func (s *Server) doEstimateShared(ctx context.Context, req EstimateRequest, plan
 	if err != nil {
 		return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
 	}
+	tierPolicy, err := estimator.ParseTierPolicy(req.TierPolicy)
+	if err != nil {
+		return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
+	}
+	tiered := tierPolicy != estimator.TierDefault || req.Precision > 0
+	if tiered && req.Mode != "plain" {
+		return http.StatusBadRequest, ErrorResponse{Error: "tier_policy and precision apply to plain mode only"}
+	}
 	workers := req.Workers
 	if workers == 0 {
 		workers = s.cfg.EstimatorWorkers
@@ -481,7 +489,13 @@ func (s *Server) doEstimateShared(ctx context.Context, req EstimateRequest, plan
 	resp := EstimateResponse{Query: req.Query, Synopsis: req.Synopsis, Mode: req.Mode}
 	switch req.Mode {
 	case "plain":
-		est, err := s.plainEstimate(ctx, st, syn, opts)
+		var est EstimateResult
+		var err error
+		if tiered {
+			est, resp.Tier, err = s.tieredEstimate(ctx, st, syn, opts, tierPolicy, req.Precision)
+		} else {
+			est, err = s.plainEstimate(ctx, st, syn, opts)
+		}
 		if err != nil {
 			return estimateErrorStatus(err), ErrorResponse{Error: err.Error()}
 		}
@@ -582,6 +596,47 @@ func (s *Server) plainEstimate(ctx context.Context, st *query.Statement, syn *es
 		}, nil
 	default:
 		return EstimateResult{}, fmt.Errorf("unsupported aggregate %q", st.Agg)
+	}
+}
+
+// tieredEstimate routes a plain query through the tier planner: the
+// request opted in via tier_policy/precision, so the response reports
+// which tier(s) answered. Building the handle also builds the synopsis's
+// sketch tier (idempotent and mutex-guarded, so sharing the static
+// synopsis across concurrent requests stays safe). Aggregates are always
+// sample-tier; under the "sketch" policy they fail with 422 rather than
+// silently downgrading.
+func (s *Server) tieredEstimate(ctx context.Context, st *query.Statement, syn *estimator.Synopsis, opts estimator.Options, policy estimator.TierPolicy, precision float64) (EstimateResult, string, error) {
+	h := estimator.NewEstimator(syn,
+		estimator.WithOptions(opts),
+		estimator.WithTierPolicy(policy),
+		estimator.WithPrecision(precision))
+	req := estimator.Request{Expr: st.Expr, Col: st.AggCol}
+	switch st.Agg {
+	case "count":
+		res, err := h.Count(ctx, req)
+		if err != nil {
+			return EstimateResult{}, "", err
+		}
+		return toResult(res.Estimate), res.Tier.Answered, nil
+	case "sum":
+		res, err := h.Sum(ctx, req)
+		if err != nil {
+			return EstimateResult{}, "", err
+		}
+		return toResult(res.Estimate), res.Tier.Answered, nil
+	case "avg":
+		res, rep, err := h.Avg(ctx, req)
+		if err != nil {
+			return EstimateResult{}, "", err
+		}
+		return EstimateResult{
+			Value:          res.Avg,
+			VarianceMethod: estimator.VarNone.String(),
+			Terms:          res.Count.Terms,
+		}, rep.Answered, nil
+	default:
+		return EstimateResult{}, "", fmt.Errorf("unsupported aggregate %q", st.Agg)
 	}
 }
 

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestEstimateTieredJoin exercises the tier planner through the wire:
+// an equi-join under the auto policy should be answered from the sketch
+// tier, and the response must say so.
+func TestEstimateTieredJoin(t *testing.T) {
+	_, base := startServer(t, Config{})
+	// A mild-skew pair: the sketch CI on the default heavy-skew dataset
+	// is dominated by the head values' self-join mass and escalates, so
+	// use the same shape the library calibration fixtures pin.
+	status, raw := postJSON(t, base+"/v1/generate", GenerateRequest{
+		Kind: "zipf-pair", N: 20_000, Domain: 300, Z1: 0.5, Z2: 0.5, Seed: 7,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, base+"/v1/synopses/main", SynopsisRequest{
+		Kind: "static", Relations: map[string]int{"R1": 400, "R2": 400}, Seed: 9,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create synopsis: %d %s", status, raw)
+	}
+
+	status, raw = postJSON(t, base+"/v1/estimate", EstimateRequest{
+		Query: "count(join(R1, R2, on a = a))", Synopsis: "main",
+		Mode: "plain", Seed: 3, TierPolicy: "auto", Precision: 0.15,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("tiered estimate: %d %s", status, raw)
+	}
+	resp := estimateResp(t, raw)
+	if resp.Tier != "sketch" {
+		t.Errorf("auto policy on an equi-join answered from %q, want sketch", resp.Tier)
+	}
+	if resp.Estimate.Value <= 0 {
+		t.Errorf("sketch-tier value %v, want > 0", resp.Estimate.Value)
+	}
+	if resp.Estimate.Hi <= resp.Estimate.Lo {
+		t.Errorf("degenerate CI [%v, %v]", resp.Estimate.Lo, resp.Estimate.Hi)
+	}
+
+	// A precision field alone also opts the request into tiered routing.
+	status, raw = postJSON(t, base+"/v1/estimate", EstimateRequest{
+		Query: "count(join(R1, R2, on a = a))", Synopsis: "main",
+		Mode: "plain", Seed: 3, Precision: 0.2,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("precision-only estimate: %d %s", status, raw)
+	}
+	if resp := estimateResp(t, raw); resp.Tier == "" {
+		t.Error("precision-only request returned no tier field")
+	}
+
+	// The tiered calls above must have surfaced the tier metric families.
+	status, raw = getBody(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	metrics := string(raw)
+	for _, family := range []string{"relest_tier_answered_total", "relest_sketch_bytes"} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("metrics after tiered calls missing %s", family)
+		}
+	}
+}
+
+// TestEstimateTieredEscalation pins the escalation contract on the wire:
+// sketch-ineligible shapes under auto answer from the sample tier with
+// the same value as an untiered request, and the hard "sketch" policy
+// fails them with 422 instead of silently downgrading.
+func TestEstimateTieredEscalation(t *testing.T) {
+	_, base := startServer(t, Config{})
+	setupDataset(t, base, 10_000, 400)
+
+	const sel = "count(select(R1, a < 40))"
+	status, raw := postJSON(t, base+"/v1/estimate", EstimateRequest{
+		Query: sel, Synopsis: "main", Mode: "plain", Seed: 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("untiered estimate: %d %s", status, raw)
+	}
+	if strings.Contains(string(raw), `"tier"`) {
+		t.Errorf("legacy response body carries a tier field: %s", raw)
+	}
+	untiered := estimateResp(t, raw)
+
+	status, raw = postJSON(t, base+"/v1/estimate", EstimateRequest{
+		Query: sel, Synopsis: "main", Mode: "plain", Seed: 3, TierPolicy: "auto",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("auto estimate: %d %s", status, raw)
+	}
+	escalated := estimateResp(t, raw)
+	if escalated.Tier != "sample" {
+		t.Errorf("auto policy on a selection answered from %q, want sample", escalated.Tier)
+	}
+	if escalated.Estimate.Value != untiered.Estimate.Value ||
+		escalated.Estimate.StdErr != untiered.Estimate.StdErr {
+		t.Errorf("escalated estimate %+v differs from untiered %+v",
+			escalated.Estimate, untiered.Estimate)
+	}
+
+	status, raw = postJSON(t, base+"/v1/estimate", EstimateRequest{
+		Query: sel, Synopsis: "main", Mode: "plain", Seed: 3, TierPolicy: "sketch",
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("sketch policy on a selection: %d %s, want 422", status, raw)
+	}
+}
+
+// TestEstimateTierValidation rejects malformed tier requests up front.
+func TestEstimateTierValidation(t *testing.T) {
+	_, base := startServer(t, Config{})
+	setupDataset(t, base, 2_000, 200)
+
+	const q = "count(join(R1, R2, on a = a))"
+	cases := []struct {
+		name string
+		req  EstimateRequest
+	}{
+		{"unknown policy", EstimateRequest{
+			Query: q, Synopsis: "main", Mode: "plain", TierPolicy: "bogus"}},
+		{"policy in sequential mode", EstimateRequest{
+			Query: q, Synopsis: "main", Mode: "sequential", TierPolicy: "auto"}},
+		{"precision in deadline mode", EstimateRequest{
+			Query: q, Synopsis: "main", Mode: "deadline", BudgetMS: 50, Precision: 0.1}},
+	}
+	for _, c := range cases {
+		if status, raw := postJSON(t, base+"/v1/estimate", c.req); status != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", c.name, status, raw)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package sketch
+
+import "math"
+
+// This file implements KMV (k-minimum-values) distinct summaries: the
+// per-column companion of the AGMS sketches in the tiered synopsis. Each
+// summary tracks the k distinct values with the smallest hashes, with a
+// multiplicity counter per tracked value so well-formed deletions of
+// still-present duplicates keep the summary exact.
+//
+// The estimator is the classical order-statistics one: normalizing hashes
+// to (0, 1), the k-th smallest hash u_(k) of D distinct values satisfies
+// E[u_(k)] ≈ k/(D+1), so (k−1)/u_(k) is (nearly) unbiased for D. Below k
+// distinct values the summary holds every value and the count is exact.
+
+// Distinct is a KMV distinct-count summary of one attribute under an
+// insert/delete stream.
+type Distinct struct {
+	k        int
+	seed     int64
+	tracked  map[uint64]*kmvEntry // keyed by the raw 64-bit value
+	evicted  bool                 // a value has ever been pushed out by a smaller hash
+	degraded bool                 // a tracked value died after an eviction; gaps may exist
+}
+
+// kmvEntry is one tracked distinct value.
+type kmvEntry struct {
+	hash  uint64
+	count int64
+}
+
+// NewDistinct creates a KMV summary keeping the k smallest-hashed distinct
+// values (default 256 when k < 1). The seed perturbs the value→hash map so
+// independent summaries can be built over the same data.
+func NewDistinct(k int, seed int64) *Distinct {
+	if k < 1 {
+		k = 256
+	}
+	return &Distinct{k: k, seed: seed, tracked: make(map[uint64]*kmvEntry)}
+}
+
+// K returns the summary's capacity in distinct values.
+func (d *Distinct) K() int { return d.k }
+
+// hash maps a value to a uniform 64-bit hash, seed-perturbed.
+func (d *Distinct) hash(value uint64) uint64 {
+	state := value ^ uint64(d.seed)*0x9e3779b97f4a7c15
+	return splitmix64(&state)
+}
+
+// maxTracked returns the tracked value with the largest hash. Ties are
+// broken by the raw value so eviction is deterministic.
+func (d *Distinct) maxTracked() (value uint64, hash uint64) {
+	first := true
+	for v, e := range d.tracked {
+		if first || e.hash > hash || (e.hash == hash && v > value) {
+			value, hash = v, e.hash
+			first = false
+		}
+	}
+	return value, hash
+}
+
+// Add records one occurrence of the value (use relation.Value.Hash() or
+// the raw attribute value, matching the AGMS sketch convention).
+func (d *Distinct) Add(value uint64) {
+	if e, ok := d.tracked[value]; ok {
+		e.count++
+		return
+	}
+	h := d.hash(value)
+	if len(d.tracked) < d.k {
+		d.tracked[value] = &kmvEntry{hash: h, count: 1}
+		return
+	}
+	evictVal, evictHash := d.maxTracked()
+	if h >= evictHash {
+		d.evicted = true // the new value itself is the one kept out
+		return
+	}
+	delete(d.tracked, evictVal)
+	d.evicted = true
+	d.tracked[value] = &kmvEntry{hash: h, count: 1}
+}
+
+// Remove records the deletion of one occurrence of the value. When the
+// last occurrence of a tracked value dies after any eviction has ever
+// happened, the summary can no longer know which evicted value should take
+// the freed slot and marks itself Degraded; estimates remain usable but
+// drift low under sustained churn.
+func (d *Distinct) Remove(value uint64) {
+	e, ok := d.tracked[value]
+	if !ok {
+		return // never tracked (or already evicted); nothing to maintain
+	}
+	e.count--
+	if e.count > 0 {
+		return
+	}
+	delete(d.tracked, value)
+	if d.evicted {
+		d.degraded = true
+	}
+}
+
+// Degraded reports whether deletions have removed tracked values the
+// summary cannot backfill (estimates may be biased low since then).
+func (d *Distinct) Degraded() bool { return d.degraded }
+
+// Tracked returns the current number of tracked distinct values.
+func (d *Distinct) Tracked() int { return len(d.tracked) }
+
+// Estimate returns the estimated number of distinct values seen (net of
+// well-formed deletions). With fewer than k tracked values and no
+// evictions the count is exact; otherwise it is the KMV order-statistics
+// estimate (k−1)/u_(k).
+func (d *Distinct) Estimate() float64 {
+	n := len(d.tracked)
+	if n == 0 {
+		return 0
+	}
+	if n < d.k && !d.evicted {
+		return float64(n)
+	}
+	_, maxHash := d.maxTracked()
+	u := (float64(maxHash) + 1) / math.Exp2(64) // normalize to (0, 1]
+	//lint:ignore detflow maxTracked takes a max under a total order (hash, then raw value), so the result is independent of map iteration order
+	return float64(n-1) / u
+}
+
+// Bytes reports the summary's resident storage.
+func (d *Distinct) Bytes() int {
+	// Per tracked value: the map key, the hash and the counter.
+	return 32 + len(d.tracked)*24
+}
+
+// Clone returns an independently updatable copy.
+func (d *Distinct) Clone() *Distinct {
+	out := &Distinct{
+		k:        d.k,
+		seed:     d.seed,
+		tracked:  make(map[uint64]*kmvEntry, len(d.tracked)),
+		evicted:  d.evicted,
+		degraded: d.degraded,
+	}
+	for v, e := range d.tracked {
+		cp := *e
+		out.tracked[v] = &cp
+	}
+	return out
+}

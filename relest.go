@@ -20,8 +20,14 @@
 //	syn.AddDrawn(r, 1000, rng)                     // SRSWOR sample of 1000 rows
 //	e := relest.Must(relest.Select(relest.BaseOf(r),
 //		relest.Cmp{Col: "amount", Op: relest.GT, Val: relest.Int(100)}))
-//	est, err := relest.Count(e, syn)
-//	// est.Value ± est.StdErr, CI [est.Lo, est.Hi]
+//	est := relest.New(syn)                         // tiered estimation handle
+//	res, err := est.Count(ctx, relest.Request{Expr: e})
+//	// res.Value ± res.StdErr, CI [res.Lo, res.Hi], answered by res.Tier.Answered
+//
+// The handle answers each counting-polynomial term from the cheapest
+// synopsis tier that meets the requested precision: AGMS sketch first
+// (equi-join and self-join shapes), escalating per term to the
+// sample-based counting polynomial (see DESIGN.md §14).
 //
 // The estimators are unbiased (not just consistent): over the randomness of
 // the samples, the expected value of the estimate equals COUNT(E) exactly,
@@ -207,6 +213,78 @@ func ExactEval(e *Expr, cat Catalog) (*Relation, error) {
 
 // Estimation ---------------------------------------------------------------
 
+// The estimation handle: the package's primary query surface. Build one
+// with New over a synopsis, then issue requests:
+//
+//	est := relest.New(syn)
+//	res, err := est.Count(ctx, relest.Request{Expr: e})
+//	// res.Value ± res.StdErr, CI [res.Lo, res.Hi], res.Tier.Answered
+//
+// Requests carry a precision target, an optional deadline, and a tier
+// policy (TierAuto answers from the sketch tier when it is precise
+// enough, escalating per term to the sample tier; TierSampleOnly is the
+// exact legacy path). The free functions below remain as deprecated thin
+// wrappers over a TierSampleOnly handle, bit-identical to their
+// historical outputs.
+type (
+	// Estimator is the unified estimation handle (Count/Sum/Avg/
+	// GroupCount over one synopsis, options and tier policy).
+	Estimator = estimator.Estimator
+	// EstimatorOption configures New (WithOptions, WithTierPolicy,
+	// WithPrecision).
+	EstimatorOption = estimator.EstimatorOption
+	// Request is one estimation request against a handle.
+	Request = estimator.Request
+	// Result is an estimate plus the tier(s) that answered it.
+	Result = estimator.Result
+	// TierPolicy selects which synopsis tiers a request may use.
+	TierPolicy = estimator.TierPolicy
+	// TierReport records which tier(s) produced an estimate.
+	TierReport = estimator.TierReport
+)
+
+// Tier policies.
+const (
+	// TierDefault defers to the handle's configured policy.
+	TierDefault = estimator.TierDefault
+	// TierAuto tries the sketch tier first, escalating per term.
+	TierAuto = estimator.TierAuto
+	// TierSketchOnly fails on any term the sketch tier cannot answer.
+	TierSketchOnly = estimator.TierSketchOnly
+	// TierSampleOnly is the exact legacy counting-polynomial path.
+	TierSampleOnly = estimator.TierSampleOnly
+)
+
+// DefaultPrecision is the target relative CI half-width used when neither
+// the handle nor the request sets one.
+const DefaultPrecision = estimator.DefaultPrecision
+
+// Tier names reported in Result.Tier.Answered.
+const (
+	TierAnsweredSketch = estimator.TierAnsweredSketch
+	TierAnsweredSample = estimator.TierAnsweredSample
+	TierAnsweredMixed  = estimator.TierAnsweredMixed
+)
+
+// New builds an estimation handle over the synopsis. Unless constructed
+// WithTierPolicy(TierSampleOnly) it also builds the synopsis's sketch
+// tier (per-relation, per-column AGMS sketches and KMV distinct
+// summaries; idempotent, one base-relation scan the first time).
+func New(syn *Synopsis, opts ...EstimatorOption) *Estimator {
+	return estimator.NewEstimator(syn, opts...)
+}
+
+// WithOptions sets the handle's evaluation options.
+func WithOptions(opts Options) EstimatorOption { return estimator.WithOptions(opts) }
+
+// WithTierPolicy sets the handle's default tier policy (TierAuto when
+// unset).
+func WithTierPolicy(p TierPolicy) EstimatorOption { return estimator.WithTierPolicy(p) }
+
+// WithPrecision sets the handle's default sketch-acceptance precision
+// (DefaultPrecision when unset).
+func WithPrecision(w float64) EstimatorOption { return estimator.WithPrecision(w) }
+
 // Estimation types, re-exported from the estimator core.
 type (
 	// Synopsis holds one uniform sample per base relation plus exact
@@ -263,6 +341,8 @@ const (
 	VarAnalytic    = estimator.VarAnalytic
 	VarSplitSample = estimator.VarSplitSample
 	VarJackknife   = estimator.VarJackknife
+	// VarSketch marks an estimate answered entirely by the sketch tier.
+	VarSketch = estimator.VarSketch
 )
 
 // Confidence-interval constructions.
@@ -291,37 +371,60 @@ func Draw(rels []*Relation, fraction float64, minSize int, rng *rand.Rand) (*Syn
 
 // Count estimates COUNT(e) from the synopsis with default options
 // (automatic variance selection, 95% CLT confidence interval).
-func Count(e *Expr, syn *Synopsis) (Estimate, error) { return estimator.Count(e, syn) }
+//
+// Deprecated: use New(syn).Count with a Request; this wrapper is a
+// TierSampleOnly handle call and stays bit-identical to its historical
+// output (pinned by the goldens).
+func Count(e *Expr, syn *Synopsis) (Estimate, error) {
+	return CountWithOptions(e, syn, Options{})
+}
 
 // CountWithOptions estimates COUNT(e) with explicit options.
+//
+// Deprecated: use New(syn, WithOptions(opts)).Count with a Request; this
+// wrapper is a TierSampleOnly handle call and stays bit-identical.
 func CountWithOptions(e *Expr, syn *Synopsis, opts Options) (Estimate, error) {
-	return estimator.CountWithOptions(e, syn, opts)
+	return CountContext(context.Background(), e, syn, opts)
 }
 
 // CountContext estimates COUNT(e) under a context. Cancellation is polled
 // between polynomial terms and between variance replicates; a cancelled
-// call returns a non-nil error and never a partial estimate. With a
-// never-cancelled context the estimate is bit-identical to
-// CountWithOptions.
+// call returns a non-nil error and never a partial estimate.
+//
+// Deprecated: use New(syn, WithOptions(opts), WithTierPolicy(
+// TierSampleOnly)).Count(ctx, Request{Expr: e}); this wrapper does
+// exactly that and stays bit-identical.
 func CountContext(ctx context.Context, e *Expr, syn *Synopsis, opts Options) (Estimate, error) {
-	return estimator.CountContext(ctx, e, syn, opts)
+	res, err := New(syn, WithOptions(opts), WithTierPolicy(TierSampleOnly)).Count(ctx, Request{Expr: e})
+	return res.Estimate, err
 }
 
 // Sum estimates SUM(col) over the result of the π-free expression e with
 // default options (the TODS 1991 aggregate extension).
+//
+// Deprecated: use New(syn).Sum with a Request carrying Expr and Col; this
+// wrapper is a TierSampleOnly handle call and stays bit-identical.
 func Sum(e *Expr, col string, syn *Synopsis) (Estimate, error) {
-	return estimator.Sum(e, col, syn)
+	return SumWithOptions(e, col, syn, Options{})
 }
 
 // SumWithOptions estimates SUM(col) with explicit options.
+//
+// Deprecated: use New(syn, WithOptions(opts)).Sum with a Request; this
+// wrapper is a TierSampleOnly handle call and stays bit-identical.
 func SumWithOptions(e *Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
-	return estimator.SumWithOptions(e, col, syn, opts)
+	return SumContext(context.Background(), e, col, syn, opts)
 }
 
 // SumContext estimates SUM(col) under a context, with the cancellation
 // contract of CountContext.
+//
+// Deprecated: use New(syn, WithOptions(opts), WithTierPolicy(
+// TierSampleOnly)).Sum(ctx, Request{Expr: e, Col: col}); this wrapper
+// does exactly that and stays bit-identical.
 func SumContext(ctx context.Context, e *Expr, col string, syn *Synopsis, opts Options) (Estimate, error) {
-	return estimator.SumContext(ctx, e, col, syn, opts)
+	res, err := New(syn, WithOptions(opts), WithTierPolicy(TierSampleOnly)).Sum(ctx, Request{Expr: e, Col: col})
+	return res.Estimate, err
 }
 
 // AvgResult is the ratio estimate AVG = SUM/COUNT with its components.
@@ -329,8 +432,13 @@ type AvgResult = estimator.AvgResult
 
 // Avg estimates AVG(col) over e's result as the SUM/COUNT ratio estimator
 // (consistent; biased O(1/n), as ratio estimators are).
+//
+// Deprecated: use New(syn, WithOptions(opts)).Avg with a Request carrying
+// Expr and Col; this wrapper is a TierSampleOnly handle call and stays
+// bit-identical.
 func Avg(e *Expr, col string, syn *Synopsis, opts Options) (AvgResult, error) {
-	return estimator.Avg(e, col, syn, opts)
+	res, _, err := New(syn, WithOptions(opts), WithTierPolicy(TierSampleOnly)).Avg(context.Background(), Request{Expr: e, Col: col})
+	return res, err
 }
 
 // GroupEstimate is one group's estimated count from GroupCount.
@@ -339,8 +447,13 @@ type GroupEstimate = estimator.GroupEstimate
 // GroupCount estimates COUNT(*) GROUP BY col over the π-free expression e,
 // sorted by descending estimated count. Only groups observed in the sample
 // appear; each present group's estimate is unbiased.
+//
+// Deprecated: use New(syn).GroupCount with a Request carrying Expr and
+// Col; this wrapper is a TierSampleOnly handle call and stays
+// bit-identical.
 func GroupCount(e *Expr, col string, syn *Synopsis) ([]GroupEstimate, error) {
-	return estimator.GroupCount(e, col, syn)
+	groups, _, err := New(syn, WithTierPolicy(TierSampleOnly)).GroupCount(context.Background(), Request{Expr: e, Col: col})
+	return groups, err
 }
 
 // Distinct estimates the number of distinct values of the given columns of

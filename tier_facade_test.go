@@ -1,0 +1,161 @@
+package relest_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"relest"
+)
+
+// bitsEqual compares two floats by representation, distinguishing
+// 0 from -0 and treating equal NaN payloads as equal — the standard the
+// repo's goldens hold every worker count and recorder state to.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func requireSameEstimate(t *testing.T, label string, a, b relest.Estimate) {
+	t.Helper()
+	if !bitsEqual(a.Value, b.Value) || !bitsEqual(a.Variance, b.Variance) ||
+		!bitsEqual(a.StdErr, b.StdErr) || !bitsEqual(a.Lo, b.Lo) || !bitsEqual(a.Hi, b.Hi) ||
+		a.VarianceMethod != b.VarianceMethod || a.Terms != b.Terms {
+		t.Errorf("%s: estimates differ\n  a=%+v\n  b=%+v", label, a, b)
+	}
+}
+
+// TestFacadeLegacyBitIdentityMatrix pins the API redesign's compatibility
+// contract: every deprecated free function is a thin wrapper over a
+// TierSampleOnly Estimator handle, and its output is bit-identical to the
+// handle's across the workers{1,4} × entry-point matrix. A TierAuto handle
+// answering a sketch-ineligible shape must also land on those exact bits —
+// escalation reuses the sample-tier computation unchanged, it does not
+// approximate it.
+func TestFacadeLegacyBitIdentityMatrix(t *testing.T) {
+	rng := relest.Seeded(31)
+	r1, r2 := relest.JoinPair(rng, relest.JoinPairSpec{
+		Z1: 0.5, Z2: 0.5, Domain: 300, N1: 6_000, N2: 6_000,
+		Correlation: relest.Independent,
+	})
+	syn, err := relest.Draw([]*relest.Relation{r1, r2}, 0.05, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A selection keeps every path on the sample tier even under TierAuto.
+	sel := relest.Must(relest.Select(relest.BaseOf(r1),
+		relest.Cmp{Col: "a", Op: relest.LT, Val: relest.Int(120)}))
+	join := relest.Must(relest.Join(relest.BaseOf(r1), relest.BaseOf(r2),
+		[]relest.On{{Left: "a", Right: "a"}}, nil, "R2"))
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 4} {
+		opts := relest.Options{Workers: workers}
+		for _, c := range []struct {
+			name string
+			expr *relest.Expr
+		}{{"selection", sel}, {"join", join}} {
+			legacy, err := relest.CountWithOptions(c.expr, syn, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaCtx, err := relest.CountContext(ctx, c.expr, syn, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameEstimate(t, c.name+"/CountContext", legacy, viaCtx)
+
+			h := relest.New(syn, relest.WithOptions(opts), relest.WithTierPolicy(relest.TierSampleOnly))
+			res, err := h.Count(ctx, relest.Request{Expr: c.expr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameEstimate(t, c.name+"/sample-only handle", legacy, res.Estimate)
+			if res.Tier.Answered != relest.TierAnsweredSample {
+				t.Errorf("%s: sample-only handle reported tier %q", c.name, res.Tier.Answered)
+			}
+
+			// Per-request override on an auto handle: pinning the request to
+			// the sample tier must reproduce the legacy bits too.
+			auto := relest.New(syn, relest.WithOptions(opts))
+			res, err = auto.Count(ctx, relest.Request{Expr: c.expr, Tier: relest.TierSampleOnly})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameEstimate(t, c.name+"/request override", legacy, res.Estimate)
+		}
+
+		// TierAuto on a sketch-ineligible shape escalates into the exact
+		// same sample-tier computation.
+		legacySel, err := relest.CountWithOptions(sel, syn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := relest.New(syn, relest.WithOptions(opts)).Count(ctx, relest.Request{Expr: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tier.Answered != relest.TierAnsweredSample {
+			t.Fatalf("auto policy on a selection answered %q, want sample", res.Tier.Answered)
+		}
+		if !bitsEqual(res.Value, legacySel.Value) || !bitsEqual(res.StdErr, legacySel.StdErr) {
+			t.Errorf("workers=%d: escalated selection %v±%v differs from legacy %v±%v",
+				workers, res.Value, res.StdErr, legacySel.Value, legacySel.StdErr)
+		}
+
+		// Sum/Avg/GroupCount wrappers against their handle equivalents.
+		sumLegacy, err := relest.SumWithOptions(sel, "id", syn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumRes, err := relest.New(syn, relest.WithOptions(opts), relest.WithTierPolicy(relest.TierSampleOnly)).
+			Sum(ctx, relest.Request{Expr: sel, Col: "id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameEstimate(t, "sum", sumLegacy, sumRes.Estimate)
+
+		avgLegacy, err := relest.Avg(sel, "id", syn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avgRes, _, err := relest.New(syn, relest.WithOptions(opts), relest.WithTierPolicy(relest.TierSampleOnly)).
+			Avg(ctx, relest.Request{Expr: sel, Col: "id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(avgLegacy.Avg, avgRes.Avg) || !bitsEqual(avgLegacy.Sum.Value, avgRes.Sum.Value) {
+			t.Errorf("avg wrapper %+v != handle %+v", avgLegacy, avgRes)
+		}
+	}
+
+	groupsLegacy, err := relest.GroupCount(sel, "a", syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsRes, rep, err := relest.New(syn, relest.WithTierPolicy(relest.TierSampleOnly)).
+		GroupCount(ctx, relest.Request{Expr: sel, Col: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Answered != relest.TierAnsweredSample || len(groupsLegacy) != len(groupsRes) {
+		t.Fatalf("group count: tier %q, %d vs %d groups", rep.Answered, len(groupsLegacy), len(groupsRes))
+	}
+	for i := range groupsLegacy {
+		if !groupsLegacy[i].Value.Equal(groupsRes[i].Value) || !bitsEqual(groupsLegacy[i].Count, groupsRes[i].Count) {
+			t.Errorf("group %d: %+v != %+v", i, groupsLegacy[i], groupsRes[i])
+		}
+	}
+
+	// The loose-RNG sequential wrapper against the options-RNG context
+	// variant: same seed, same bits.
+	wrapped, err := relest.SequentialCount(join, syn, relest.Seeded(77), relest.SequentialOptions{TargetRelErr: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpts, err := relest.SequentialCountContext(ctx, join, syn,
+		relest.SequentialOptions{TargetRelErr: 0.2, RNG: relest.Seeded(77)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameEstimate(t, "sequential", wrapped.Final, viaOpts.Final)
+}
