@@ -28,6 +28,19 @@
 //
 // Estimates are deterministic for a pinned seed: the response bytes
 // match a direct library call, for every concurrency setting.
+//
+// Cluster modes:
+//
+//	relestd -role coordinator -shard-addrs http://h1:7878,http://h2:7878
+//	relestd -shards 4
+//
+// A coordinator fronts stock relestd shard nodes, hash- or range-sharding
+// registered relations by -shard-key and answering estimates by
+// stratified merge of per-shard partials (byte-identical to a single node
+// at one shard). -shards N runs coordinator and N shard nodes inside one
+// process. Coordinators add POST /v1/cluster/rebalance and
+// GET /v1/cluster, and their /metrics merges every shard's families under
+// distinct shard="N" labels.
 package main
 
 import (
@@ -37,9 +50,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"relest/internal/cluster"
 	"relest/internal/server"
 )
 
@@ -62,12 +77,91 @@ func run(args []string, stdout io.Writer) error {
 	synBudget := fs.Int64("synopsis-budget-bytes", 0, "total resident static synopsis bytes before LRU eviction; evicted synopses rebuild transparently on next use (0 = unlimited)")
 	tenantSlots := fs.Int("tenant-queue-slots", 0, "concurrently admitted estimation requests per tenant before 429 (0 = unlimited)")
 	tenantBytes := fs.Int64("tenant-synopsis-bytes", 0, "resident static synopsis bytes per tenant before creations are rejected with 413 (0 = unlimited)")
+	role := fs.String("role", "single", "\"single\" (stock daemon) or \"coordinator\" (front a -shard-addrs cluster)")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard node base URLs (coordinator role)")
+	shards := fs.Int("shards", 0, "run an in-process cluster: a coordinator fronting this many shard nodes in one binary (0 = off)")
+	shardKey := fs.String("shard-key", "", "default shard-key column for registered relations (empty = first column)")
+	shardMode := fs.String("shard-mode", "hash", "shard routing: \"hash\" or \"range\" (range needs -shard-bounds)")
+	shardBounds := fs.String("shard-bounds", "", "comma-separated ascending int upper bounds for range mode (one fewer than the shard count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if narg := fs.NArg(); narg > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	switch *role {
+	case "single":
+		if *shardAddrs != "" {
+			return fmt.Errorf("-shard-addrs requires -role coordinator")
+		}
+	case "coordinator":
+		if *shards > 0 {
+			return fmt.Errorf("-shards runs its own in-process coordinator; it conflicts with -role coordinator")
+		}
+		if *shardAddrs == "" {
+			return fmt.Errorf("-role coordinator requires -shard-addrs")
+		}
+	default:
+		return fmt.Errorf("unknown role %q (want single or coordinator)", *role)
+	}
+	bounds, err := parseBounds(*shardBounds)
+	if err != nil {
+		return err
+	}
+	if (*role == "coordinator" || *shards > 0) && *snapshotDir != "" {
+		// A coordinator holds no synopses of its own and in-process shard
+		// nodes would collide inside one snapshot directory; refusing beats
+		// silently not persisting.
+		return fmt.Errorf("-snapshot-dir is a single-node feature")
+	}
+
+	shardCfg := server.Config{
+		Concurrency:         *concurrency,
+		QueueDepth:          *queue,
+		RequestTimeout:      *timeout,
+		EstimatorWorkers:    *workers,
+		MaxUploadBytes:      *maxUpload,
+		SynopsisBytesBudget: *synBudget,
+		TenantQueueSlots:    *tenantSlots,
+		TenantSynopsisBytes: *tenantBytes,
+	}
+	if *role == "coordinator" {
+		coord, err := cluster.New(cluster.Config{
+			Addr:            *addr,
+			ShardAddrs:      strings.Split(*shardAddrs, ","),
+			Spec:            cluster.ShardSpec{Shards: len(strings.Split(*shardAddrs, ",")), Mode: *shardMode, Bounds: bounds},
+			DefaultShardKey: *shardKey,
+			RequestTimeout:  *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		if err := coord.Start(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "relestd listening on %s\n", coord.Addr())
+		fmt.Fprintf(stdout, "relestd coordinator over %d shards\n", len(strings.Split(*shardAddrs, ",")))
+		return awaitSignals(stdout, 2**timeout, coord.Shutdown)
+	}
+	if *shards > 0 {
+		h, err := cluster.StartHarness(cluster.HarnessConfig{
+			Shards:      *shards,
+			Mode:        *shardMode,
+			Bounds:      bounds,
+			ShardKey:    *shardKey,
+			Shard:       shardCfg,
+			Coordinator: cluster.Config{Addr: *addr, RequestTimeout: *timeout},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "relestd listening on %s\n", h.Addr())
+		for i, node := range h.Shards {
+			fmt.Fprintf(stdout, "relestd shard %d on %s\n", i, node.Addr())
+		}
+		return awaitSignals(stdout, 2**timeout, h.Close)
 	}
 
 	srv := server.New(server.Config{
@@ -87,17 +181,40 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "relestd listening on %s\n", srv.Addr())
 
+	return awaitSignals(stdout, 2**timeout, srv.Shutdown)
+}
+
+// awaitSignals blocks until SIGINT/SIGTERM, then drains through shutdown
+// with the given grace period. All daemon roles share this tail so their
+// lifecycle lines stay identical.
+func awaitSignals(stdout io.Writer, grace time.Duration, shutdown func(context.Context) error) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop()
 
 	fmt.Fprintln(stdout, "relestd draining")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	if err := shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	fmt.Fprintln(stdout, "relestd stopped")
 	return nil
+}
+
+// parseBounds parses the -shard-bounds list.
+func parseBounds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &v); err != nil {
+			return nil, fmt.Errorf("parsing -shard-bounds entry %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -25,6 +25,13 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown flag", []string{"-no-such-flag"}},
 		{"stray arg", []string{"serve"}},
 		{"flag then stray arg", []string{"-queue", "8", "extra"}},
+		{"unknown role", []string{"-role", "replica"}},
+		{"coordinator without shard addrs", []string{"-role", "coordinator"}},
+		{"shard addrs without coordinator role", []string{"-shard-addrs", "http://h1:7878"}},
+		{"shards conflicts with coordinator role", []string{"-role", "coordinator", "-shard-addrs", "http://h1:7878", "-shards", "2"}},
+		{"snapshot dir in cluster mode", []string{"-shards", "2", "-snapshot-dir", "/tmp/x"}},
+		{"bad shard bounds", []string{"-shards", "2", "-shard-mode", "range", "-shard-bounds", "ten"}},
+		{"range bounds mismatch", []string{"-shards", "3", "-shard-mode", "range", "-shard-bounds", "10"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -139,6 +146,141 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(metrics), "relestd_requests_total") {
 		t.Errorf("/metrics lacks the request counter:\n%s", metrics)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	deadline := time.Now().Add(30 * time.Second)
+	for scanner.Scan() {
+		tail = append(tail, scanner.Text())
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not finish draining; output so far: %v", tail)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v (output %v)", err, tail)
+	}
+	joined := strings.Join(tail, "\n")
+	if !strings.Contains(joined, "relestd draining") || !strings.Contains(joined, "relestd stopped") {
+		t.Errorf("drain messages missing from shutdown output: %v", tail)
+	}
+}
+
+// TestClusterSmoke walks the -shards mode end to end against the real
+// binary: one process runs a coordinator and two shard nodes, answers a
+// sharded estimate, exposes the merged shard-labelled metrics, and
+// drains cleanly on SIGTERM.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "relestd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-shards", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	scanner := bufio.NewScanner(stdout)
+	if !scanner.Scan() {
+		t.Fatalf("no startup line: %v", scanner.Err())
+	}
+	first := scanner.Text()
+	addr, ok := strings.CutPrefix(first, "relestd listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", first)
+	}
+	for i := 0; i < 2; i++ {
+		if !scanner.Scan() {
+			t.Fatalf("missing shard %d startup line: %v", i, scanner.Err())
+		}
+		if line := scanner.Text(); !strings.HasPrefix(line, "relestd shard ") {
+			t.Fatalf("unexpected shard startup line %q", line)
+		}
+	}
+	base := "http://" + addr
+
+	post := func(path string, body any) (int, []byte) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if status, out := post("/v1/generate", map[string]any{
+		"kind": "zipf-pair", "n": 2000, "domain": 200, "seed": 7,
+	}); status != http.StatusCreated {
+		t.Fatalf("generate: %d %s", status, out)
+	}
+	if status, out := post("/v1/synopses/main", map[string]any{
+		"kind": "static", "relations": map[string]int{"R1": 200, "R2": 200}, "seed": 9,
+	}); status != http.StatusCreated {
+		t.Fatalf("synopsis: %d %s", status, out)
+	}
+	status, out := post("/v1/estimate", map[string]any{
+		"query": "count(join(R1, R2, on a = a))", "synopsis": "main", "seed": 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("estimate: %d %s", status, out)
+	}
+	var resp struct {
+		Estimate struct {
+			Value float64 `json:"value"`
+		} `json:"estimate"`
+		Partial bool `json:"partial"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatalf("decoding %s: %v", out, err)
+	}
+	if resp.Estimate.Value <= 0 || resp.Partial {
+		t.Fatalf("cluster estimate value=%v partial=%v", resp.Estimate.Value, resp.Partial)
+	}
+
+	metricsResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(metricsResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metricsResp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"relestd_shard_fanout_total", `shard="0"`, `shard="1"`} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

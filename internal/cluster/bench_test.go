@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"relest/internal/server"
+)
+
+// benchSetup registers the golden dataset and synopsis at the given base
+// URL.
+func benchSetup(b *testing.B, base string) server.EstimateRequest {
+	b.Helper()
+	if status, raw := postJSON(b, base+"/v1/generate", server.GenerateRequest{
+		Kind: "zipf-pair", N: 2000, Domain: 200, Seed: 7,
+	}); status != http.StatusCreated {
+		b.Fatalf("generate: %d %s", status, raw)
+	}
+	if status, raw := postJSON(b, base+"/v1/synopses/main", server.SynopsisRequest{
+		Kind: "static", Relations: map[string]int{"R1": 200, "R2": 200}, Seed: 9,
+	}); status != http.StatusCreated {
+		b.Fatalf("synopsis: %d %s", status, raw)
+	}
+	return server.EstimateRequest{
+		Query: "count(join(R1, R2, on a = a))", Synopsis: "main", Seed: 3,
+	}
+}
+
+// benchEstimate measures the full client-visible coordinator path at the
+// given shard count: HTTP in, scatter-gather, per-shard estimation,
+// stratified merge, JSON out.
+func benchEstimate(b *testing.B, shards int) {
+	h, err := StartHarness(HarnessConfig{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := h.Close(ctx); err != nil {
+			b.Errorf("close: %v", err)
+		}
+	}()
+	req := benchSetup(b, "http://"+h.Addr())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, raw := postJSON(b, "http://"+h.Addr()+"/v1/estimate", req)
+		if status != http.StatusOK {
+			b.Fatalf("estimate: %d %s", status, raw)
+		}
+	}
+}
+
+func BenchmarkCoordEstimateShards1(b *testing.B) { benchEstimate(b, 1) }
+func BenchmarkCoordEstimateShards2(b *testing.B) { benchEstimate(b, 2) }
+func BenchmarkCoordEstimateShards4(b *testing.B) { benchEstimate(b, 4) }
+
+// BenchmarkSingleNodeEstimate is the baseline: the same estimate against
+// a stock relestd with no coordinator in the path. The shards=1 gap to
+// this number is the pure cost of the cluster hop (one proxied HTTP
+// round-trip plus decode/merge/re-encode).
+func BenchmarkSingleNodeEstimate(b *testing.B) {
+	s := server.New(server.Config{Addr: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	}()
+	req := benchSetup(b, "http://"+s.Addr())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		status, raw := postJSON(b, "http://"+s.Addr()+"/v1/estimate", req)
+		if status != http.StatusOK {
+			b.Fatalf("estimate: %d %s", status, raw)
+		}
+	}
+}

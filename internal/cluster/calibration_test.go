@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"relest/internal/bench"
+	"relest/internal/sampling"
+	"relest/internal/server"
+	"relest/internal/workload"
+)
+
+// clusterProbes is the calibration trial count per shard count; 100
+// trials of a nominal-0.95 CI put the acceptance band at [88, 99] — the
+// same numbers the estimator's offline gate and the server's soak gate
+// use.
+const clusterProbes = 100
+
+// clusterDataset mirrors the estimator calibration join experiment:
+// zipf-pair, 2000 rows, domain n/20, both sides Z = 0.5, independent.
+var clusterDataset = server.GenerateRequest{Kind: "zipf-pair", N: 2000, Domain: 100, Z1: 0.5, Z2: 0.5, Seed: 7}
+
+// clusterTruth recomputes the dataset client-side for the exact join
+// size; the coordinator generates from the same seed through the same
+// generator.
+func clusterTruth() float64 {
+	rng := sampling.NewSource(clusterDataset.Seed).Rand(0)
+	r1, r2 := workload.JoinPair(rng, workload.JoinPairSpec{
+		Z1: clusterDataset.Z1, Z2: clusterDataset.Z2, Domain: clusterDataset.Domain,
+		N1: clusterDataset.N, N2: clusterDataset.N, Correlation: workload.Independent,
+	})
+	return workload.ExactJoinSize(r1, "a", r2, "a")
+}
+
+// TestClusterCalibration holds the sharded tier to the library's own
+// statistical gates at shards 1, 2 and 4: per-shard stratified draws and
+// the stratified merge must leave the estimator unbiased (within ±5%)
+// with CI coverage in [88, 99] for nominal 0.95. If the merge double
+// counted, dropped a stratum, or mis-composed variances, these bands
+// would catch it.
+func TestClusterCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundreds of estimates per shard count")
+	}
+	truth := clusterTruth()
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, base := startCluster(t, HarnessConfig{Shards: shards})
+			status, raw := postJSON(t, base+"/v1/generate", clusterDataset)
+			if status != http.StatusCreated {
+				t.Fatalf("generate: %d %s", status, raw)
+			}
+
+			d := &workload.Driver{BaseURL: base}
+			trials := make([]workload.Trial, clusterProbes)
+			workload.Fanout(4, clusterProbes, func(i int) {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				name := fmt.Sprintf("probe-%d", i)
+				status, raw, err := d.DoRetry(ctx, "/v1/synopses/"+name, server.SynopsisRequest{
+					Kind: "static", Relations: map[string]int{"R1": 100, "R2": 100}, Seed: 1000 + int64(i),
+				})
+				if err != nil || status != http.StatusCreated {
+					t.Errorf("probe %d synopsis: %d %s (%v)", i, status, raw, err)
+					return
+				}
+				trials[i] = d.Estimate(ctx, server.EstimateRequest{
+					Query: "count(join(R1, R2, on a = a))", Synopsis: name,
+					Seed: 3, Variance: "analytic", Confidence: 0.95,
+				})
+			})
+
+			var errs bench.ErrorStats
+			var cov bench.Coverage
+			for i, tr := range trials {
+				if !tr.OK {
+					t.Errorf("probe %d failed with status %d", i, tr.Status)
+					continue
+				}
+				errs.Observe(tr.Value, truth)
+				cov.Observe(tr.Lo, tr.Hi, truth)
+			}
+			if n := errs.N(); n != clusterProbes {
+				t.Errorf("only %d/%d probes produced estimates", n, clusterProbes)
+			}
+			if bias := errs.Bias(); bias < -5 || bias > 5 {
+				t.Errorf("bias = %+.2f%%, want within [-5, 5]", bias)
+			}
+			if rate := cov.Rate(); rate < 88 || rate > 99 {
+				t.Errorf("coverage = %.1f%%, want within [88, 99] for nominal 0.95", rate)
+			}
+			t.Logf("shards=%d: ARE %.2f%%, bias %+.2f%%, coverage %.1f%%", shards, errs.ARE(), errs.Bias(), cov.Rate())
+		})
+	}
+}

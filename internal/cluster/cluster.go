@@ -1,0 +1,198 @@
+// Package cluster is the sharded estimation tier: a coordinator that
+// fans estimation requests out to N shard-node relestds and merges their
+// partial estimates by stratified composition (internal/estimator's
+// MergeStratified). Relations are hash- or range-sharded by a ShardSpec;
+// each shard node owns its slice of every relation and that slice's
+// synopses, so a shard's answer to a shardable query is an unbiased
+// estimate of the slice's contribution and the cluster estimate is the
+// stratified sum — a real estimate with a real CI, byte-identical to a
+// single node when shards=1.
+//
+// Shard nodes are stock relestds (internal/server); everything
+// cluster-specific lives in the coordinator, which speaks the daemon's
+// own HTTP/JSON API to the shards. The in-process Harness runs the whole
+// tier inside one binary for CI and the `relestd -shards N` mode.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"relest/internal/algebra"
+	"relest/internal/relation"
+)
+
+// ShardSpec fixes how relations split across shard nodes. The same spec
+// must route a key value identically everywhere, forever: slices,
+// synopsis rebuilds, rebalance pushes, and incremental stream routing all
+// re-derive placement from it.
+type ShardSpec struct {
+	// Shards is the shard count (>= 1).
+	Shards int
+	// Mode is "hash" (default) or "range".
+	Mode string
+	// Bounds are the inclusive upper key bounds of shards 0..Shards-2 in
+	// range mode (sorted ascending; the last shard takes everything
+	// above). Range mode shards integer keys only.
+	Bounds []int64
+}
+
+// Shard modes.
+const (
+	ModeHash  = "hash"
+	ModeRange = "range"
+)
+
+func (s ShardSpec) validate() error {
+	if s.Shards < 1 {
+		return fmt.Errorf("cluster: spec needs at least one shard, got %d", s.Shards)
+	}
+	switch s.Mode {
+	case "", ModeHash:
+		if len(s.Bounds) != 0 {
+			return fmt.Errorf("cluster: hash mode takes no bounds")
+		}
+	case ModeRange:
+		if len(s.Bounds) != s.Shards-1 {
+			return fmt.Errorf("cluster: range mode over %d shards needs %d bounds, got %d", s.Shards, s.Shards-1, len(s.Bounds))
+		}
+		for i := 1; i < len(s.Bounds); i++ {
+			if s.Bounds[i-1] >= s.Bounds[i] {
+				return fmt.Errorf("cluster: range bounds must be strictly ascending")
+			}
+		}
+	default:
+		return fmt.Errorf("cluster: unknown shard mode %q (want hash or range)", s.Mode)
+	}
+	return nil
+}
+
+// Route maps one shard-key value to its owning shard. NULLs live on
+// shard 0 (any fixed placement works: SQL equality never matches NULL, so
+// no join pair is split by it). Routing must agree with value equality —
+// equal keys land on the same shard — which is what makes co-partitioned
+// joins decompose over shards.
+func (s ShardSpec) Route(v relation.Value) (int, error) {
+	if s.Shards == 1 {
+		return 0, nil
+	}
+	if v.IsNull() {
+		return 0, nil
+	}
+	if s.Mode == ModeRange {
+		if v.Kind() != relation.KindInt {
+			return 0, fmt.Errorf("cluster: range sharding needs an int shard key, got %s", v.Kind())
+		}
+		k := v.Int64()
+		n := sort.Search(len(s.Bounds), func(i int) bool { return s.Bounds[i] >= k })
+		return n, nil
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	switch v.Kind() {
+	case relation.KindInt:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int64()))
+		_, _ = h.Write(buf[:])
+	case relation.KindFloat:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float64()))
+		_, _ = h.Write(buf[:])
+	default:
+		_, _ = h.Write([]byte(v.String()))
+	}
+	return int(h.Sum64() % uint64(s.Shards)), nil
+}
+
+// sliceRows returns the row positions of r owned by the given shard under
+// the spec, keyed on column keyCol, in base order. Base order matters:
+// with shards=1 the single slice reproduces the relation row for row, so
+// a one-shard cluster redraws byte-identical synopses.
+func sliceRows(r *relation.Relation, keyCol int, spec ShardSpec, shard int) ([]int, error) {
+	var rows []int
+	for i := 0; i < r.Len(); i++ {
+		s, err := spec.Route(r.Value(i, keyCol))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: routing %s row %d: %w", r.Name(), i, err)
+		}
+		if s == shard {
+			rows = append(rows, i)
+		}
+	}
+	return rows, nil
+}
+
+// shardSeed derives shard s's seed from a request seed: shard 0 keeps
+// the seed exactly (the byte-identity anchor for one-shard clusters),
+// and the odd multiplier (the 64-bit golden-ratio constant) decorrelates
+// the rest. Per-shard draws must be independent for the stratified
+// variance sum to hold.
+func shardSeed(seed int64, shard int) int64 {
+	return seed + int64(shard)*-7046029254386353131 // 0x9e3779b97f4a7c15 as int64
+}
+
+// keyPosFn resolves a relation name to its shard-key column position.
+type keyPosFn func(rel string) (int, bool)
+
+// termShardable reports whether one polynomial term decomposes over the
+// shard partition: COUNT of the term splits into a per-shard sum exactly
+// when every pair of occurrences is forced onto the same shard, i.e. the
+// term's equality constraints over shard-key columns connect all
+// occurrences (equal keys route identically, so cross-shard combinations
+// contribute zero). Single-occurrence terms are trivially shardable; a
+// cross product is not — Σ_s |R_s|·|S_s| undercounts |R×S|.
+func termShardable(t algebra.Term, keyPos keyPosFn) bool {
+	if len(t.Occs) <= 1 {
+		return true
+	}
+	parent := make([]int, len(t.Occs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, eq := range t.Eqs {
+		ka, oka := keyPos(t.Occs[eq.A.Occ].RelName)
+		kb, okb := keyPos(t.Occs[eq.B.Occ].RelName)
+		if oka && okb && eq.A.Col == ka && eq.B.Col == kb {
+			parent[find(eq.A.Occ)] = find(eq.B.Occ)
+		}
+	}
+	root := find(0)
+	for i := 1; i < len(t.Occs); i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// checkShardable verifies every term of the normalized polynomial
+// decomposes over the shard partition. Queries that do not — joins off
+// the shard key, cross products — are refused outright: a per-shard sum
+// for them would be a silently wrong number, and the contract is to never
+// serve one.
+func checkShardable(poly algebra.Polynomial, keyPos keyPosFn) error {
+	for i, t := range poly.Terms {
+		if !termShardable(t, keyPos) {
+			rels := map[string]bool{}
+			var names []string
+			for _, o := range t.Occs {
+				if !rels[o.RelName] {
+					rels[o.RelName] = true
+					names = append(names, o.RelName)
+				}
+			}
+			sort.Strings(names)
+			return fmt.Errorf("cluster: term %d over %v is not shardable: every join must equate the relations' shard-key columns so all matching tuples are co-located on one shard", i, names)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"relest/internal/algebra"
+	"relest/internal/query"
+	"relest/internal/relation"
+)
+
+func TestShardSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ShardSpec
+		ok   bool
+	}{
+		{"one shard", ShardSpec{Shards: 1}, true},
+		{"hash", ShardSpec{Shards: 4, Mode: ModeHash}, true},
+		{"default mode", ShardSpec{Shards: 4}, true},
+		{"range", ShardSpec{Shards: 3, Mode: ModeRange, Bounds: []int64{10, 20}}, true},
+		{"zero shards", ShardSpec{Shards: 0}, false},
+		{"hash with bounds", ShardSpec{Shards: 2, Bounds: []int64{5}}, false},
+		{"range missing bounds", ShardSpec{Shards: 3, Mode: ModeRange, Bounds: []int64{10}}, false},
+		{"range unsorted", ShardSpec{Shards: 3, Mode: ModeRange, Bounds: []int64{20, 10}}, false},
+		{"range equal bounds", ShardSpec{Shards: 3, Mode: ModeRange, Bounds: []int64{10, 10}}, false},
+		{"unknown mode", ShardSpec{Shards: 2, Mode: "modulo"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.validate(); (err == nil) != tc.ok {
+				t.Errorf("validate(%+v) = %v, want ok=%v", tc.spec, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestRouteHash(t *testing.T) {
+	spec := ShardSpec{Shards: 4}
+	// Equal values route identically; the concrete placements are part of
+	// the sharding contract (they decide which node owns a key forever).
+	for _, v := range []relation.Value{relation.Int(42), relation.Float(2.5), relation.Str("x"), relation.Null()} {
+		a, err := spec.Route(v)
+		if err != nil {
+			t.Fatalf("Route(%v): %v", v, err)
+		}
+		b, _ := spec.Route(v)
+		if a != b {
+			t.Errorf("Route(%v) unstable: %d then %d", v, a, b)
+		}
+		if a < 0 || a >= spec.Shards {
+			t.Errorf("Route(%v) = %d outside [0, %d)", v, a, spec.Shards)
+		}
+	}
+	if s, _ := spec.Route(relation.Null()); s != 0 {
+		t.Errorf("NULL routes to %d, want the fixed shard 0", s)
+	}
+	// Distinct ints spread: over a modest key range every shard owns
+	// something, or the hash is broken.
+	seen := map[int]bool{}
+	for k := int64(0); k < 64; k++ {
+		s, _ := spec.Route(relation.Int(k))
+		seen[s] = true
+	}
+	if len(seen) != spec.Shards {
+		t.Errorf("64 int keys hit only shards %v of %d", seen, spec.Shards)
+	}
+	if s, _ := (ShardSpec{Shards: 1}).Route(relation.Int(7)); s != 0 {
+		t.Errorf("one-shard route = %d", s)
+	}
+}
+
+func TestRouteRange(t *testing.T) {
+	spec := ShardSpec{Shards: 3, Mode: ModeRange, Bounds: []int64{10, 20}}
+	cases := []struct {
+		key  int64
+		want int
+	}{{-5, 0}, {10, 0}, {11, 1}, {20, 1}, {21, 2}, {1000, 2}}
+	for _, tc := range cases {
+		if s, err := spec.Route(relation.Int(tc.key)); err != nil || s != tc.want {
+			t.Errorf("Route(%d) = %d, %v; want %d", tc.key, s, err, tc.want)
+		}
+	}
+	if _, err := spec.Route(relation.Str("oops")); err == nil {
+		t.Error("range routing a string key succeeded; want an error")
+	}
+	if s, err := spec.Route(relation.Null()); err != nil || s != 0 {
+		t.Errorf("range NULL route = %d, %v; want shard 0", s, err)
+	}
+}
+
+func TestSliceRowsPartitionAndOrder(t *testing.T) {
+	rel := intRel(t, "R", "a", 0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	spec := ShardSpec{Shards: 3, Mode: ModeRange, Bounds: []int64{2, 5}}
+	var total []int
+	for s := 0; s < spec.Shards; s++ {
+		rows, err := sliceRows(rel, 0, spec, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1] >= rows[i] {
+				t.Errorf("shard %d rows out of base order: %v", s, rows)
+			}
+		}
+		total = append(total, rows...)
+	}
+	if len(total) != rel.Len() {
+		t.Fatalf("slices cover %d of %d rows", len(total), rel.Len())
+	}
+	// shards=1 reproduces the relation row for row — the byte-identity
+	// anchor.
+	rows, err := sliceRows(rel, 0, ShardSpec{Shards: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r != i {
+			t.Fatalf("one-shard slice permutes rows: %v", rows)
+		}
+	}
+}
+
+func TestShardSeed(t *testing.T) {
+	if got := shardSeed(9, 0); got != 9 {
+		t.Errorf("shardSeed(9, 0) = %d, want the seed unchanged", got)
+	}
+	seen := map[int64]bool{}
+	for s := 0; s < 8; s++ {
+		seen[shardSeed(42, s)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("shard seeds collide: %d distinct of 8", len(seen))
+	}
+}
+
+func TestProportionalAlloc(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		total int
+		want  []int
+	}{
+		{[]int{2000}, 200, []int{200}},
+		{[]int{100, 100}, 100, []int{50, 50}},
+		{[]int{100, 100, 100}, 100, []int{34, 33, 33}},
+		{[]int{300, 100}, 100, []int{75, 25}},
+		// The per-shard floor may overshoot the total by one: an empty
+		// slice still needs an ask of one (shard nodes refuse zero-size
+		// draws and clamp an over-ask themselves).
+		{[]int{0, 100}, 100, []int{1, 100}},
+		{[]int{0, 0}, 10, []int{1, 1}},
+		{[]int{50, 50}, 0, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		got := proportionalAlloc(tc.sizes, tc.total)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("proportionalAlloc(%v, %d) = %v, want %v", tc.sizes, tc.total, got, tc.want)
+		}
+	}
+}
+
+// twoColSchemas provides R and S, each (a int, b int), for shardability
+// checks keyed on column a.
+type twoColSchemas struct{}
+
+func (twoColSchemas) Schema(name string) (*relation.Schema, bool) {
+	if name != "R" && name != "S" {
+		return nil, false
+	}
+	sch, err := relation.ParseSchema("(a int, b int)")
+	if err != nil {
+		panic(err)
+	}
+	return sch, true
+}
+
+func polyFor(t *testing.T, q string) algebra.Polynomial {
+	t.Helper()
+	st, err := query.Parse(q, twoColSchemas{})
+	if err != nil {
+		t.Fatalf("parsing %q: %v", q, err)
+	}
+	poly, err := algebra.Normalize(st.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return poly
+}
+
+func TestCheckShardable(t *testing.T) {
+	keyPos := func(rel string) (int, bool) { return 0, rel == "R" || rel == "S" } // key column a
+	cases := []struct {
+		q  string
+		ok bool
+	}{
+		{"count(R)", true},
+		{"count(select(R, b = 3))", true},
+		{"count(join(R, S, on a = a))", true},
+		{"count(join(R, S, on b = b))", false},
+		{"count(join(R, S, on a = b))", false},
+	}
+	for _, tc := range cases {
+		err := checkShardable(polyFor(t, tc.q), keyPos)
+		if (err == nil) != tc.ok {
+			t.Errorf("checkShardable(%q) = %v, want shardable=%v", tc.q, err, tc.ok)
+		}
+	}
+}
+
+func TestInjectLabel(t *testing.T) {
+	if got := injectLabel("relestd_requests_total", `shard="1"`); got != `relestd_requests_total{shard="1"}` {
+		t.Errorf("bare name: %s", got)
+	}
+	if got := injectLabel(`relestd_requests_total{code="200"}`, `shard="1"`); got != `relestd_requests_total{code="200",shard="1"}` {
+		t.Errorf("labelled name: %s", got)
+	}
+	if got := injectLabel(`x_bucket{le="+Inf"}`, `shard="0"`); got != `x_bucket{le="+Inf",shard="0"}` {
+		t.Errorf("histogram bucket: %s", got)
+	}
+}
+
+func TestWriteMergedExposition(t *testing.T) {
+	own := "# TYPE relestd_shard_fanout_total counter\nrelestd_shard_fanout_total 4\n"
+	scrapes := map[int][]byte{
+		0: []byte("# TYPE relestd_requests_total counter\nrelestd_requests_total{code=\"200\"} 7\n# TYPE relestd_request_seconds histogram\nrelestd_request_seconds_bucket{le=\"+Inf\"} 7\nrelestd_request_seconds_sum 0.5\nrelestd_request_seconds_count 7\n"),
+		1: []byte("# TYPE relestd_requests_total counter\nrelestd_requests_total{code=\"200\"} 3\n"),
+	}
+	var buf bytes.Buffer
+	if err := writeMergedExposition(&buf, []byte(own), scrapes); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"relestd_shard_fanout_total 4",
+		`relestd_requests_total{code="200",shard="0"} 7`,
+		`relestd_requests_total{code="200",shard="1"} 3`,
+		`relestd_request_seconds_bucket{le="+Inf",shard="0"} 7`,
+		`relestd_request_seconds_sum{shard="0"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even when the family comes from two shards.
+	if n := strings.Count(out, "# TYPE relestd_requests_total counter"); n != 1 {
+		t.Errorf("%d TYPE lines for the shared family, want 1:\n%s", n, out)
+	}
+}
+
+// intRel builds a one-int-column relation.
+func intRel(t *testing.T, name, col string, vals ...int64) *relation.Relation {
+	t.Helper()
+	sch, err := relation.ParseSchema("(" + col + " int)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(name, sch)
+	for _, v := range vals {
+		if err := r.AppendRow(relation.Int(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}

@@ -1,0 +1,502 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"relest/internal/algebra"
+	"relest/internal/estimator"
+	"relest/internal/obs"
+	"relest/internal/query"
+	"relest/internal/relation"
+	"relest/internal/server"
+	"relest/internal/workload"
+)
+
+// statusClientClosedRequest mirrors the shard daemon's 499 for client
+// cancellation.
+const statusClientClosedRequest = 499
+
+// EstimateResponse is the coordinator's estimate body: the shard daemon's
+// response shape plus degradation fields. Both extras are omitempty, so a
+// fully-answered response — in particular every shards=1 response — is
+// byte-identical to a single node's.
+type EstimateResponse struct {
+	server.EstimateResponse
+	// Partial reports that one or more shards missed the deadline and the
+	// estimate covers the answered strata only, scaled up and with the
+	// between-shard variance folded into a widened CI.
+	Partial bool `json:"partial,omitempty"`
+	// ShardsMissed lists the shard ids that missed, ascending.
+	ShardsMissed []int `json:"shards_missed,omitempty"`
+}
+
+// BatchItemResult mirrors the shard daemon's batch item, carrying the
+// coordinator's estimate shape.
+type BatchItemResult struct {
+	Status   int               `json:"status"`
+	Estimate *EstimateResponse `json:"estimate,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// BatchEstimateResponse is the coordinator's batch body.
+type BatchEstimateResponse struct {
+	Results   []BatchItemResult `json:"results"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+// coordSchemas resolves relation names against the coordinator's
+// registry so queries parse and bind exactly as they would on a shard
+// (slices are schema-pinned to the full relation's layout).
+type coordSchemas struct{ c *Coordinator }
+
+func (p coordSchemas) Schema(name string) (*relation.Schema, bool) {
+	p.c.mu.RLock()
+	defer p.c.mu.RUnlock()
+	cr := p.c.rels[name]
+	if cr == nil {
+		return nil, false
+	}
+	return cr.rel.Schema(), true
+}
+
+// keyPos resolves a relation to its shard-key column for shardability
+// checks.
+func (c *Coordinator) keyPos(rel string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cr := c.rels[rel]
+	if cr == nil {
+		return 0, false
+	}
+	return cr.keyCol, true
+}
+
+func coordReqMetric(status int) string {
+	return obs.L(mCoordReq, "code", strconv.Itoa(status))
+}
+
+// validateEstimate runs every check the coordinator can decide without
+// touching a shard, in the same order as the shard daemon so error
+// statuses match single-node behaviour. On success it returns the
+// normalized request (mode filled in).
+func (c *Coordinator) validateEstimate(ctx context.Context, req server.EstimateRequest) (server.EstimateRequest, int, string) {
+	if err := ctx.Err(); err != nil {
+		return req, estimateErrorStatus(err), err.Error()
+	}
+	if req.Query == "" {
+		return req, http.StatusBadRequest, "no query given"
+	}
+	if req.Synopsis == "" {
+		return req, http.StatusBadRequest, "no synopsis given"
+	}
+	c.mu.RLock()
+	syn := c.syns[req.Synopsis]
+	c.mu.RUnlock()
+	if syn == nil {
+		return req, http.StatusNotFound, fmt.Sprintf("no synopsis %q", req.Synopsis)
+	}
+	if req.Mode == "" {
+		req.Mode = "plain"
+	}
+	if req.Mode != "plain" {
+		return req, http.StatusBadRequest, fmt.Sprintf("the coordinator supports plain mode only (got %q); sequential and deadline sampling run on single nodes", req.Mode)
+	}
+	if req.TierPolicy != "" || req.Precision > 0 {
+		return req, http.StatusBadRequest, "the coordinator supports the sample tier only; tier_policy and precision run on single nodes"
+	}
+	st, err := query.Parse(req.Query, coordSchemas{c})
+	if err != nil {
+		return req, http.StatusBadRequest, err.Error()
+	}
+	if st.IsDistinct() || st.Agg == "group" {
+		return req, http.StatusBadRequest, "the estimation service supports count, sum and avg queries"
+	}
+	if c.cfg.Spec.Shards > 1 {
+		poly, err := algebra.Normalize(st.Expr)
+		if err != nil {
+			return req, http.StatusUnprocessableEntity, err.Error()
+		}
+		if err := checkShardable(poly, c.keyPos); err != nil {
+			return req, http.StatusUnprocessableEntity, err.Error()
+		}
+	}
+	return req, 0, ""
+}
+
+// estimateErrorStatus mirrors the shard daemon's mapping: deadline expiry
+// 504, client cancellation 499.
+func estimateErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// shardOutcome is one shard's answer to a fanned-out estimate.
+type shardOutcome struct {
+	resp   *server.EstimateResponse
+	status int
+	errMsg string
+	missed bool
+}
+
+// fanEstimate issues the per-shard sub-requests for one validated
+// estimate and collects the outcomes. Each shard gets 90% of the
+// remaining request budget — the same margin deadline-mode estimation
+// keeps for itself — so the coordinator always has time to merge and
+// answer even when a shard runs to the wire.
+func (c *Coordinator) fanEstimate(ctx context.Context, req server.EstimateRequest) ([]shardOutcome, int, string) {
+	drivers := c.shardDrivers()
+	n := len(drivers)
+
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(c.cfg.RequestTimeout)
+	}
+	shardBudget := time.Until(deadline) * 9 / 10
+	if shardBudget <= 0 {
+		return nil, http.StatusGatewayTimeout, "request budget exhausted before fanout"
+	}
+
+	c.col.Add(mFanout, float64(n))
+	outs := make([]shardOutcome, n)
+	workload.Fanout(n, n, func(i int) {
+		sreq := req
+		sreq.Seed = shardSeed(req.Seed, i)
+		sreq.TimeoutMS = max(1, shardBudget.Milliseconds())
+		sctx, cancel := context.WithTimeout(ctx, shardBudget)
+		defer cancel()
+		start := time.Now()
+		status, raw, err := drivers[i].DoRetry(sctx, "/v1/estimate", sreq)
+		c.col.Observe(shardLabel(mShardLatency, i), time.Since(start).Seconds())
+		outs[i] = classifyOutcome(status, raw, err)
+	})
+	return outs, 0, ""
+}
+
+// classifyOutcome sorts a shard reply into answered / deadline-missed /
+// systemic failure. Timeouts (transport-level or a shard's own 504/499)
+// degrade the cluster answer; anything else — a 4xx, a refused
+// connection — is a real fault the client must see, never paper over.
+func classifyOutcome(status int, raw []byte, err error) shardOutcome {
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errIsTimeout(err) {
+			return shardOutcome{missed: true}
+		}
+		return shardOutcome{status: http.StatusBadGateway, errMsg: err.Error()}
+	}
+	switch status {
+	case http.StatusOK:
+		var resp server.EstimateResponse
+		if jsonErr := json.Unmarshal(raw, &resp); jsonErr != nil {
+			return shardOutcome{status: http.StatusBadGateway, errMsg: fmt.Sprintf("undecodable shard response: %v", jsonErr)}
+		}
+		return shardOutcome{resp: &resp, status: status}
+	case http.StatusGatewayTimeout, statusClientClosedRequest:
+		return shardOutcome{missed: true}
+	default:
+		var e server.ErrorResponse
+		msg := string(raw)
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return shardOutcome{status: status, errMsg: msg}
+	}
+}
+
+// errIsTimeout reports transport-level timeouts (net.Error with Timeout,
+// or a context deadline wrapped by net/http).
+func errIsTimeout(err error) bool {
+	type timeout interface{ Timeout() bool }
+	for err != nil {
+		if t, ok := err.(timeout); ok && t.Timeout() {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// mergeOutcomes composes the shard partials into the cluster response.
+// All shards answered → the plain stratified sum. Some missed → the
+// two-stage degraded estimator with its widened CI, partial: true and the
+// missed shard ids on the wire; the one thing never served is a silently
+// wrong number.
+func (c *Coordinator) mergeOutcomes(req server.EstimateRequest, outs []shardOutcome) (int, any) {
+	var missed []int
+	var parts []estimator.Partial
+	var answered []*server.EstimateResponse
+	for i, o := range outs {
+		if o.missed {
+			missed = append(missed, i)
+			c.col.Add(shardLabel(mDeadlineMiss, i), 1)
+			continue
+		}
+		if o.resp == nil {
+			return o.status, server.ErrorResponse{Error: fmt.Sprintf("shard %d: %s", i, o.errMsg)}
+		}
+		p := estimator.Partial{Value: o.resp.Estimate.Value, Variance: math.NaN(), Method: estimator.VarNone, Terms: o.resp.Estimate.Terms}
+		if o.resp.Estimate.Variance != nil {
+			p.Variance = *o.resp.Estimate.Variance
+			p.Method = estimator.VarAnalytic
+		}
+		parts = append(parts, p)
+		answered = append(answered, o.resp)
+	}
+	if len(answered) == 0 {
+		return http.StatusGatewayTimeout, server.ErrorResponse{Error: "every shard missed the deadline"}
+	}
+
+	est, rep, err := estimator.MergeStratified(parts, len(outs), estimator.Options{Confidence: req.Confidence})
+	if err != nil {
+		return http.StatusInternalServerError, server.ErrorResponse{Error: err.Error()}
+	}
+
+	// The wire variance-method string is the shards' own when they agree
+	// (the shards=1 byte-identity path), "mixed" otherwise.
+	methodStr := answered[0].Estimate.VarianceMethod
+	tier := answered[0].Tier
+	samples := map[string]int{}
+	rounds := 0
+	for _, a := range answered {
+		if a.Estimate.VarianceMethod != methodStr {
+			methodStr = "mixed"
+		}
+		if a.Tier != tier {
+			tier = "mixed"
+		}
+		for k, v := range a.SamplesConsumed {
+			samples[k] += v
+		}
+		rounds += a.Rounds
+	}
+
+	result := server.EstimateResult{
+		Value:          est.Value,
+		StdErr:         est.StdErr,
+		Lo:             est.Lo,
+		Hi:             est.Hi,
+		Confidence:     est.Confidence,
+		VarianceMethod: methodStr,
+		Terms:          est.Terms,
+	}
+	if est.VarianceMethod != estimator.VarNone && !math.IsNaN(est.Variance) {
+		v := est.Variance
+		result.Variance = &v
+	}
+	resp := EstimateResponse{
+		EstimateResponse: server.EstimateResponse{
+			Query:           req.Query,
+			Synopsis:        req.Synopsis,
+			Mode:            req.Mode,
+			Estimate:        result,
+			SamplesConsumed: samples,
+			Rounds:          rounds,
+			Tier:            tier,
+		},
+	}
+	if rep.Partial {
+		resp.Partial = true
+		sort.Ints(missed)
+		resp.ShardsMissed = missed
+		c.col.Add(mPartialResp, 1)
+	}
+	return http.StatusOK, resp
+}
+
+// requestCtx applies the effective timeout: the client's timeout_ms when
+// given (clamped to the server cap), the coordinator default otherwise.
+func (c *Coordinator) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := c.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (c *Coordinator) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if c.refuseDraining(w) {
+		c.col.Add(coordReqMetric(http.StatusServiceUnavailable), 1)
+		return
+	}
+	var req server.EstimateRequest
+	if !decodeBody(w, r, &req) {
+		c.col.Add(coordReqMetric(http.StatusBadRequest), 1)
+		return
+	}
+	ctx, cancel := c.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	status, body := c.doEstimate(ctx, req)
+	c.col.Add(coordReqMetric(status), 1)
+	_ = writeJSON(w, status, body)
+}
+
+func (c *Coordinator) doEstimate(ctx context.Context, req server.EstimateRequest) (int, any) {
+	req, status, msg := c.validateEstimate(ctx, req)
+	if status != 0 {
+		return status, server.ErrorResponse{Error: msg}
+	}
+	outs, status, msg := c.fanEstimate(ctx, req)
+	if status != 0 {
+		return status, server.ErrorResponse{Error: msg}
+	}
+	//lint:ignore detflow the shard deadline budget decides only WHICH strata answered; the merge itself sums per-shard partials in shard-index order, bit-identical for any fixed answered set
+	return c.mergeOutcomes(req, outs)
+}
+
+// handleBatchEstimate validates every query locally, then issues exactly
+// one batch sub-request per shard carrying all fan-worthy items — one
+// admission slot per shard per batch, however many queries ride along —
+// and merges per item.
+func (c *Coordinator) handleBatchEstimate(w http.ResponseWriter, r *http.Request) {
+	if c.refuseDraining(w) {
+		return
+	}
+	var breq server.BatchEstimateRequest
+	if !decodeBody(w, r, &breq) {
+		return
+	}
+	if len(breq.Queries) == 0 {
+		_ = writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(breq.Queries) > c.cfg.MaxBatchQueries {
+		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-query limit", len(breq.Queries), c.cfg.MaxBatchQueries))
+		return
+	}
+	ctx, cancel := c.requestCtx(r, breq.TimeoutMS)
+	defer cancel()
+
+	results := make([]BatchItemResult, len(breq.Queries))
+	var fanIdx []int // batch positions that passed validation, in order
+	normalized := make([]server.EstimateRequest, len(breq.Queries))
+	for i, q := range breq.Queries {
+		nq, status, msg := c.validateEstimate(ctx, q)
+		if status != 0 {
+			results[i] = BatchItemResult{Status: status, Error: msg}
+			continue
+		}
+		normalized[i] = nq
+		fanIdx = append(fanIdx, i)
+	}
+
+	if len(fanIdx) > 0 {
+		drivers := c.shardDrivers()
+		n := len(drivers)
+		deadline, ok := ctx.Deadline()
+		if !ok {
+			deadline = time.Now().Add(c.cfg.RequestTimeout)
+		}
+		shardBudget := time.Until(deadline) * 9 / 10
+		if shardBudget <= 0 {
+			for _, i := range fanIdx {
+				results[i] = BatchItemResult{Status: http.StatusGatewayTimeout, Error: "request budget exhausted before fanout"}
+			}
+		} else {
+			c.col.Add(mFanout, float64(n))
+			type shardBatch struct {
+				resp   *server.BatchEstimateResponse
+				errMsg string
+				missed bool
+			}
+			shardOuts := make([]shardBatch, n)
+			workload.Fanout(n, n, func(s int) {
+				sub := server.BatchEstimateRequest{
+					Queries:   make([]server.EstimateRequest, len(fanIdx)),
+					TimeoutMS: max(1, shardBudget.Milliseconds()),
+				}
+				for k, i := range fanIdx {
+					sreq := normalized[i]
+					sreq.Seed = shardSeed(sreq.Seed, s)
+					sreq.TimeoutMS = 0 // the batch budget governs
+					sub.Queries[k] = sreq
+				}
+				sctx, cancel := context.WithTimeout(ctx, shardBudget)
+				defer cancel()
+				start := time.Now()
+				status, raw, err := drivers[s].DoRetry(sctx, "/v1/estimate/batch", sub)
+				c.col.Observe(shardLabel(mShardLatency, s), time.Since(start).Seconds())
+				switch {
+				case err != nil && (errors.Is(err, context.DeadlineExceeded) || errIsTimeout(err)):
+					shardOuts[s] = shardBatch{missed: true}
+				case err != nil:
+					shardOuts[s] = shardBatch{errMsg: err.Error()}
+				case status != http.StatusOK:
+					shardOuts[s] = shardBatch{errMsg: fmt.Sprintf("shard batch status %d: %s", status, raw)}
+				default:
+					var resp server.BatchEstimateResponse
+					if jsonErr := json.Unmarshal(raw, &resp); jsonErr != nil {
+						shardOuts[s] = shardBatch{errMsg: jsonErr.Error()}
+					} else if len(resp.Results) != len(fanIdx) {
+						shardOuts[s] = shardBatch{errMsg: fmt.Sprintf("shard returned %d results for %d queries", len(resp.Results), len(fanIdx))}
+					} else {
+						shardOuts[s] = shardBatch{resp: &resp}
+					}
+				}
+			})
+
+			for k, i := range fanIdx {
+				outs := make([]shardOutcome, n)
+				systemic := ""
+				for s := range shardOuts {
+					switch {
+					case shardOuts[s].missed:
+						outs[s] = shardOutcome{missed: true}
+					case shardOuts[s].resp == nil:
+						systemic = fmt.Sprintf("shard %d: %s", s, shardOuts[s].errMsg)
+					default:
+						item := shardOuts[s].resp.Results[k]
+						if item.Estimate != nil {
+							outs[s] = shardOutcome{resp: item.Estimate, status: item.Status}
+						} else if item.Status == http.StatusGatewayTimeout || item.Status == statusClientClosedRequest {
+							outs[s] = shardOutcome{missed: true}
+						} else {
+							outs[s] = shardOutcome{status: item.Status, errMsg: item.Error}
+						}
+					}
+				}
+				if systemic != "" {
+					results[i] = BatchItemResult{Status: http.StatusBadGateway, Error: systemic}
+					continue
+				}
+				//lint:ignore detflow the shard deadline budget decides only WHICH strata answered; the merge itself sums per-shard partials in shard-index order, bit-identical for any fixed answered set
+				status, body := c.mergeOutcomes(normalized[i], outs)
+				if status == http.StatusOK {
+					resp := body.(EstimateResponse)
+					results[i] = BatchItemResult{Status: status, Estimate: &resp}
+				} else {
+					results[i] = BatchItemResult{Status: status, Error: body.(server.ErrorResponse).Error}
+				}
+			}
+		}
+	}
+
+	out := BatchEstimateResponse{Results: results}
+	for _, res := range results {
+		if res.Status == http.StatusOK {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	_ = writeJSON(w, http.StatusOK, out)
+}

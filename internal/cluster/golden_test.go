@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"testing"
+
+	"relest/internal/server"
+)
+
+// TestOneShardGoldenByteIdentity pins the tentpole's equivalence
+// contract at its strongest: a one-shard cluster — full scatter-gather,
+// CSV slice push, derived seed, stratified merge and all — answers the
+// golden estimate request with the exact bytes committed by the
+// single-node daemon's golden test, at every worker count. Nothing in
+// the cluster path is allowed to perturb a single float.
+func TestOneShardGoldenByteIdentity(t *testing.T) {
+	want, err := os.ReadFile("../server/testdata/estimate_count.golden.json")
+	if err != nil {
+		t.Fatalf("%v (the single-node golden must exist first)", err)
+	}
+
+	_, base := startCluster(t, HarnessConfig{Shards: 1})
+	setupClusterDataset(t, base, 2000, 200)
+
+	for _, workers := range []int{1, 4} {
+		status, raw := postJSON(t, base+"/v1/estimate", server.EstimateRequest{
+			Query:    "count(join(R1, R2, on a = a))",
+			Synopsis: "main",
+			Seed:     3,
+			Workers:  workers,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: %d %s", workers, status, raw)
+		}
+		if !bytes.Equal(raw, want) {
+			t.Errorf("workers=%d: cluster response differs from the single-node golden:\ncluster: %s\ngolden:  %s", workers, raw, want)
+		}
+	}
+}

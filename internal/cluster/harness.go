@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"relest/internal/obs"
+	"relest/internal/server"
+)
+
+// HarnessConfig configures an in-process cluster: N shard relestds plus a
+// coordinator inside one binary, for CI and the `relestd -shards N` mode.
+type HarnessConfig struct {
+	// Shards is the shard count (>= 1).
+	Shards int
+	// Mode and Bounds form the ShardSpec (default hash).
+	Mode   string
+	Bounds []int64
+	// ShardKey is the coordinator's DefaultShardKey.
+	ShardKey string
+	// Shard is the template config for each shard node. Addr and
+	// Collector are overridden per shard: every node binds its own
+	// ephemeral port and owns a private collector, so the merged /metrics
+	// view can label each shard's families distinctly.
+	Shard server.Config
+	// Coordinator overrides the coordinator config; ShardAddrs and Spec
+	// are filled in by the harness.
+	Coordinator Config
+}
+
+// Harness is a whole estimation cluster in one process.
+type Harness struct {
+	// Shards are the shard nodes, indexed by shard id.
+	Shards []*server.Server
+	// Coord is the coordinator fronting them.
+	Coord *Coordinator
+}
+
+// StartHarness boots the shard nodes, then the coordinator pointed at
+// them. On any failure everything already started is shut down.
+func StartHarness(cfg HarnessConfig) (*Harness, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: harness needs at least one shard, got %d", cfg.Shards)
+	}
+	h := &Harness{}
+	fail := func(err error) (*Harness, error) {
+		_ = h.Close(context.Background())
+		return nil, err
+	}
+	addrs := make([]string, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		scfg := cfg.Shard
+		scfg.Addr = "127.0.0.1:0"
+		scfg.Collector = obs.NewCollector()
+		node := server.New(scfg)
+		if err := node.Start(); err != nil {
+			return fail(fmt.Errorf("cluster: starting shard %d: %w", i, err))
+		}
+		h.Shards = append(h.Shards, node)
+		addrs[i] = "http://" + node.Addr()
+	}
+
+	ccfg := cfg.Coordinator
+	ccfg.ShardAddrs = addrs
+	ccfg.Spec = ShardSpec{Shards: cfg.Shards, Mode: cfg.Mode, Bounds: cfg.Bounds}
+	if ccfg.DefaultShardKey == "" {
+		ccfg.DefaultShardKey = cfg.ShardKey
+	}
+	coord, err := New(ccfg)
+	if err != nil {
+		return fail(err)
+	}
+	if err := coord.Start(); err != nil {
+		return fail(err)
+	}
+	h.Coord = coord
+	return h, nil
+}
+
+// Addr returns the coordinator's address.
+func (h *Harness) Addr() string { return h.Coord.Addr() }
+
+// Close drains the coordinator first (so no new fanouts start), then the
+// shard nodes.
+func (h *Harness) Close(ctx context.Context) error {
+	var first error
+	if h.Coord != nil {
+		first = h.Coord.Shutdown(ctx)
+	}
+	for _, s := range h.Shards {
+		if err := s.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"relest/internal/server"
+)
+
+// maxBodyBytes bounds JSON request bodies, matching the shard daemon.
+const maxBodyBytes = 1 << 20
+
+// writeJSON mirrors the shard daemon's encoder settings exactly
+// (SetEscapeHTML(false), Encode's trailing newline): the byte-identity
+// contract at shards=1 covers the whole response body, framing included.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) error {
+	return writeJSON(w, status, server.ErrorResponse{Error: msg})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// validName matches the shard daemon's name charset so a name the
+// coordinator accepts is never refused downstream.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

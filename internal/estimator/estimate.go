@@ -3,7 +3,6 @@ package estimator
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"relest/internal/algebra"
 	"relest/internal/obs"
@@ -187,12 +186,6 @@ func countPoly(ctx context.Context, poly algebra.Polynomial, syn *Synopsis, opts
 	if err != nil {
 		return Estimate{}, err
 	}
-	est := Estimate{
-		Value:      value,
-		Variance:   math.NaN(),
-		Confidence: opts.Confidence,
-		Terms:      poly.NumTerms(),
-	}
 	vspan := eng.span.Child(sVariance)
 	variance, method, err := estimateVariance(poly, syn, opts, eng)
 	vspan.End()
@@ -200,15 +193,7 @@ func countPoly(ctx context.Context, poly algebra.Polynomial, syn *Synopsis, opts
 		return Estimate{}, err
 	}
 	eng.rec.Add(varianceMethodMetric(method), 1)
-	est.VarianceMethod = method
-	if method != VarNone {
-		est.Variance = variance
-		est.StdErr = math.Sqrt(math.Max(variance, 0))
-		z := ciZ(opts)
-		est.Lo = value - z*est.StdErr
-		est.Hi = value + z*est.StdErr
-	}
-	return est, nil
+	return finishEstimate(value, variance, method, poly.NumTerms(), opts), nil
 }
 
 // checkSampleSizes verifies n_R ≥ (occurrences of R in any term) for every

@@ -33,7 +33,13 @@ var RawGo = &Analyzer{
 //     reductions — those run on the server, through the parallel pool —
 //     and the static round-robin job assignment keeps collected results
 //     independent of goroutine completion order.
-var goAllowedPkgs = []string{"internal/parallel", "internal/server", "internal/workload"}
+//   - internal/cluster: the coordinator's accept loop plus its
+//     scatter-gather fanouts (via workload.Fanout), which write disjoint
+//     per-shard outcome slots. Estimation itself happens on the shard
+//     nodes through internal/parallel; the coordinator only merges
+//     already-computed partials, in shard-index order, so cluster
+//     estimates stay bit-identical across fanout scheduling.
+var goAllowedPkgs = []string{"internal/parallel", "internal/server", "internal/workload", "internal/cluster"}
 
 func runRawGo(p *Pass) {
 	for _, allowed := range goAllowedPkgs {

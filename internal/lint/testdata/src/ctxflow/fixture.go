@@ -57,3 +57,42 @@ func Leaf(ctx context.Context) int {
 func Compat(ctx context.Context, n int) int {
 	return step(n)
 }
+
+// scatterJob is the coordinator-fanout shape: one shard sub-request,
+// context-aware so a shard deadline can cut it short.
+func scatterJob(ctx context.Context, shard int) int {
+	return run(ctx, shard)
+}
+
+// FanoutDetached scatters to shards but severs every sub-request from
+// the caller's deadline: a coordinator that can never degrade on time.
+func FanoutDetached(ctx context.Context, shards int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += scatterJob(context.Background(), s) // want: Background substitution
+	}
+	return total
+}
+
+// FanoutDropped takes the request ctx yet fans out through the
+// context-free step helper, so no shard sub-request can be cancelled.
+func FanoutDropped(ctx context.Context, shards int) int { // want: dropped ctx
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += step(s)
+	}
+	return total
+}
+
+// FanoutThreaded is the sanctioned scatter-gather: every shard
+// sub-request carries the request context.
+func FanoutThreaded(ctx context.Context, shards int) int {
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += scatterJob(ctx, s)
+	}
+	return total
+}

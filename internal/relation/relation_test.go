@@ -172,6 +172,29 @@ func TestSchemaValidation(t *testing.T) {
 	}
 }
 
+// TestParseSchemaRoundTrip pins ParseSchema to the String format: every
+// schema survives the text round-trip, and malformed inputs fail loudly.
+func TestParseSchemaRoundTrip(t *testing.T) {
+	s := MustSchema(Column{"a", KindInt}, Column{"x", KindFloat}, Column{"name", KindString})
+	got, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != s.String() {
+		t.Errorf("round-trip %q -> %q", s.String(), got.String())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if got.Column(i) != s.Column(i) {
+			t.Errorf("column %d = %+v, want %+v", i, got.Column(i), s.Column(i))
+		}
+	}
+	for _, bad := range []string{"", "a int", "(a int", "a int)", "(a)", "(a int extra)", "(a bool)", "(a int, a int)"} {
+		if _, err := ParseSchema(bad); err == nil {
+			t.Errorf("ParseSchema(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestSchemaProjectAndConcat(t *testing.T) {
 	s := MustSchema(Column{"a", KindInt}, Column{"b", KindString}, Column{"c", KindFloat})
 	p, err := s.Project([]int{2, 0})

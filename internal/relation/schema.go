@@ -122,6 +122,50 @@ func (s *Schema) EqualLayout(t *Schema) bool {
 	return true
 }
 
+// ParseKind maps a kind name ("int", "float", "string") back to its Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown column kind %q", name)
+	}
+}
+
+// ParseSchema parses the exact format String renders — "(a int, id int)"
+// — so a schema round-trips through its text form. The sharded tier leans
+// on this: a coordinator pins each shard upload to the source relation's
+// schema, keeping slices whose data would infer differently (an all-empty
+// column, an all-integer prefix of a float column) layout-identical
+// across shards.
+func ParseSchema(s string) (*Schema, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(s), "(")
+	if !ok {
+		return nil, fmt.Errorf("relation: schema %q must start with '('", s)
+	}
+	body, ok = strings.CutSuffix(body, ")")
+	if !ok {
+		return nil, fmt.Errorf("relation: schema %q must end with ')'", s)
+	}
+	var cols []Column
+	for _, part := range strings.Split(body, ",") {
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("relation: schema column %q is not \"name kind\"", strings.TrimSpace(part))
+		}
+		kind, err := ParseKind(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, Column{Name: fields[0], Kind: kind})
+	}
+	return NewSchema(cols...)
+}
+
 // String renders the schema as "(name kind, ...)".
 func (s *Schema) String() string {
 	var b strings.Builder

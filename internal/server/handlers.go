@@ -58,8 +58,21 @@ func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 		_ = writeError(w, http.StatusBadRequest, errBadName("relation", name).Error())
 		return
 	}
+	// An explicit ?schema= pins the column kinds instead of inferring them
+	// from the data. The sharded tier depends on this: a shard's slice can
+	// be empty or degenerate (say, all-integer values in a float column),
+	// and inference over the slice alone would give shards divergent
+	// layouts for the same relation.
+	var schema *relation.Schema
+	if spec := r.URL.Query().Get("schema"); spec != "" {
+		var err error
+		if schema, err = relation.ParseSchema(spec); err != nil {
+			_ = writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	rel, err := relation.ImportCSVOptions(name, body, relation.ImportOptions{MaxBytes: s.cfg.MaxUploadBytes})
+	rel, err := relation.ImportCSVOptions(name, body, relation.ImportOptions{Schema: schema, MaxBytes: s.cfg.MaxUploadBytes})
 	if err != nil {
 		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("importing CSV: %v", err))
 		return
@@ -76,13 +89,11 @@ func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
 	_ = writeJSON(w, http.StatusOK, s.reg.relations())
 }
 
-// handleGenerate synthesizes a deterministic dataset (cmd/relgen's
-// kinds) and registers the produced relations.
-func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	var req GenerateRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// GenerateDataset synthesizes the relations a GenerateRequest describes
+// (cmd/relgen's kinds), applying the endpoint's defaults. It is exported
+// for the sharded coordinator (internal/cluster), which must register
+// datasets identical to a single node's for the same request.
+func GenerateDataset(req GenerateRequest) ([]*relation.Relation, error) {
 	if req.N <= 0 {
 		req.N = 10_000
 	}
@@ -116,8 +127,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		case "negative":
 			corr = workload.Negative
 		default:
-			_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown correlation %q", req.Correlation))
-			return
+			return nil, fmt.Errorf("unknown correlation %q", req.Correlation)
 		}
 		r1, r2 := workload.JoinPair(rng, workload.JoinPairSpec{
 			Z1: req.Z1, Z2: req.Z2, Domain: req.Domain, N1: req.N, N2: req.N,
@@ -133,7 +143,21 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		emp, dept := workload.Company(rng, req.N, req.Departments)
 		outputs = []*relation.Relation{emp, dept}
 	default:
-		_ = writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q (want zipf-pair, clustered or company)", req.Kind))
+		return nil, fmt.Errorf("unknown kind %q (want zipf-pair, clustered or company)", req.Kind)
+	}
+	return outputs, nil
+}
+
+// handleGenerate synthesizes a deterministic dataset (cmd/relgen's
+// kinds) and registers the produced relations.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	outputs, err := GenerateDataset(req)
+	if err != nil {
+		_ = writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	infos := make([]RelationInfo, 0, len(outputs))

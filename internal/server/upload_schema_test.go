@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func postCSV(t *testing.T, rawURL, csv string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(rawURL, "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestUploadSchemaPinned pins the ?schema= upload contract: the declared
+// kinds override inference, so a slice whose data alone would infer a
+// different layout (here an integer-looking float column, plus an
+// all-empty column that inference can only call string) still registers
+// with the source relation's schema. The sharded tier pushes every slice
+// this way.
+func TestUploadSchemaPinned(t *testing.T) {
+	_, base := startServer(t, Config{})
+
+	spec := url.QueryEscape("(a int, x float, note string)")
+	status, raw := postCSV(t, base+"/v1/relations/pinned?schema="+spec, "a,x,note\n1,2,\n3,4,\n")
+	if status != http.StatusCreated {
+		t.Fatalf("pinned upload: %d %s", status, raw)
+	}
+	var info RelationInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Schema != "(a int, x float, note string)" {
+		t.Errorf("pinned schema = %q, want the declared kinds, not the inferred ones", info.Schema)
+	}
+
+	// The same body without pinning infers differently — x becomes int and
+	// the empty column string — which is exactly the divergence pinning
+	// prevents across shard slices.
+	status, raw = postCSV(t, base+"/v1/relations/inferred", "a,x,note\n1,2,\n3,4,\n")
+	if status != http.StatusCreated {
+		t.Fatalf("inferred upload: %d %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Schema == "(a int, x float, note string)" {
+		t.Error("inference unexpectedly matched the pinned schema; the fixture no longer exercises pinning")
+	}
+
+	// A malformed schema fails before any import work.
+	status, raw = postCSV(t, base+"/v1/relations/bad?schema="+url.QueryEscape("(a bool)"), "a\n1\n")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad schema: want 400, got %d %s", status, raw)
+	}
+
+	// Data that violates the pinned kinds fails the import.
+	status, raw = postCSV(t, base+"/v1/relations/bad2?schema="+url.QueryEscape("(a int)"), "a\nnot-a-number\n")
+	if status != http.StatusBadRequest {
+		t.Fatalf("mismatched data: want 400, got %d %s", status, raw)
+	}
+}

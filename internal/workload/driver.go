@@ -77,6 +77,52 @@ func (d *Driver) Do(ctx context.Context, path string, body any) (int, []byte, er
 	return resp.StatusCode, raw, nil
 }
 
+// DoRaw posts a raw (non-JSON) body — a CSV slice, say — with the given
+// content type. The sharded coordinator pushes relation slices to shard
+// nodes through this.
+func (d *Driver) DoRaw(ctx context.Context, path, contentType string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if d.Tenant != "" {
+		req.Header.Set("X-Relest-Tenant", d.Tenant)
+	}
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// Get fetches path (e.g. /metrics, /v1/synopses) and returns the status
+// and raw body.
+func (d *Driver) Get(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.BaseURL+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if d.Tenant != "" {
+		req.Header.Set("X-Relest-Tenant", d.Tenant)
+	}
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
 // shedStatus reports whether a status is load shedding worth retrying:
 // queue or tenant-slot exhaustion (429) and drain refusals (503).
 func shedStatus(status int) bool {
