@@ -15,10 +15,7 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"sort"
 
 	"relest/internal/algebra"
@@ -90,19 +87,12 @@ func (s ShardSpec) Route(v relation.Value) (int, error) {
 		n := sort.Search(len(s.Bounds), func(i int) bool { return s.Bounds[i] >= k })
 		return n, nil
 	}
-	h := fnv.New64a()
-	var buf [8]byte
-	switch v.Kind() {
-	case relation.KindInt:
-		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int64()))
-		_, _ = h.Write(buf[:])
-	case relation.KindFloat:
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float64()))
-		_, _ = h.Write(buf[:])
-	default:
-		_, _ = h.Write([]byte(v.String()))
-	}
-	return int(h.Sum64() % uint64(s.Shards)), nil
+	// Value.Hash is Equal-consistent by contract — Int(2) and Float(2.0)
+	// collide, -0.0 folds into +0.0 — so hashing through it is what makes
+	// routing agree with the join equality it co-partitions for. Hashing
+	// raw representation bits here would split SQL-equal keys (say -0.0
+	// and 0.0) across shards and silently lose their matching pairs.
+	return int(v.Hash() % uint64(s.Shards)), nil
 }
 
 // sliceRows returns the row positions of r owned by the given shard under

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -56,6 +57,29 @@ func TestRouteHash(t *testing.T) {
 	}
 	if s, _ := spec.Route(relation.Null()); s != 0 {
 		t.Errorf("NULL routes to %d, want the fixed shard 0", s)
+	}
+	// Routing must agree with join equality, not bit patterns: values that
+	// compare equal across kinds (int vs float) or representations
+	// (-0.0 vs 0.0) co-locate, or a co-partitioned join silently loses the
+	// pairs that straddle shards.
+	equalPairs := [][2]relation.Value{
+		{relation.Int(2), relation.Float(2.0)},
+		{relation.Float(0.0), relation.Float(math.Copysign(0, -1))},
+		{relation.Int(0), relation.Float(math.Copysign(0, -1))},
+		{relation.Int(-7), relation.Float(-7.0)},
+	}
+	for _, p := range equalPairs {
+		a, err := spec.Route(p[0])
+		if err != nil {
+			t.Fatalf("Route(%v): %v", p[0], err)
+		}
+		b, err := spec.Route(p[1])
+		if err != nil {
+			t.Fatalf("Route(%v): %v", p[1], err)
+		}
+		if a != b {
+			t.Errorf("SQL-equal values split across shards: Route(%v) = %d, Route(%v) = %d", p[0], a, p[1], b)
+		}
 	}
 	// Distinct ints spread: over a modest key range every shard owns
 	// something, or the hash is broken.

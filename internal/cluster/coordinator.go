@@ -229,20 +229,61 @@ func (c *Coordinator) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	infos := make([]server.RelationInfo, 0, len(outputs))
+	var registered []string
 	for _, rel := range outputs {
 		status, body := c.registerRelation(r.Context(), rel, "")
 		if status != http.StatusCreated {
+			// Atomic generate: the outputs already committed (coordinator
+			// registry and every shard) roll back, so a retry starts clean
+			// instead of hitting 409s on the relations that made it.
+			c.unregisterRelations(registered)
 			_ = writeJSON(w, status, body)
 			return
 		}
 		info, ok := body.(server.RelationInfo)
 		if !ok {
+			c.unregisterRelations(registered)
 			_ = writeError(w, http.StatusInternalServerError, "internal: unexpected registration body shape")
 			return
 		}
+		registered = append(registered, rel.Name())
 		infos = append(infos, info)
 	}
 	_ = writeJSON(w, http.StatusCreated, infos)
+}
+
+// unregisterRelations best-effort removes fully registered relations —
+// a failed generate's earlier outputs — from the coordinator registry
+// and every shard. A relation some synopsis already references is left
+// in place (the shard nodes refuse that delete too); regMu serializes
+// the removal against concurrent registrations and rebalances, which
+// read the registry while pushing to shards.
+func (c *Coordinator) unregisterRelations(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	c.mu.Lock()
+	drivers := append([]*workload.Driver(nil), c.drivers...)
+	removed := names[:0:0]
+	for _, name := range names {
+		referenced := false
+		for _, syn := range c.syns {
+			if _, uses := syn.req.Relations[name]; uses {
+				referenced = true
+				break
+			}
+		}
+		if !referenced {
+			delete(c.rels, name)
+			removed = append(removed, name)
+		}
+	}
+	c.mu.Unlock()
+	for _, name := range removed {
+		c.rollbackPush(drivers, "/v1/relations/"+url.PathEscape(name))
+	}
 }
 
 // registerRelation slices rel by the shard spec, pushes each shard its
@@ -281,6 +322,7 @@ func (c *Coordinator) registerRelation(ctx context.Context, rel *relation.Relati
 	}
 	for s, d := range drivers {
 		if status, msg := pushSlice(ctx, d, rel, rowsByShard[s]); status != http.StatusCreated {
+			c.rollbackPush(drivers[:s], "/v1/relations/"+url.PathEscape(rel.Name()))
 			return http.StatusBadGateway, server.ErrorResponse{Error: fmt.Sprintf("shard %d refused slice of %q: %s", s, rel.Name(), msg)}
 		}
 	}
@@ -289,6 +331,25 @@ func (c *Coordinator) registerRelation(ctx context.Context, rel *relation.Relati
 	c.rels[rel.Name()] = &coordRel{rel: rel, keyCol: keyCol, rowsByShard: rowsByShard}
 	c.mu.Unlock()
 	return http.StatusCreated, server.RelationInfo{Name: rel.Name(), Rows: rel.Len(), Schema: rel.Schema().String()}
+}
+
+// rollbackPush best-effort DELETEs path from the shards that accepted a
+// fanned-out registration before a later shard refused it, so a failed
+// registration leaves no partial state behind and a client retry is not
+// wedged on 409s from the half-populated shards. It runs on its own
+// short background context — the request's context may be the very thing
+// that failed the fanout — and swallows per-shard errors: a shard that
+// cannot clean up now surfaces as a 409 on the retry, which the operator
+// would have to resolve either way.
+func (c *Coordinator) rollbackPush(drivers []*workload.Driver, path string) {
+	if len(drivers) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, d := range drivers {
+		_, _, _ = d.Delete(ctx, path)
+	}
 }
 
 // pushSlice uploads one shard's slice of rel, schema-pinned.
@@ -396,9 +457,11 @@ func (c *Coordinator) createSynopsis(ctx context.Context, name string, req serve
 	for s, d := range drivers {
 		status, raw, err := d.DoRetry(ctx, "/v1/synopses/"+url.PathEscape(name), perShard[s])
 		if err != nil {
+			c.rollbackPush(drivers[:s], "/v1/synopses/"+url.PathEscape(name))
 			return http.StatusBadGateway, server.ErrorResponse{Error: fmt.Sprintf("shard %d synopsis push: %v", s, err)}
 		}
 		if status != http.StatusCreated {
+			c.rollbackPush(drivers[:s], "/v1/synopses/"+url.PathEscape(name))
 			return http.StatusBadGateway, server.ErrorResponse{Error: fmt.Sprintf("shard %d refused synopsis %q: %s", s, name, raw)}
 		}
 	}
@@ -504,6 +567,11 @@ func (c *Coordinator) handleListSynopses(w http.ResponseWriter, r *http.Request)
 // tuple's key and forwards it; the response is the owning shard's view of
 // the synopsis.
 func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Stream events mutate shard reservoirs; the drain contract refuses
+	// them like every other mutating endpoint.
+	if c.refuseDraining(w) {
+		return
+	}
 	name := r.PathValue("name")
 	var req server.StreamRequest
 	if !decodeBody(w, r, &req) {
@@ -607,15 +675,29 @@ func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(relNames)
 	sort.Strings(synNames)
 
+	// On a failed push the target is scrubbed of everything already moved
+	// (synopses first — they pin their base relations), so a retried
+	// rebalance against the same node starts clean instead of 409ing.
 	target := c.newDriver(req.Addr)
+	var movedRels, movedSyns []string
+	scrubTarget := func() {
+		for i := len(movedSyns) - 1; i >= 0; i-- {
+			c.rollbackPush([]*workload.Driver{target}, "/v1/synopses/"+url.PathEscape(movedSyns[i]))
+		}
+		for i := len(movedRels) - 1; i >= 0; i-- {
+			c.rollbackPush([]*workload.Driver{target}, "/v1/relations/"+url.PathEscape(movedRels[i]))
+		}
+	}
 	for _, rn := range relNames {
 		c.mu.RLock()
 		cr := c.rels[rn]
 		c.mu.RUnlock()
 		if status, msg := pushSlice(r.Context(), target, cr.rel, cr.rowsByShard[req.Shard]); status != http.StatusCreated {
+			scrubTarget()
 			_ = writeError(w, http.StatusBadGateway, fmt.Sprintf("target refused slice of %q: %s", rn, msg))
 			return
 		}
+		movedRels = append(movedRels, rn)
 	}
 	for _, sn := range synNames {
 		c.mu.RLock()
@@ -623,13 +705,16 @@ func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
 		c.mu.RUnlock()
 		status, raw, err := target.DoRetry(r.Context(), "/v1/synopses/"+url.PathEscape(sn), spec)
 		if err != nil {
+			scrubTarget()
 			_ = writeError(w, http.StatusBadGateway, fmt.Sprintf("target synopsis push %q: %v", sn, err))
 			return
 		}
 		if status != http.StatusCreated {
+			scrubTarget()
 			_ = writeError(w, http.StatusBadGateway, fmt.Sprintf("target refused synopsis %q: %s", sn, raw))
 			return
 		}
+		movedSyns = append(movedSyns, sn)
 	}
 
 	c.mu.Lock()

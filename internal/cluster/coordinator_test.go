@@ -497,3 +497,218 @@ func TestClusterMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// clusterDelete issues a DELETE and returns the status and raw body.
+func clusterDelete(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", url, err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("closing body: %v", err)
+		}
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestShardAvgRefused pins the avg merge contract: each shard's AVG is a
+// ratio, not a stratum partial, and summing ratios across shards is ~S
+// times the true average — so a multi-shard coordinator refuses avg with
+// 422 rather than serve a silently wrong number. At shards=1 the merge
+// is the identity and avg stays answerable.
+func TestShardAvgRefused(t *testing.T) {
+	_, base := startCluster(t, HarnessConfig{Shards: 2})
+	setupClusterDataset(t, base, 500, 50)
+
+	status, raw := postJSON(t, base+"/v1/estimate", server.EstimateRequest{
+		Query: "avg(R1, a)", Synopsis: "main", Seed: 3,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("avg at shards=2: %d %s, want 422", status, raw)
+	}
+	if !strings.Contains(string(raw), "avg does not decompose") {
+		t.Errorf("avg refusal does not explain itself: %s", raw)
+	}
+	// sum and count still decompose and answer.
+	status, raw = postJSON(t, base+"/v1/estimate", server.EstimateRequest{
+		Query: "sum(R1, a)", Synopsis: "main", Seed: 3,
+	})
+	if status != http.StatusOK {
+		t.Errorf("sum at shards=2: %d %s, want 200", status, raw)
+	}
+
+	_, single := startCluster(t, HarnessConfig{Shards: 1})
+	setupClusterDataset(t, single, 500, 50)
+	status, raw = postJSON(t, single+"/v1/estimate", server.EstimateRequest{
+		Query: "avg(R1, a)", Synopsis: "main", Seed: 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("avg at shards=1: %d %s, want 200", status, raw)
+	}
+	var resp EstimateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Estimate.Value <= 0 {
+		t.Errorf("single-shard avg = %v, want > 0", resp.Estimate.Value)
+	}
+}
+
+// TestFanoutRollbackUnwedgesRetry pins the registration rollback: when a
+// later shard refuses a fanned-out relation or synopsis push, the shards
+// that already accepted are scrubbed, so the earlier failure leaves no
+// partial state and the client's retry succeeds instead of wedging on
+// 409s forever.
+func TestFanoutRollbackUnwedgesRetry(t *testing.T) {
+	h, base := startCluster(t, HarnessConfig{Shards: 2})
+	shard0 := "http://" + h.Shards[0].Addr()
+	shard1 := "http://" + h.Shards[1].Addr()
+	const csv = "a\n1\n2\n3\n4\n5\n6\n7\n8\n"
+
+	// Shard 1 already holds a relation named X (say, debris from an
+	// earlier operator mistake), so the coordinator's push to it must 409.
+	resp, err := http.Post(shard1+"/v1/relations/X", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("pre-seeding shard 1: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/relations/X", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("conflicted upload: %d, want 502", resp.StatusCode)
+	}
+	// The rollback scrubbed shard 0's slice.
+	if status, raw := getBody(t, shard0+"/v1/relations"); strings.Contains(string(raw), `"X"`) {
+		t.Fatalf("shard 0 still holds the rolled-back slice: %d %s", status, raw)
+	}
+
+	// Clear the debris and retry: the registration must go through clean.
+	if status, raw := clusterDelete(t, shard1+"/v1/relations/X"); status != http.StatusOK {
+		t.Fatalf("clearing shard 1 debris: %d %s", status, raw)
+	}
+	resp, err = http.Post(base+"/v1/relations/X", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("retried upload after rollback: %d, want 201", resp.StatusCode)
+	}
+
+	// Same contract for synopsis creation.
+	status, raw := postJSON(t, shard1+"/v1/synopses/sx", server.SynopsisRequest{
+		Kind: "static", Relations: map[string]int{"X": 2}, Seed: 1,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("pre-seeding shard 1 synopsis: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, base+"/v1/synopses/sx", server.SynopsisRequest{
+		Kind: "static", Relations: map[string]int{"X": 4}, Seed: 1,
+	})
+	if status != http.StatusBadGateway {
+		t.Fatalf("conflicted synopsis create: %d %s, want 502", status, raw)
+	}
+	if status, raw := getBody(t, shard0+"/v1/synopses"); strings.Contains(string(raw), `"sx"`) {
+		t.Fatalf("shard 0 still holds the rolled-back synopsis: %d %s", status, raw)
+	}
+	if status, raw := clusterDelete(t, shard1+"/v1/synopses/sx"); status != http.StatusOK {
+		t.Fatalf("clearing shard 1 synopsis debris: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, base+"/v1/synopses/sx", server.SynopsisRequest{
+		Kind: "static", Relations: map[string]int{"X": 4}, Seed: 1,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("retried synopsis create after rollback: %d %s, want 201", status, raw)
+	}
+	status, raw = postJSON(t, base+"/v1/estimate", server.EstimateRequest{
+		Query: "count(X)", Synopsis: "sx", Seed: 3,
+	})
+	if status != http.StatusOK {
+		t.Errorf("estimate after recovered registration: %d %s", status, raw)
+	}
+}
+
+// TestGenerateRollbackUnwedgesRetry pins atomic generation: a generate
+// whose later output collides on a shard rolls its earlier outputs back
+// from the coordinator registry and every shard, so the retry starts
+// clean.
+func TestGenerateRollbackUnwedgesRetry(t *testing.T) {
+	h, base := startCluster(t, HarnessConfig{Shards: 2})
+	shard0 := "http://" + h.Shards[0].Addr()
+	shard1 := "http://" + h.Shards[1].Addr()
+
+	resp, err := http.Post(shard1+"/v1/relations/R2", "text/csv", strings.NewReader("a,b\n1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("pre-seeding shard 1: %d", resp.StatusCode)
+	}
+
+	gen := server.GenerateRequest{Kind: "zipf-pair", N: 200, Domain: 50, Seed: 7}
+	status, raw := postJSON(t, base+"/v1/generate", gen)
+	if status == http.StatusCreated {
+		t.Fatalf("conflicted generate succeeded: %d %s", status, raw)
+	}
+	// Nothing half-registered anywhere: the coordinator registry and shard
+	// 0 both come back empty.
+	status, raw = getBody(t, base+"/v1/relations")
+	if status != http.StatusOK || strings.Contains(string(raw), `"R1"`) {
+		t.Fatalf("coordinator kept a half-registered generate output: %d %s", status, raw)
+	}
+	if status, raw := getBody(t, shard0+"/v1/relations"); strings.Contains(string(raw), `"R1"`) {
+		t.Fatalf("shard 0 kept a half-registered slice: %d %s", status, raw)
+	}
+
+	if status, raw := clusterDelete(t, shard1+"/v1/relations/R2"); status != http.StatusOK {
+		t.Fatalf("clearing shard 1 debris: %d %s", status, raw)
+	}
+	status, raw = postJSON(t, base+"/v1/generate", gen)
+	if status != http.StatusCreated {
+		t.Fatalf("retried generate after rollback: %d %s, want 201", status, raw)
+	}
+	status, raw = getBody(t, base+"/v1/relations")
+	if !strings.Contains(string(raw), `"R1"`) || !strings.Contains(string(raw), `"R2"`) {
+		t.Errorf("retried generate did not register both outputs: %d %s", status, raw)
+	}
+}
+
+// TestStreamRefusedWhileDraining pins the drain contract on the stream
+// endpoint: stream events mutate shard reservoirs, so a draining
+// coordinator refuses them with 503 like every other mutating endpoint.
+func TestStreamRefusedWhileDraining(t *testing.T) {
+	h, base := startCluster(t, HarnessConfig{Shards: 1})
+	h.Coord.draining.Store(true)
+	status, raw := postJSON(t, base+"/v1/synopses/live/stream", server.StreamRequest{
+		Op: "insert", Relation: "R1", Tuple: []string{"1", "2"},
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("stream while draining: %d %s, want 503", status, raw)
+	}
+}

@@ -121,6 +121,15 @@ func (c *Coordinator) validateEstimate(ctx context.Context, req server.EstimateR
 		return req, http.StatusBadRequest, "the estimation service supports count, sum and avg queries"
 	}
 	if c.cfg.Spec.Shards > 1 {
+		// AVG is a ratio of two estimates, not a linear aggregate: each
+		// shard answers its own sum/count ratio, and summing ratios across
+		// strata is ~S times the true average — a silently wrong number,
+		// which the degradation contract forbids. Refused like a
+		// non-shardable join until the protocol carries the underlying sum
+		// and count partials separately.
+		if st.Agg == "avg" {
+			return req, http.StatusUnprocessableEntity, "avg does not decompose into a per-shard sum (each shard's ratio is not a stratum partial); run avg against a single node or shards=1"
+		}
 		poly, err := algebra.Normalize(st.Expr)
 		if err != nil {
 			return req, http.StatusUnprocessableEntity, err.Error()

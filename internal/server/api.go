@@ -199,6 +199,12 @@ type BatchEstimateResponse struct {
 	Failed    int               `json:"failed"`
 }
 
+// DeleteResponse is the body of DELETE /v1/relations/{name} and
+// DELETE /v1/synopses/{name}.
+type DeleteResponse struct {
+	Deleted string `json:"deleted"`
+}
+
 // SnapshotResponse is the body of POST /v1/snapshot.
 type SnapshotResponse struct {
 	Dir       string `json:"dir"`

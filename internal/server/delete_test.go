@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// deleteReq issues a DELETE and returns the status and raw body.
+func deleteReq(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", url, err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("closing body: %v", err)
+		}
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestDeleteRelationAndSynopsis drives the deletion endpoints the sharded
+// coordinator's fanout rollback depends on: a synopsis pins its base
+// relations (409), unknown names 404, and a deleted name is free for
+// re-registration — the property that unwedges a retried registration.
+func TestDeleteRelationAndSynopsis(t *testing.T) {
+	_, base := startServer(t, Config{})
+	setupDataset(t, base, 500, 50)
+
+	// R1 is pinned by the "main" synopsis.
+	status, raw := deleteReq(t, base+"/v1/relations/R1")
+	if status != http.StatusConflict {
+		t.Fatalf("delete pinned relation: %d %s, want 409", status, raw)
+	}
+	if !strings.Contains(string(raw), "referenced by synopsis") {
+		t.Errorf("pinned-relation error does not name the synopsis: %s", raw)
+	}
+
+	if status, raw := deleteReq(t, base+"/v1/relations/nope"); status != http.StatusNotFound {
+		t.Errorf("delete unknown relation: %d %s, want 404", status, raw)
+	}
+	if status, raw := deleteReq(t, base+"/v1/synopses/nope"); status != http.StatusNotFound {
+		t.Errorf("delete unknown synopsis: %d %s, want 404", status, raw)
+	}
+
+	// Dropping the synopsis unpins the relation.
+	status, raw = deleteReq(t, base+"/v1/synopses/main")
+	if status != http.StatusOK {
+		t.Fatalf("delete synopsis: %d %s", status, raw)
+	}
+	var del DeleteResponse
+	if err := json.Unmarshal(raw, &del); err != nil || del.Deleted != "main" {
+		t.Errorf("delete body = %s, want {\"deleted\":\"main\"}", raw)
+	}
+	status, raw = postJSON(t, base+"/v1/estimate", EstimateRequest{
+		Query: "count(R1)", Synopsis: "main", Seed: 3,
+	})
+	if status != http.StatusNotFound {
+		t.Errorf("estimate against deleted synopsis: %d %s, want 404", status, raw)
+	}
+
+	status, raw = deleteReq(t, base+"/v1/relations/R1")
+	if status != http.StatusOK {
+		t.Fatalf("delete unpinned relation: %d %s", status, raw)
+	}
+	status, raw = getBody(t, base+"/v1/relations")
+	if status != http.StatusOK || strings.Contains(string(raw), `"R1"`) {
+		t.Errorf("relation listing after delete: %d %s", status, raw)
+	}
+
+	// The name is free again: a re-upload under it succeeds.
+	resp, err := http.Post(base+"/v1/relations/R1", "text/csv", strings.NewReader("a,b\n1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("re-upload after delete: %d, want 201", resp.StatusCode)
+	}
+}
+
+// TestDeleteSynopsisSurvivesRestart pins the WAL "drop" record: the
+// stream log carries the full history — create, events, drop — so a
+// restore replays the deletion and converges on the acknowledged state
+// instead of resurrecting the synopsis, and a recreation under the same
+// name replays on top of the drop.
+func TestDeleteSynopsisSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, baseA, stopA := startSnapServer(t, dir)
+	setupDataset(t, baseA, 500, 50)
+	status, raw := postJSON(t, baseA+"/v1/synopses/live", SynopsisRequest{
+		Kind: "incremental", Relations: map[string]int{"R1": 0}, Seed: 11, Capacity: 16,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create live: %d %s", status, raw)
+	}
+	streamEvents(t, baseA, 0, 10)
+	if status, raw := deleteReq(t, baseA+"/v1/synopses/live"); status != http.StatusOK {
+		t.Fatalf("delete live: %d %s", status, raw)
+	}
+
+	// Recreate under the same name with a different seed and stream a
+	// distinct batch: replay must apply create → events → drop → create →
+	// events in order, ending at exactly this second incarnation.
+	status, raw = postJSON(t, baseA+"/v1/synopses/live", SynopsisRequest{
+		Kind: "incremental", Relations: map[string]int{"R1": 0}, Seed: 23, Capacity: 8,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("recreate live: %d %s", status, raw)
+	}
+	streamEvents(t, baseA, 50, 15)
+	liveReq := EstimateRequest{Query: "count(R1)", Synopsis: "live", Seed: 3}
+	status, goldenLive := postJSON(t, baseA+"/v1/estimate", liveReq)
+	if status != http.StatusOK {
+		t.Fatalf("live estimate: %d %s", status, goldenLive)
+	}
+	if status, raw := deleteReq(t, baseA+"/v1/synopses/main"); status != http.StatusOK {
+		t.Fatalf("delete main: %d %s", status, raw)
+	}
+	stopA()
+
+	_, baseB, _ := startSnapServer(t, dir)
+	infos := synInfos(t, baseB)
+	if _, ok := infos["main"]; ok {
+		t.Error("deleted synopsis main resurrected across restart")
+	}
+	if _, ok := infos["live"]; !ok {
+		t.Fatal("recreated synopsis live did not survive restart")
+	}
+	status, restoredLive := postJSON(t, baseB+"/v1/estimate", liveReq)
+	if status != http.StatusOK {
+		t.Fatalf("restored live estimate: %d %s", status, restoredLive)
+	}
+	if string(goldenLive) != string(restoredLive) {
+		t.Errorf("recreated synopsis forked across restart:\npre  %s\npost %s", goldenLive, restoredLive)
+	}
+}

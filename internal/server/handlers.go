@@ -31,9 +31,11 @@ const (
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/relations/{name}", s.handleUploadRelation)
+	mux.HandleFunc("DELETE /v1/relations/{name}", s.handleDeleteRelation)
 	mux.HandleFunc("GET /v1/relations", s.handleListRelations)
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/synopses/{name}", s.handleCreateSynopsis)
+	mux.HandleFunc("DELETE /v1/synopses/{name}", s.handleDeleteSynopsis)
 	mux.HandleFunc("GET /v1/synopses", s.handleListSynopses)
 	mux.HandleFunc("POST /v1/synopses/{name}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
@@ -83,6 +85,30 @@ func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 	}
 	s.col.Set(mRelationBytes, float64(s.reg.relationBytes()))
 	_ = writeJSON(w, http.StatusCreated, RelationInfo{Name: name, Rows: rel.Len(), Schema: rel.Schema().String()})
+}
+
+// handleDeleteRelation drops a registered relation. Refused with 409
+// while any synopsis references it — delete the synopses first.
+func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if status, err := s.reg.removeRelation(name); err != nil {
+		_ = writeError(w, status, err.Error())
+		return
+	}
+	s.col.Set(mRelationBytes, float64(s.reg.relationBytes()))
+	_ = writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name})
+}
+
+// handleDeleteSynopsis drops a named synopsis. In-flight estimates that
+// already resolved it finish over the sample they hold; later requests
+// answer 404.
+func (s *Server) handleDeleteSynopsis(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if status, err := s.reg.removeSynopsis(name); err != nil {
+		_ = writeError(w, status, err.Error())
+		return
+	}
+	_ = writeJSON(w, http.StatusOK, DeleteResponse{Deleted: name})
 }
 
 func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {

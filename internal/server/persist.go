@@ -287,6 +287,21 @@ func (reg *registry) restoreSnapshot(dir string) (replayed int, restored bool, e
 			replayed++
 			continue
 		}
+		if ev.Op == "drop" {
+			// The synopsis was deleted after this log's creation record (or
+			// after the manifest that rebuilt it): replay the removal so the
+			// restored registry converges on the acknowledged state. The
+			// replaying flag suppresses re-logging the drop.
+			if _, exists := reg.synopsis(ev.Synopsis); !exists {
+				skipped++
+				continue
+			}
+			if _, derr := reg.removeSynopsis(ev.Synopsis); derr != nil {
+				return replayed, true, fmt.Errorf("replaying stream log event %d: %w", i, derr)
+			}
+			replayed++
+			continue
+		}
 		e, ok := reg.synopsis(ev.Synopsis)
 		if !ok {
 			// The synopsis never became resident (creation skipped above,

@@ -135,6 +135,54 @@ func (reg *registry) addRelation(r *relation.Relation) error {
 	return nil
 }
 
+// removeRelation drops the named relation from the catalog. A relation
+// any synopsis spec references is refused with 409: evicted-synopsis
+// rebuilds and incremental stream events re-read the base relation, so
+// removing it would strand them. Like uploads, removals are
+// snapshot-durable rather than WAL-logged — a drop after the last
+// snapshot reappears on restore, exactly as an upload after the last
+// snapshot is lost. The sharded coordinator leans on this endpoint to
+// roll half-registered relations back after a failed fanout.
+func (reg *registry) removeRelation(name string) (int, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.cat[name]; !ok {
+		return 404, fmt.Errorf("no relation %q", name)
+	}
+	for sname, e := range reg.syns {
+		if _, uses := e.spec.Relations[name]; uses {
+			return 409, fmt.Errorf("relation %q is referenced by synopsis %q", name, sname)
+		}
+	}
+	delete(reg.cat, name)
+	return 0, nil
+}
+
+// removeSynopsis drops the named synopsis. When persistence is on, the
+// drop is WAL-logged before the entry is unpublished (under admitMu,
+// like creations), so the log's create/drop order always equals the
+// registry's publish order and a restore replays to the same state.
+func (reg *registry) removeSynopsis(name string) (int, error) {
+	reg.admitMu.Lock()
+	defer reg.admitMu.Unlock()
+	reg.mu.RLock()
+	_, ok := reg.syns[name]
+	reg.mu.RUnlock()
+	if !ok {
+		return 404, fmt.Errorf("no synopsis %q", name)
+	}
+	if reg.wal != nil && !reg.replaying {
+		if err := reg.wal.append(walEvent{Synopsis: name, Op: "drop"}); err != nil {
+			return 500, fmt.Errorf("synopsis %q: appending drop to stream log: %v", name, err)
+		}
+	}
+	reg.mu.Lock()
+	delete(reg.syns, name)
+	reg.mu.Unlock()
+	reg.rec.Set(mSynopsisBytes, float64(reg.synopsisBytes()))
+	return 0, nil
+}
+
 // relationBytes sums the resident column storage of registered relations.
 func (reg *registry) relationBytes() int {
 	reg.mu.RLock()

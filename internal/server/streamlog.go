@@ -18,7 +18,9 @@ import (
 // and so reconstructs reservoir state exactly. Op "insert"/"delete"
 // carries Relation and Tuple; op "create" carries Tenant and Spec and
 // records the synopsis creation itself, so a synopsis created after the
-// last snapshot (absent from the manifest) still restores.
+// last snapshot (absent from the manifest) still restores; op "drop"
+// records a synopsis deletion, so a drop after the last snapshot does
+// not resurrect on restore.
 type walEvent struct {
 	Synopsis string           `json:"synopsis"`
 	Op       string           `json:"op"`

@@ -123,6 +123,29 @@ func (d *Driver) Get(ctx context.Context, path string) (int, []byte, error) {
 	return resp.StatusCode, raw, nil
 }
 
+// Delete issues a DELETE to path and returns the status and raw body.
+// The sharded coordinator rolls half-registered relations and synopses
+// back through this after a failed fanout.
+func (d *Driver) Delete(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, d.BaseURL+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if d.Tenant != "" {
+		req.Header.Set("X-Relest-Tenant", d.Tenant)
+	}
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
 // shedStatus reports whether a status is load shedding worth retrying:
 // queue or tenant-slot exhaustion (429) and drain refusals (503).
 func shedStatus(status int) bool {
